@@ -1,0 +1,31 @@
+//! End-to-end co-simulation cost: the per-window price of the full
+//! perf → power → thermal → metrics loop, which is what makes HotGauge a
+//! "rapid" methodology compared to cycle-accurate flows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hotgauge_core::experiments::Fidelity;
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn bench_cosim_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosim");
+    group.sample_size(10);
+    for (label, cell) in [("fast_250um", 250.0), ("fine_150um", 150.0)] {
+        group.bench_function(format!("gcc_7nm_1ms_{label}"), |b| {
+            b.iter(|| {
+                let fid = Fidelity::fast();
+                let mut cfg = fid.apply(SimConfig::new(TechNode::N7, "gcc"));
+                cfg.cell_um = cell;
+                cfg.warmup = Warmup::Cold; // skip the cached warmup for a pure measurement
+                cfg.max_time_s = 1e-3; // 5 windows
+                run_sim(cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosim_window);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! The "rapid characterization" claim (§III-F): the candidate-based hotspot
+//! detector vs the naive every-pixel detector, and the sliding-window MLTD
+//! vs the direct O(N·r²) version.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hotgauge_core::detect::{detect_hotspots, detect_hotspots_naive, HotspotParams};
+use hotgauge_core::mltd::{mltd_field, mltd_field_naive};
+use hotgauge_core::severity::SeverityParams;
+use hotgauge_thermal::frame::ThermalFrame;
+
+/// A synthetic die frame with several Gaussian hot bumps (100 µm cells).
+fn synthetic_frame(nx: usize, ny: usize) -> ThermalFrame {
+    let bumps = [
+        (0.25, 0.3, 45.0, 4.0),
+        (0.7, 0.6, 42.0, 3.0),
+        (0.5, 0.8, 38.0, 5.0),
+    ];
+    let mut temps = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            let mut t = 55.0;
+            for (cx, cy, amp, sigma) in bumps {
+                let dx = x as f64 - cx * nx as f64;
+                let dy = y as f64 - cy * ny as f64;
+                t += amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+            }
+            temps.push(t);
+        }
+    }
+    ThermalFrame::new(nx, ny, 100e-6, temps)
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let params = HotspotParams::paper_default();
+    let severity = SeverityParams::cpu_default();
+    let mut group = c.benchmark_group("hotspot_detection");
+    for side in [48usize, 96, 144] {
+        let frame = synthetic_frame(side, side);
+        group.bench_with_input(BenchmarkId::new("candidates", side), &frame, |b, f| {
+            b.iter(|| detect_hotspots(black_box(f), &params, &severity))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", side), &frame, |b, f| {
+            b.iter(|| detect_hotspots_naive(black_box(f), &params, &severity))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mltd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mltd_field");
+    for side in [48usize, 96, 144] {
+        let frame = synthetic_frame(side, side);
+        group.bench_with_input(BenchmarkId::new("sliding_window", side), &frame, |b, f| {
+            b.iter(|| mltd_field(black_box(f), 1e-3))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", side), &frame, |b, f| {
+            b.iter(|| mltd_field_naive(black_box(f), 1e-3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_mltd);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Floorplan machinery: Skylake-proxy generation, grid rasterization, and
+//! power-map construction at the paper's 100 µm resolution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hotgauge_floorplan::prelude::*;
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("skylake_build_7nm", |b| {
+        b.iter(|| SkylakeProxy::new(black_box(TechNode::N7)).build())
+    });
+}
+
+fn bench_rasterize(c: &mut Criterion) {
+    let fp = SkylakeProxy::new(TechNode::N7).build();
+    c.bench_function("rasterize_100um", |b| {
+        b.iter(|| FloorplanGrid::rasterize(black_box(&fp), 100.0))
+    });
+}
+
+fn bench_power_map(c: &mut Criterion) {
+    let fp = SkylakeProxy::new(TechNode::N7).build();
+    let grid = FloorplanGrid::rasterize(&fp, 100.0);
+    let powers: Vec<f64> = (0..fp.units.len()).map(|i| 0.1 + (i % 7) as f64 * 0.05).collect();
+    c.bench_function("power_map_100um", |b| {
+        b.iter(|| grid.power_map(black_box(&powers)))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_rasterize, bench_power_map);
+criterion_main!(benches);

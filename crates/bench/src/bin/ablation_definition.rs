@@ -1,0 +1,44 @@
+//! Ablation: the tunable hotspot definition (§III-E). The paper stresses
+//! that T_th, MLTD_th, and the radius are system parameters; this sweep
+//! shows how TUH responds, e.g. stacked-DRAM systems (70 C) or shorter
+//! timing paths (smaller radius).
+
+use hotgauge_core::detect::HotspotParams;
+use hotgauge_core::experiments::Fidelity;
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_core::report::{fmt_tuh, TextTable};
+use hotgauge_floorplan::tech::TechNode;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let bench = "gcc";
+    let horizon = fid.max_time_s.min(0.015);
+    let mut table = TextTable::new(vec!["T_th [C]", "MLTD_th [C]", "radius [mm]", "TUH", "hotspot windows"]);
+    for (t_th, m_th, r_mm) in [
+        (80.0, 25.0, 1.0), // paper default
+        (70.0, 25.0, 1.0), // stacked-DRAM-like temperature limit
+        (80.0, 15.0, 1.0), // less timing slack
+        (80.0, 25.0, 0.5), // shorter critical paths
+        (80.0, 25.0, 2.0), // longer global wires
+        (90.0, 35.0, 1.0), // more tolerant process
+    ] {
+        let mut cfg = fid.apply(SimConfig::new(TechNode::N7, bench));
+        cfg.max_time_s = horizon;
+        cfg.detect = HotspotParams {
+            t_threshold_c: t_th,
+            mltd_threshold_c: m_th,
+            radius_m: r_mm * 1e-3,
+        };
+        let r = run_sim(cfg);
+        let windows_with = r.records.iter().filter(|x| x.hotspot_count > 0).count();
+        table.row(vec![
+            format!("{t_th:.0}"),
+            format!("{m_th:.0}"),
+            format!("{r_mm:.1}"),
+            fmt_tuh(r.tuh_s, horizon),
+            format!("{windows_with}/{}", r.records.len()),
+        ]);
+    }
+    println!("Ablation: hotspot-definition parameters (gcc @7nm)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,75 @@
+//! Ablation: severity-triggered DVFS throttling (the mitigation direction
+//! the paper motivates). Sweeps sensor latency and throttle depth and
+//! reports the severity/performance trade-off at 7 nm.
+
+use hotgauge_core::experiments::Fidelity;
+use hotgauge_core::pipeline::SimConfig;
+use hotgauge_core::report::TextTable;
+use hotgauge_core::throttle::{run_throttled, ThrottlePolicy};
+use hotgauge_floorplan::tech::TechNode;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let bench = "povray";
+    let mut cfg = fid.apply(SimConfig::new(TechNode::N7, bench));
+    cfg.max_time_s = fid.max_time_s.min(0.015);
+
+    let base = run_throttled(&cfg, None);
+    println!(
+        "Ablation: DVFS throttling on {bench} @7nm ({} ms horizon)\n",
+        cfg.max_time_s * 1e3
+    );
+    println!(
+        "unthrottled: peak sev {:.2}, RMS {:.3}, Tmax {:.1} C, {:.1} M instructions\n",
+        base.peak_severity,
+        base.rms_severity,
+        base.max_temp_c,
+        base.instructions as f64 / 1e6
+    );
+
+    let mut table = TextTable::new(vec![
+        "policy",
+        "peak sev",
+        "RMS sev",
+        "Tmax [C]",
+        "throttled %",
+        "perf vs turbo",
+    ]);
+    let mut policies: Vec<(String, ThrottlePolicy)> = Vec::new();
+    for latency in [0usize, 2, 8] {
+        policies.push((
+            format!("2.5GHz/0.95V, sensor {}w", latency),
+            ThrottlePolicy {
+                sensor_latency_windows: latency,
+                ..ThrottlePolicy::mitigation_default()
+            },
+        ));
+    }
+    for (freq, vdd) in [(3.5, 1.1), (1.5, 0.8)] {
+        policies.push((
+            format!("{freq}GHz/{vdd}V, sensor 1w"),
+            ThrottlePolicy {
+                throttled_freq_ghz: freq,
+                throttled_vdd: vdd,
+                ..ThrottlePolicy::mitigation_default()
+            },
+        ));
+    }
+    for (label, p) in policies {
+        let r = run_throttled(&cfg, Some(p));
+        table.row(vec![
+            label,
+            format!("{:.2}", r.peak_severity),
+            format!("{:.3}", r.rms_severity),
+            format!("{:.1}", r.max_temp_c),
+            format!("{:.0}", r.throttled_fraction * 100.0),
+            format!("{:.0}%", 100.0 * r.instructions as f64 / base.instructions as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The paper's conclusion quantified: suppressing advanced hotspots with\n\
+         frequency throttling alone costs a large fraction of turbo performance,\n\
+         and slower thermal sensors let higher severity peaks through."
+    );
+}

@@ -1,0 +1,38 @@
+//! Calibration probe: prints per-benchmark IPC, C_dyn, power, temperatures,
+//! MLTD, and TUH at both 14 nm and 7 nm so model constants can be tuned.
+
+use hotgauge_core::experiments::{benchmark_cdyn_nf, Fidelity};
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+use hotgauge_workloads::spec2006;
+
+fn main() {
+    let fid = Fidelity::fast();
+    println!("bench          node   IPC   Cdyn   power  Tmax   Tmean  MLTD   sev    TUH");
+    for b in spec2006::ALL_BENCHMARKS {
+        for node in [TechNode::N14, TechNode::N7] {
+            let mut cfg = fid.apply(SimConfig::new(node, b));
+            cfg.warmup = Warmup::Idle;
+            cfg.max_time_s = 0.01; // 10 ms probe
+            let r = run_sim(cfg);
+            let last = r.records.last().unwrap();
+            let cdyn = benchmark_cdyn_nf(b, node);
+            let mltd_max = r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max);
+            let tmax = r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max);
+            println!(
+                "{:<14} {:<5} {:>5.2} {:>6.2} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>5.2}  {}",
+                b,
+                node.label(),
+                last.ipc,
+                cdyn,
+                last.power_w,
+                tmax,
+                last.mean_temp_c,
+                mltd_max,
+                r.peak_severity(),
+                hotgauge_core::report::fmt_tuh(r.tuh_s, 0.01),
+            );
+        }
+    }
+}

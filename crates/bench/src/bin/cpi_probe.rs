@@ -1,0 +1,32 @@
+//! Prints activity-rate decomposition for selected benchmarks.
+use hotgauge_perf::config::{CoreConfig, MemoryConfig};
+use hotgauge_perf::engine::CoreSim;
+use hotgauge_workloads::generator::WorkloadGen;
+use hotgauge_workloads::spec2006;
+
+fn main() {
+    for b in ["gcc", "hmmer", "gobmk", "bzip2", "omnetpp", "povray"] {
+        let p = spec2006::profile(b).unwrap();
+        let mut g = WorkloadGen::new(p, 1);
+        let mut c = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
+        c.warm_up(&mut g, 2_000_000);
+        let a = c.run_instructions(&mut g, 400_000);
+        let n = a.instructions as f64;
+        println!(
+            "{:<10} IPC {:.2} | misp/ki {:.1} (rate {:.3}) | l1i m/ki {:.2} | l1d m/ki {:.1} | l3acc/ki {:.2} | dram/ki {:.2}",
+            b,
+            a.ipc(),
+            a.bpu_mispredicts as f64 / n * 1000.0,
+            a.mispredict_rate(),
+            a.l1i_misses as f64 / n * 1000.0,
+            a.l1d_mpki(),
+            a.l3_accesses as f64 / n * 1000.0,
+            a.dram_accesses as f64 / n * 1000.0,
+        );
+        // CPI contributions estimate
+        let cpi = a.cycles as f64 / n;
+        let base = 0.25;
+        let misp = a.bpu_mispredicts as f64 * 16.0 / n;
+        println!("           CPI {:.2}: base {:.2}, mispred {:.2}, rest {:.2}", cpi, base, misp, cpi - base - misp);
+    }
+}

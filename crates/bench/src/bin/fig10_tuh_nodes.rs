@@ -1,0 +1,51 @@
+//! Fig. 10 — Time-until-hotspot distribution per technology node
+//! (T_th = 80 °C, MLTD_th = 25 °C, idle warm-up, all SPEC proxies × cores).
+//!
+//! Paper: 5th/25th/50th percentiles 0.4/0.6/1.2 ms at 14 nm and roughly half
+//! that (0.2/0.4/0.6 ms) at 7 nm; late hotspots (> 5 ms) similar across
+//! nodes.
+
+use hotgauge_core::experiments::{fig10_tuh_by_node, Fidelity};
+use hotgauge_core::report::{fmt_time, TextTable};
+use hotgauge_core::series::percentile;
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let cores: Vec<usize> = (0..7).collect();
+    let rows = fig10_tuh_by_node(
+        &fid,
+        &[TechNode::N14, TechNode::N7],
+        &ALL_BENCHMARKS,
+        &cores,
+    );
+    println!("Fig. 10: TUH distribution per node (idle warmup, {} runs/node)\n", 7 * ALL_BENCHMARKS.len());
+    let mut table = TextTable::new(vec!["node", "n(hotspot)", "p5", "p25", "p50", "p75", "max", "no-hotspot"]);
+    for (node, tuhs) in &rows {
+        let fired: Vec<f64> = tuhs.iter().flatten().copied().collect();
+        let missing = tuhs.len() - fired.len();
+        if fired.is_empty() {
+            table.row(vec![node.label().to_owned(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), missing.to_string()]);
+            continue;
+        }
+        table.row(vec![
+            node.label().to_owned(),
+            fired.len().to_string(),
+            fmt_time(percentile(&fired, 5.0)),
+            fmt_time(percentile(&fired, 25.0)),
+            fmt_time(percentile(&fired, 50.0)),
+            fmt_time(percentile(&fired, 75.0)),
+            fmt_time(percentile(&fired, 100.0)),
+            missing.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let p50 = |i: usize| -> Option<f64> {
+        let fired: Vec<f64> = rows[i].1.iter().flatten().copied().collect();
+        (!fired.is_empty()).then(|| percentile(&fired, 50.0))
+    };
+    if let (Some(a), Some(b)) = (p50(0), p50(1)) {
+        println!("median TUH ratio 14nm/7nm: {:.1}x  (paper: ~2x)", a / b);
+    }
+}

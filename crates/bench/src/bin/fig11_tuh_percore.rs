@@ -1,0 +1,49 @@
+//! Fig. 11 — TUH per benchmark at 7 nm, each benchmark run on every core,
+//! from cold vs after idle warm-up (box-and-whisker data).
+//!
+//! Paper: >2 orders of magnitude TUH spread across benchmarks
+//! (0.2 ms – 150 ms); gobmk and namd are warm-up sensitive; ~20 % of
+//! benchmarks show order-of-magnitude core-to-core spread.
+
+use hotgauge_core::experiments::{fig11_tuh_per_benchmark, Fidelity};
+use hotgauge_core::report::{fmt_tuh, TextTable};
+use hotgauge_core::series::BoxStats;
+use hotgauge_thermal::warmup::Warmup;
+use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let cores: Vec<usize> = (0..7).collect();
+    for warmup in [Warmup::Cold, Warmup::Idle] {
+        let rows = fig11_tuh_per_benchmark(&fid, warmup, &ALL_BENCHMARKS, &cores);
+        println!("\nFig. 11 ({}): TUH at 7nm across cores\n", warmup.label());
+        let mut table = TextTable::new(vec!["benchmark", "min", "q1", "median", "q3", "max", "none"]);
+        let mut global: Vec<f64> = Vec::new();
+        for (bench, tuhs) in &rows {
+            let fired: Vec<f64> = tuhs.iter().flatten().copied().collect();
+            let none = tuhs.len() - fired.len();
+            global.extend(&fired);
+            if fired.is_empty() {
+                table.row(vec![bench.clone(), "-".into(), "-".into(), "-".into(), "-".into(), format!(">{:.0}ms", fid.max_time_s * 1e3), none.to_string()]);
+                continue;
+            }
+            let b = BoxStats::of(&fired);
+            table.row(vec![
+                bench.clone(),
+                fmt_tuh(Some(b.min), fid.max_time_s),
+                fmt_tuh(Some(b.q1), fid.max_time_s),
+                fmt_tuh(Some(b.median), fid.max_time_s),
+                fmt_tuh(Some(b.q3), fid.max_time_s),
+                fmt_tuh(Some(b.max), fid.max_time_s),
+                none.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+        if !global.is_empty() {
+            let lo = global.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = global.iter().cloned().fold(0.0f64, f64::max);
+            println!("TUH spread across benchmarks: {:.2e} s .. {:.2e} s ({:.1} orders of magnitude)",
+                lo, hi, (hi / lo).log10());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 12 — where hotspots occur in the core (7 nm, all SPEC proxies).
+//!
+//! Paper: the majority of hotspots land in the complex ALU (cALU), the FP
+//! instruction window (fpIWin), the register access tables (RATs), the
+//! register files (RFs), miscellaneous core logic (core_other), and the
+//! reorder buffer (ROB).
+
+use hotgauge_core::experiments::{fig12_location_census, Fidelity};
+use hotgauge_core::report::TextTable;
+use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    // Sweep a representative set of cores; the paper aggregates all runs.
+    let cores: Vec<usize> = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
+        (0..7).collect()
+    } else {
+        vec![0, 3, 6]
+    };
+    let census = fig12_location_census(&fid, &ALL_BENCHMARKS, &cores);
+    println!(
+        "Fig. 12: hotspot locations at 7nm over {} benchmarks x {} cores ({} hotspot-frames)\n",
+        ALL_BENCHMARKS.len(),
+        cores.len(),
+        census.total()
+    );
+    let mut table = TextTable::new(vec!["unit", "count", "share"]);
+    for (label, count) in census.ranked() {
+        table.row(vec![
+            label,
+            count.to_string(),
+            format!("{:.1}%", 100.0 * count as f64 / census.total().max(1) as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    let paper_units = ["cALU", "fpIWin", "intRAT", "fpRAT", "intRF", "fpRF", "core_other", "ROB"];
+    let hot: u64 = paper_units.iter().map(|u| census.count(u)).sum();
+    println!(
+        "share in paper's dominant units (cALU, fpIWin, RATs, RFs, core_other, ROB): {:.0}%",
+        100.0 * hot as f64 / census.total().max(1) as f64
+    );
+}

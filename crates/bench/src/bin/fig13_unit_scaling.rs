@@ -1,0 +1,43 @@
+//! Fig. 13 — hotspot severity over time after scaling the FP instruction
+//! window (fpIWin) or register files (RFs), for gcc and milc.
+//!
+//! Paper: scaling the fpIWin 10x sharply reduces its severity under gcc but
+//! still does not reach the 14 nm level; under milc the fpIWin is cooler and
+//! scaling it is far less effective — scaling the RFs helps more. No
+//! single-unit mitigation works across workloads.
+
+use hotgauge_core::experiments::{fig13_unit_scaling, Fidelity};
+use hotgauge_core::report::TextTable;
+use hotgauge_floorplan::unit::UnitKind;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let horizon = fid.max_time_s.min(0.02);
+    let scales = [2.0, 5.0, 10.0];
+    for (bench, unit) in [
+        ("gcc", UnitKind::FpIWin),
+        ("milc", UnitKind::FpIWin),
+        ("milc", UnitKind::FpRf),
+    ] {
+        let runs = fig13_unit_scaling(&fid, bench, unit, &scales, horizon);
+        println!("\nFig. 13: severity in {} while running {}\n", unit.label(), bench);
+        let mut table = TextTable::new(vec!["config", "peak sev", "RMS sev", "time>0.5 [%]"]);
+        for r in &runs {
+            let above: usize = r.series.values.iter().filter(|&&v| v >= 0.5).count();
+            let label = if r.node.label() == "14nm" {
+                "14nm baseline".to_owned()
+            } else if r.scale == 1.0 {
+                "7nm baseline".to_owned()
+            } else {
+                format!("7nm {}x{:.0}", unit.label(), r.scale)
+            };
+            table.row(vec![
+                label,
+                format!("{:.2}", r.series.max()),
+                format!("{:.3}", r.series.rms()),
+                format!("{:.0}", 100.0 * above as f64 / r.series.len().max(1) as f64),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

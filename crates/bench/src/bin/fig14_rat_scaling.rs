@@ -1,0 +1,36 @@
+//! Fig. 14 — max hotspot severity per benchmark after scaling the register
+//! access tables (RATs) 10x at 7 nm.
+//!
+//! Paper: even at 10x, peak severity stays above the 14 nm target, and many
+//! workloads still reach severity 1.0 — single-unit scaling is not enough.
+
+use hotgauge_core::experiments::{fig14_rat_scaling, Fidelity};
+use hotgauge_core::report::TextTable;
+use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let horizon = fid.max_time_s.min(0.02);
+    let rows = fig14_rat_scaling(&fid, &ALL_BENCHMARKS, horizon);
+    println!("Fig. 14: max severity after scaling the RATs 10x (7nm)\n");
+    let mut table = TextTable::new(vec!["benchmark", "14nm", "7nm", "7nm RATs x10"]);
+    let mut saturated = 0;
+    let mut above_target = 0;
+    for r in &rows {
+        if r.sev_7nm_rat10x >= 0.999 {
+            saturated += 1;
+        }
+        if r.sev_7nm_rat10x > r.sev_14nm {
+            above_target += 1;
+        }
+        table.row(vec![
+            r.benchmark.clone(),
+            format!("{:.2}", r.sev_14nm),
+            format!("{:.2}", r.sev_7nm),
+            format!("{:.2}", r.sev_7nm_rat10x),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("benchmarks still reaching severity 1.0 after RATs x10: {saturated}/{}", rows.len());
+    println!("benchmarks still above their 14nm target:              {above_target}/{}", rows.len());
+}

@@ -1,0 +1,58 @@
+//! Fig. 1 — an advanced hotspot on the 7 nm die: hot units above 120 °C
+//! while silicon ~200 µm away stays tens of degrees cooler.
+
+use hotgauge_core::detect::{detect_hotspots, HotspotParams};
+use hotgauge_core::experiments::Fidelity;
+use hotgauge_core::mltd::mltd_field;
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_core::severity::SeverityParams;
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let mut cfg = fid.apply(SimConfig::new(TechNode::N7, "povray"));
+    cfg.warmup = Warmup::Idle;
+    cfg.max_time_s = fid.max_time_s.min(0.03);
+    let r = run_sim(cfg);
+    let frame = &r.final_frame;
+    let cell_um = frame.cell_m * 1e6;
+
+    println!("Fig. 1: advanced hotspot frame (povray, 7nm, t = {:.1} ms)\n", fid.max_time_s.min(0.03) * 1e3);
+    // ASCII heat map.
+    let (lo, hi) = (frame.min(), frame.max());
+    let ramp = b" .:-=+*#%@";
+    for iy in (0..frame.ny).rev() {
+        let mut line = String::new();
+        for ix in 0..frame.nx {
+            let t = frame.at(ix, iy);
+            let idx = ((t - lo) / (hi - lo + 1e-9) * (ramp.len() - 1) as f64) as usize;
+            line.push(ramp[idx.min(ramp.len() - 1)] as char);
+        }
+        println!("{line}");
+    }
+    println!("\npeak temperature: {:.1} C (min on die {:.1} C)", hi, lo);
+
+    // Local contrast around the hottest cell at ~200 um.
+    let peak = frame.argmax();
+    let (px, py) = frame.coords(peak);
+    let d_cells = (200.0 / cell_um).round().max(1.0) as usize;
+    let mut coolest_near = f64::INFINITY;
+    for (dx, dy) in [(d_cells, 0usize), (0, d_cells)] {
+        for (sx, sy) in [(1i64, 1i64), (-1, -1), (1, -1), (-1, 1)] {
+            let x = px as i64 + sx * dx as i64;
+            let y = py as i64 + sy * dy as i64;
+            if x >= 0 && y >= 0 && (x as usize) < frame.nx && (y as usize) < frame.ny {
+                coolest_near = coolest_near.min(frame.at(x as usize, y as usize));
+            }
+        }
+    }
+    println!(
+        "gradient: {:.1} C at peak vs {:.1} C about {:.0} um away (delta {:.1} C; paper: ~30 C within 200 um)",
+        hi, coolest_near, d_cells as f64 * cell_um, hi - coolest_near
+    );
+    let mltd = mltd_field(frame, 1e-3);
+    println!("max MLTD (1mm): {:.1} C", mltd.iter().cloned().fold(0.0, f64::max));
+    let hs = detect_hotspots(frame, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+    println!("hotspots in frame: {}", hs.len());
+}

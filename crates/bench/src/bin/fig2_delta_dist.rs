@@ -1,0 +1,56 @@
+//! Fig. 2 — distribution of per-cell temperature change over 200 µs windows
+//! in the active die, 14 nm vs 7 nm (100 µm grid in the paper).
+//!
+//! Paper: the 7 nm die shows both a greater peak ΔT and a wider variance —
+//! temperature moves farther and less uniformly within a single 200 µs step.
+
+use hotgauge_core::experiments::{fig2_delta_distributions, Fidelity};
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let rows = fig2_delta_distributions(&fid, "bzip2", fid.max_time_s.min(0.02));
+    println!("Fig. 2: distribution of dT over 200us windows (bzip2, single thread)\n");
+    for (node, edges, counts) in &rows {
+        let total: usize = counts.iter().sum();
+        let mean: f64 = edges
+            .windows(2)
+            .zip(counts)
+            .map(|(e, &c)| (e[0] + e[1]) / 2.0 * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        let var: f64 = edges
+            .windows(2)
+            .zip(counts)
+            .map(|(e, &c)| {
+                let mid = (e[0] + e[1]) / 2.0;
+                (mid - mean) * (mid - mean) * c as f64
+            })
+            .sum::<f64>()
+            / total as f64;
+        // Peak positive delta: highest non-empty bin.
+        let peak = edges
+            .windows(2)
+            .zip(counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(e, _)| e[1])
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{}: mean dT {:+.3} C, std {:.3} C, max dT bin {:+.2} C  ({} samples)",
+            node.label(),
+            mean,
+            var.sqrt(),
+            peak,
+            total
+        );
+        // Compact ASCII histogram (log scale).
+        let max_c = *counts.iter().max().unwrap_or(&1) as f64;
+        for (e, &c) in edges.windows(2).zip(counts) {
+            if c == 0 {
+                continue;
+            }
+            let bar = ((c as f64).ln() / max_c.ln() * 50.0) as usize;
+            println!("  {:+6.2} {:+6.2} | {}", e[0], e[1], "#".repeat(bar.max(1)));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,29 @@
+//! Fig. 7 — the hotspot severity metric surface sev(T, MLTD).
+//!
+//! Prints the metric over a T × MLTD grid plus the calibration landmarks:
+//! sev saturates to 1 near 115 °C regardless of MLTD, and crosses 0.5
+//! ("mitigation necessary") around the hotspot definition point (80, 25).
+
+use hotgauge_core::severity::SeverityParams;
+
+fn main() {
+    let p = SeverityParams::cpu_default();
+    print!("T\\MLTD ");
+    let mltds: Vec<f64> = (0..=6).map(|i| i as f64 * 10.0).collect();
+    for m in &mltds {
+        print!("{:>6.0}", m);
+    }
+    println!();
+    for t in (40..=130).step_by(5) {
+        print!("{:>6} ", t);
+        for m in &mltds {
+            print!("{:>6.2}", p.severity(t as f64, *m));
+        }
+        println!();
+    }
+    println!();
+    println!("landmarks:");
+    println!("  sev(80, 25)  = {:.3}  (hotspot definition point, must be > 0.5)", p.severity(80.0, 25.0));
+    println!("  sev(115, 25) = {:.3}  (device-failure saturation)", p.severity(115.0, 25.0));
+    println!("  sev(45, 0)   = {:.3}  (no concern)", p.severity(45.0, 0.0));
+}

@@ -1,0 +1,56 @@
+//! Fig. 8 — temperature distribution over time for gcc at 7 nm, starting
+//! cold (from ambient) vs after an idle warm-up.
+//!
+//! Paper: after an idle warm-up the die shows more temperature variation and
+//! crosses 110 °C more than 4x faster than from cold.
+
+use hotgauge_core::experiments::{fig8_warmup_runs, first_crossing_time, Fidelity};
+use hotgauge_core::report::fmt_time;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let runs = fig8_warmup_runs(&fid, fid.max_time_s.min(0.04));
+    println!("Fig. 8: temperature distribution over time (gcc, 7nm)\n");
+    let mut crossings = Vec::new();
+    for r in &runs {
+        let label = r.config.warmup.label();
+        println!("--- {} ---", label);
+        // Print histogram snapshots at a few times.
+        let n = r.records.len();
+        for frac in [0.05, 0.25, 0.5, 1.0] {
+            let idx = ((n as f64 * frac) as usize).min(n - 1);
+            let rec = &r.records[idx];
+            let hist = rec.temp_hist.as_ref().expect("requested");
+            let max_c = *hist.iter().max().unwrap() as f64;
+            let line: String = hist
+                .chunks(2)
+                .map(|ch| {
+                    let c: usize = ch.iter().sum();
+                    match (c as f64 / max_c * 8.0) as usize {
+                        0 => if c > 0 { '.' } else { ' ' },
+                        1..=2 => ':',
+                        3..=5 => 'o',
+                        _ => '#',
+                    }
+                })
+                .collect();
+            println!(
+                "t={:>8} [30C {} 140C]  min {:>5.1} mean {:>5.1} max {:>5.1}",
+                fmt_time(rec.time_s),
+                line,
+                rec.min_temp_c,
+                rec.mean_temp_c,
+                rec.max_temp_c
+            );
+        }
+        let cross = first_crossing_time(r, 110.0);
+        println!(
+            "first crossing of 110C: {}\n",
+            cross.map(fmt_time).unwrap_or_else(|| "never".into())
+        );
+        crossings.push(cross);
+    }
+    if let (Some(cold), Some(warm)) = (crossings[0], crossings[1]) {
+        println!("110C crossing speedup from idle warmup: {:.1}x  (paper: >4x)", cold / warm);
+    }
+}

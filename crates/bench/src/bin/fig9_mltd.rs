@@ -1,0 +1,48 @@
+//! Fig. 9 — maximum localized temperature difference (1 mm radius) over
+//! time for single-threaded gobmk after idle warm-up, per core and node.
+//!
+//! Paper: over the first 20 ms the 7 nm MLTD is ~2x the 14 nm part
+//! (peaks ~70 °C vs < 60 °C), and at 7 nm the left-column cores (0, 2, 5)
+//! run hottest while the right column (1, 4, 6) runs coolest.
+
+use hotgauge_core::experiments::{fig9_mltd_series, Fidelity};
+use hotgauge_core::report::TextTable;
+use hotgauge_floorplan::tech::TechNode;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let horizon = 0.02_f64.min(fid.max_time_s.max(0.01));
+    let cores: Vec<usize> = (0..7).collect();
+    let series = fig9_mltd_series(&fid, &[TechNode::N14, TechNode::N7], &cores, horizon);
+
+    println!("Fig. 9: MLTD (1mm radius) for gobmk after idle warmup, horizon {:.0} ms\n", horizon * 1e3);
+    let mut table = TextTable::new(vec!["node", "core", "side", "peak MLTD [C]", "mean MLTD [C]"]);
+    let mut peaks = std::collections::BTreeMap::new();
+    for (node, core, ts) in &series {
+        let peak = ts.max();
+        let mean: f64 = ts.values.iter().sum::<f64>() / ts.len() as f64;
+        let side = match core {
+            0 | 2 | 5 => "left",
+            1 | 4 | 6 => "right",
+            _ => "middle",
+        };
+        peaks.insert((node.label(), *core), peak);
+        table.row(vec![
+            node.label().to_owned(),
+            core.to_string(),
+            side.to_owned(),
+            format!("{peak:.1}"),
+            format!("{mean:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let avg = |node: &str, cs: &[usize]| -> f64 {
+        cs.iter().map(|c| peaks[&(node, *c)]).sum::<f64>() / cs.len() as f64
+    };
+    println!("7nm/14nm peak-MLTD ratio (all cores): {:.2}x  (paper: ~2x)",
+        avg("7nm", &[0,1,2,3,4,5,6]) / avg("14nm", &[0,1,2,3,4,5,6]));
+    println!("7nm left cores (0,2,5) avg peak: {:.1} C", avg("7nm", &[0,2,5]));
+    println!("7nm middle core (3) peak:        {:.1} C", peaks[&("7nm", 3)]);
+    println!("7nm right cores (1,4,6) avg peak: {:.1} C", avg("7nm", &[1,4,6]));
+}

@@ -1,0 +1,154 @@
+//! `hotgauge` — command-line front end for one-off co-simulation runs.
+//!
+//! ```text
+//! hotgauge <benchmark> [--node 14|10|7|5] [--core N] [--cold]
+//!          [--ms HORIZON] [--cell UM] [--scale UNIT FACTOR]
+//!          [--ic-area FACTOR] [--json]
+//! ```
+
+use hotgauge_core::experiments::Fidelity;
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_core::report::{fmt_tuh, to_json, TextTable};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_floorplan::unit::UnitKind;
+use hotgauge_thermal::warmup::Warmup;
+use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hotgauge <benchmark> [--node 14|10|7|5] [--core N] [--cold]\n\
+         \x20                [--ms HORIZON] [--cell UM] [--scale UNIT FACTOR]\n\
+         \x20                [--ic-area FACTOR] [--json]\n\
+         benchmarks: {}",
+        ALL_BENCHMARKS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn unit_by_label(label: &str) -> Option<UnitKind> {
+    UnitKind::CORE_KINDS.iter().copied().find(|k| k.label() == label)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let bench = args[0].clone();
+    if !ALL_BENCHMARKS.contains(&bench.as_str()) && bench != "idle" {
+        eprintln!("unknown benchmark {bench}");
+        usage();
+    }
+    let fid = Fidelity::from_env();
+    let mut cfg = fid.apply(SimConfig::new(TechNode::N7, &bench));
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--node" => {
+                i += 1;
+                cfg.node = match args.get(i).map(String::as_str) {
+                    Some("14") => TechNode::N14,
+                    Some("10") => TechNode::N10,
+                    Some("7") => TechNode::N7,
+                    Some("5") => TechNode::N5,
+                    _ => usage(),
+                };
+            }
+            "--core" => {
+                i += 1;
+                cfg.target_core = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cold" => cfg.warmup = Warmup::Cold,
+            "--ms" => {
+                i += 1;
+                let ms: f64 = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.max_time_s = ms * 1e-3;
+            }
+            "--cell" => {
+                i += 1;
+                cfg.cell_um = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                let unit = args.get(i + 1).and_then(|u| unit_by_label(u)).unwrap_or_else(|| usage());
+                let factor: f64 = args.get(i + 2).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.unit_scales.push((unit, factor));
+                i += 2;
+            }
+            "--ic-area" => {
+                i += 1;
+                cfg.ic_area_factor = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--json" => json = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    // The node must be applied before building the floorplan name etc.
+    let horizon = cfg.max_time_s;
+    let r = run_sim(cfg);
+
+    if json {
+        #[derive(serde::Serialize)]
+        struct Out<'a> {
+            benchmark: &'a str,
+            node: &'a str,
+            tuh_s: Option<f64>,
+            peak_severity: f64,
+            rms_severity: f64,
+            max_temp_c: f64,
+            max_mltd_c: f64,
+            hotspot_census: Vec<(String, u64)>,
+            instructions: u64,
+        }
+        let out = Out {
+            benchmark: &r.config.benchmark,
+            node: r.config.node.label(),
+            tuh_s: r.tuh_s,
+            peak_severity: r.peak_severity(),
+            rms_severity: r.rms_severity(),
+            max_temp_c: r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max),
+            max_mltd_c: r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max),
+            hotspot_census: r.census.ranked(),
+            instructions: r.total_instructions,
+        };
+        println!("{}", to_json(&out));
+        return;
+    }
+
+    println!(
+        "{} @ {} on core {} ({}), {:.1} ms simulated",
+        r.config.benchmark,
+        r.config.node.label(),
+        r.config.target_core,
+        r.config.warmup.label(),
+        horizon * 1e3
+    );
+    let last = r.records.last().expect("steps");
+    let mut table = TextTable::new(vec!["metric", "value"]);
+    table.row(vec!["TUH".to_owned(), fmt_tuh(r.tuh_s, horizon)]);
+    table.row(vec!["peak severity".to_owned(), format!("{:.2}", r.peak_severity())]);
+    table.row(vec!["RMS severity".to_owned(), format!("{:.3}", r.rms_severity())]);
+    table.row(vec![
+        "max temperature".to_owned(),
+        format!("{:.1} C", r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max)),
+    ]);
+    table.row(vec![
+        "max MLTD (1mm)".to_owned(),
+        format!("{:.1} C", r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max)),
+    ]);
+    table.row(vec!["chip power (last window)".to_owned(), format!("{:.1} W", last.power_w)]);
+    table.row(vec!["IPC (last window)".to_owned(), format!("{:.2}", last.ipc)]);
+    table.row(vec![
+        "instructions".to_owned(),
+        format!("{:.1} M", r.total_instructions as f64 / 1e6),
+    ]);
+    println!("{}", table.render());
+    if r.census.total() > 0 {
+        println!("hotspot locations:");
+        for (unit, count) in r.census.ranked().into_iter().take(6) {
+            println!("  {unit:<12} {count}");
+        }
+    }
+}

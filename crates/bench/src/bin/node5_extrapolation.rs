@@ -1,0 +1,33 @@
+//! Beyond the paper: extrapolating the methodology to 5 nm ("it is even
+//! possible to scale beyond 7nm if desired", §III-B) — the post-Dennard
+//! trend one more node out.
+
+use hotgauge_core::experiments::Fidelity;
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_core::report::{fmt_tuh, TextTable};
+use hotgauge_floorplan::tech::TechNode;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let horizon = fid.max_time_s.min(0.015);
+    let mut table = TextTable::new(vec!["node", "benchmark", "Tmax [C]", "max MLTD [C]", "peak sev", "TUH"]);
+    for bench in ["gcc", "hmmer", "milc"] {
+        for node in TechNode::ALL {
+            let mut cfg = fid.apply(SimConfig::new(node, bench));
+            cfg.max_time_s = horizon;
+            let r = run_sim(cfg);
+            let tmax = r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max);
+            let mltd = r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max);
+            table.row(vec![
+                node.label().to_owned(),
+                bench.to_owned(),
+                format!("{tmax:.1}"),
+                format!("{mltd:.1}"),
+                format!("{:.2}", r.peak_severity()),
+                fmt_tuh(r.tuh_s, horizon),
+            ]);
+        }
+    }
+    println!("Extrapolation to 5nm (density 1.6x beyond 7nm)\n");
+    println!("{}", table.render());
+}

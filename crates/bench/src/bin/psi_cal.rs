@@ -1,0 +1,25 @@
+//! Dev tool: sweep the heatsink film coefficient and border to calibrate
+//! Table IV's junction-to-ambient resistance.
+use hotgauge_floorplan::prelude::*;
+use hotgauge_thermal::prelude::*;
+use hotgauge_thermal::model::ThermalModel;
+
+fn main() {
+    for border_mm in [2.0, 3.0, 4.0] {
+        for h in [8000.0, 12000.0, 16000.0, 24000.0] {
+            let mut psis = Vec::new();
+            for node in TechNode::PAPER_NODES {
+                let fp = SkylakeProxy::new(node).build();
+                let grid = FloorplanGrid::rasterize(&fp, 200.0);
+                let mut stack = StackDescription::client_cpu(grid.nx, grid.ny, 200.0);
+                stack.h_top = h;
+                stack.border_cells = (border_mm / 0.2) as usize;
+                let model = ThermalModel::new(stack);
+                let r = psi_tdp(&model, PAPER_THERMAL_BUDGET_C, 20.0);
+                psis.push(r.psi_c_per_w);
+            }
+            println!("border {border_mm}mm h {h:>6}: psi = {:.2} / {:.2} / {:.2}  (paper 0.96/1.13/1.40)",
+                psis[0], psis[1], psis[2]);
+        }
+    }
+}

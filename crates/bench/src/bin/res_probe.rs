@@ -1,0 +1,26 @@
+//! Grid-resolution sensitivity probe at 14 nm.
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn main() {
+    for cell in [200.0, 100.0] {
+        for b in ["hmmer", "gcc", "omnetpp", "povray"] {
+            let mut cfg = SimConfig::new(TechNode::N14, b);
+            cfg.cell_um = cell;
+            cfg.substeps = 2;
+            cfg.sample_instrs = 20_000;
+            cfg.warmup = Warmup::Idle;
+            cfg.max_time_s = 0.012;
+            cfg.stop_at_first_hotspot = true;
+            let r = run_sim(cfg);
+            let mltd = r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max);
+            let tmax = r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max);
+            println!(
+                "cell {:>3}um  {:<8} Tmax {:>6.1}  MLTD {:>5.1}  TUH {}",
+                cell, b, tmax, mltd,
+                hotgauge_core::report::fmt_tuh(r.tuh_s, 0.012)
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! §II-A — post-Dennard power-density trend (bzip2, 1 thread, 5 GHz/1.4 V).
+//!
+//! Paper: total power decreases roughly linearly per node while area halves,
+//! so density rises ~1.6x per node, exceeding 8 W/mm² at 7 nm — about 2x
+//! what Dennard scaling would have predicted.
+
+use hotgauge_core::experiments::sec2a_power_density;
+use hotgauge_core::report::TextTable;
+
+fn main() {
+    let rows = sec2a_power_density();
+    let mut table = TextTable::new(vec![
+        "node",
+        "core power [W]",
+        "core density [W/mm2]",
+        "peak unit density [W/mm2]",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.node.label().to_owned(),
+            format!("{:.1}", r.core_power_w),
+            format!("{:.2}", r.core_density_w_mm2),
+            format!("{:.1}", r.peak_unit_density_w_mm2),
+        ]);
+    }
+    println!("Sec. II-A: power density vs technology node (bzip2, 1 thread)\n");
+    println!("{}", table.render());
+    let d14 = rows[0].core_density_w_mm2;
+    let d7 = rows[2].core_density_w_mm2;
+    println!("density growth 14nm -> 7nm: {:.2}x (Dennard would be 1.0x)", d7 / d14);
+    println!("7nm core density > 8 W/mm2: {}", rows[2].core_density_w_mm2 > 8.0);
+}

@@ -1,0 +1,46 @@
+//! §IV-A — absolute-temperature scaling trends for gcc from ambient.
+//!
+//! Paper: the 7 nm die's mean temperature rises ~5x faster (reaching the
+//! low-thermal mark) and its max temperature passes 90 °C ~3x faster than
+//! the 14 nm die.
+
+use hotgauge_core::experiments::Fidelity;
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_core::report::fmt_time;
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let mut times = Vec::new();
+    for node in [TechNode::N14, TechNode::N7] {
+        let mut cfg = fid.apply(SimConfig::new(node, "gcc"));
+        cfg.warmup = Warmup::Cold;
+        cfg.max_time_s = fid.max_time_s.min(0.04);
+        let r = run_sim(cfg);
+        let start_mean = r.records.first().map(|x| x.mean_temp_c).unwrap_or(40.0);
+        let t_mean = r
+            .records
+            .iter()
+            .find(|x| x.mean_temp_c >= start_mean + 5.0)
+            .map(|x| x.time_s);
+        let t_90 = r
+            .records
+            .iter()
+            .find(|x| x.max_temp_c >= 90.0)
+            .map(|x| x.time_s);
+        println!(
+            "{}: mean +5C at {}, max>90C at {}",
+            node.label(),
+            t_mean.map(fmt_time).unwrap_or_else(|| "never".into()),
+            t_90.map(fmt_time).unwrap_or_else(|| "never".into())
+        );
+        times.push((t_mean, t_90));
+    }
+    if let (Some(a), Some(b)) = (times[0].0, times[1].0) {
+        println!("mean-heating speedup 7nm vs 14nm: {:.1}x  (paper: ~5x)", a / b);
+    }
+    if let (Some(a), Some(b)) = (times[0].1, times[1].1) {
+        println!("max>90C speedup 7nm vs 14nm: {:.1}x  (paper: ~3x)", a / b);
+    }
+}

@@ -1,0 +1,37 @@
+//! §V-B — IC-scaling limit study: how much uniform white space must be added
+//! to the 7 nm IC for its RMS severity to match the 14 nm baseline.
+//!
+//! Paper: the required area increase is between +75 % and +150 % depending
+//! on the benchmark — static mitigation has a very large hurdle.
+
+use hotgauge_core::experiments::{sec5b_ic_scaling, Fidelity};
+use hotgauge_core::report::TextTable;
+
+fn main() {
+    let fid = Fidelity::from_env();
+    let horizon = fid.max_time_s.min(0.02);
+    let benches = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
+        vec!["gcc", "bzip2", "hmmer", "povray", "milc", "gobmk", "namd", "sphinx3"]
+    } else {
+        vec!["gcc", "hmmer", "povray", "gobmk"]
+    };
+    let factors = [1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0];
+    let rows = sec5b_ic_scaling(&fid, &benches, &factors, horizon);
+    println!("Sec. V-B: 7nm IC area factor needed to match 14nm RMS severity\n");
+    let mut table = TextTable::new(vec!["benchmark", "14nm RMS", "7nm RMS", "needed area", "extra area"]);
+    for (bench, target, sweep, required) in &rows {
+        let (needed, extra) = match required {
+            Some(f) => (format!("{f:.2}x"), format!("+{:.0}%", (f - 1.0) * 100.0)),
+            None => (format!(">{:.2}x", factors.last().unwrap()), "insufficient".to_owned()),
+        };
+        table.row(vec![
+            bench.clone(),
+            format!("{target:.3}"),
+            format!("{:.3}", sweep.iter().find(|(f, _)| *f == 1.25).map(|(_, r)| *r).unwrap_or(0.0)),
+            needed,
+            extra,
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(paper: +75%..+150% depending on benchmark)");
+}

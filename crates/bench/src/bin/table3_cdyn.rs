@@ -1,0 +1,34 @@
+//! Table III — `C_dyn` percent error of the SPEC validation set.
+//!
+//! Paper: model vs measured silicon (i5-10310U @14 nm, i7-1165G7 @10 nm);
+//! average |error| 11 % at 14 nm and 20 % at 10 nm.
+
+use hotgauge_core::experiments::table3_rows;
+use hotgauge_core::report::TextTable;
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_power::validation::mean_abs_percent_error;
+
+fn main() {
+    let rows = table3_rows();
+    let mut table = TextTable::new(vec!["benchmark", "node", "silicon [nF]", "model [nF]", "error"]);
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.clone(),
+            r.node.label().to_owned(),
+            format!("{:.2}", r.silicon_nf),
+            format!("{:.2}", r.model_nf),
+            format!("{:+.0}%", r.percent_error()),
+        ]);
+    }
+    println!("Table III: C_dyn validation against published silicon measurements\n");
+    println!("{}", table.render());
+    for node in [TechNode::N14, TechNode::N10] {
+        let sub: Vec<_> = rows.iter().filter(|r| r.node == node).cloned().collect();
+        println!(
+            "abs. avg. error {}: {:.0}%  (paper: {}%)",
+            node.label(),
+            mean_abs_percent_error(&sub),
+            if node == TechNode::N14 { 11 } else { 20 },
+        );
+    }
+}

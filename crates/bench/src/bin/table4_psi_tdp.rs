@@ -1,0 +1,35 @@
+//! Table IV — Ψ_j,a and TDP of the thermal stack per technology node.
+//!
+//! Paper: Ψ = 0.96 / 1.13 / 1.40 °C/W and TDP = 63 / 53 / 43 W at
+//! 14 / 10 / 7 nm with a 60 °C thermal budget.
+
+use hotgauge_core::experiments::table4_rows;
+use hotgauge_core::report::TextTable;
+
+fn main() {
+    let cell_um: f64 = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
+        100.0
+    } else {
+        200.0
+    };
+    let rows = table4_rows(cell_um);
+    let mut table = TextTable::new(vec![
+        "node",
+        "Psi [C/W]",
+        "paper Psi",
+        "TDP [W]",
+        "paper TDP",
+    ]);
+    let paper = [(0.96, 63.0), (1.13, 53.0), (1.40, 43.0)];
+    for ((node, r), (pp, pt)) in rows.iter().zip(paper) {
+        table.row(vec![
+            node.label().to_owned(),
+            format!("{:.2}", r.psi_c_per_w),
+            format!("{pp:.2}"),
+            format!("{:.0}", r.tdp_w),
+            format!("{pt:.0}"),
+        ]);
+    }
+    println!("Table IV: junction-to-ambient resistance and TDP (60C budget)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,26 @@
+//! Dev tool: wall-clock cost of one worst-case (never-firing) run.
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+use std::time::Instant;
+
+fn main() {
+    for (cell, border) in [(150.0, 2.0), (120.0, 2.0)] {
+        let mut cfg = SimConfig::new(TechNode::N14, "lbm"); // memory-bound, never fires
+        cfg.cell_um = cell;
+        cfg.border_mm = border;
+        cfg.substeps = 1;
+        cfg.sample_instrs = 20_000;
+        cfg.max_time_s = 0.02;
+        cfg.warmup = Warmup::Idle;
+        cfg.stop_at_first_hotspot = true;
+        let t0 = Instant::now();
+        let r = run_sim(cfg);
+        println!(
+            "cell {cell}um border {border}mm: {:?} for {} windows (TUH {:?})",
+            t0.elapsed(),
+            r.records.len(),
+            r.tuh_s
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Benchmark harness for the HotGauge reproduction (see the `bin/` targets).

@@ -1,0 +1,253 @@
+//! Hotspot definition (§III-E, Definition 1) and automated detection
+//! (§III-F).
+//!
+//! A point `t` is a **hotspot** iff `t > T_th` and `t − n > MLTD_th` for some
+//! neighbor `n` within radius `r`. The naive detector checks every thermal
+//! pixel; the production detector first selects *candidates* — local maxima
+//! in both x and y — and evaluates MLTD only there, which "drastically
+//! reduces the computational load … while ensuring that the worst possible
+//! hotspots are still considered".
+
+use serde::{Deserialize, Serialize};
+
+use hotgauge_thermal::frame::ThermalFrame;
+
+use crate::mltd::{mltd_field, mltd_field_naive};
+use crate::severity::SeverityParams;
+
+/// Thresholds of Definition 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotspotParams {
+    /// Absolute temperature threshold `T_th`, °C.
+    pub t_threshold_c: f64,
+    /// MLTD threshold, °C.
+    pub mltd_threshold_c: f64,
+    /// Neighborhood radius `r`, meters.
+    pub radius_m: f64,
+}
+
+impl HotspotParams {
+    /// The paper's case-study values: `T_th` = 80 °C, `MLTD_th` = 25 °C,
+    /// `r` = 1 mm (§III-E).
+    pub fn paper_default() -> Self {
+        Self {
+            t_threshold_c: 80.0,
+            mltd_threshold_c: 25.0,
+            radius_m: 1e-3,
+        }
+    }
+}
+
+/// A detected hotspot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Cell x index.
+    pub ix: usize,
+    /// Cell y index.
+    pub iy: usize,
+    /// Temperature at the hotspot, °C.
+    pub temp_c: f64,
+    /// MLTD at the hotspot, °C.
+    pub mltd_c: f64,
+    /// Severity of the hotspot under the given severity parameters.
+    pub severity: f64,
+}
+
+/// Detects hotspots using the candidate (local-maxima) algorithm of Fig. 6.
+pub fn detect_hotspots(
+    frame: &ThermalFrame,
+    params: &HotspotParams,
+    severity: &SeverityParams,
+) -> Vec<Hotspot> {
+    let candidates = local_maxima(frame);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // MLTD for the whole frame: the sliding-window computation is cheap and
+    // candidate sets can be large on plateaus. (The candidate filter is what
+    // bounds the expensive per-candidate work in the general algorithm.)
+    let mltd = mltd_field(frame, params.radius_m);
+    candidates
+        .into_iter()
+        .filter_map(|(ix, iy)| {
+            let idx = iy * frame.nx + ix;
+            let t = frame.temps[idx];
+            let m = mltd[idx];
+            (t > params.t_threshold_c && m > params.mltd_threshold_c).then(|| Hotspot {
+                ix,
+                iy,
+                temp_c: t,
+                mltd_c: m,
+                severity: severity.severity(t, m),
+            })
+        })
+        .collect()
+}
+
+/// Reference implementation: applies Definition 1 to **every** pixel.
+/// Expensive; used for validation and the detection benchmark.
+pub fn detect_hotspots_naive(
+    frame: &ThermalFrame,
+    params: &HotspotParams,
+    severity: &SeverityParams,
+) -> Vec<Hotspot> {
+    let mltd = mltd_field_naive(frame, params.radius_m);
+    let mut out = Vec::new();
+    for iy in 0..frame.ny {
+        for ix in 0..frame.nx {
+            let idx = iy * frame.nx + ix;
+            let t = frame.temps[idx];
+            let m = mltd[idx];
+            if t > params.t_threshold_c && m > params.mltd_threshold_c {
+                out.push(Hotspot {
+                    ix,
+                    iy,
+                    temp_c: t,
+                    mltd_c: m,
+                    severity: severity.severity(t, m),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Hotspot candidates: cells that are local maxima along both x and y
+/// (ties allowed, so plateau tops are kept; boundary cells compare only
+/// in-bounds neighbors).
+pub fn local_maxima(frame: &ThermalFrame) -> Vec<(usize, usize)> {
+    let (nx, ny) = (frame.nx, frame.ny);
+    let at = |x: usize, y: usize| frame.temps[y * nx + x];
+    let mut out = Vec::new();
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let t = at(ix, iy);
+            let ok_x = (ix == 0 || at(ix - 1, iy) <= t) && (ix + 1 >= nx || at(ix + 1, iy) <= t);
+            let ok_y = (iy == 0 || at(ix, iy - 1) <= t) && (iy + 1 >= ny || at(ix, iy + 1) <= t);
+            if ok_x && ok_y {
+                out.push((ix, iy));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_from(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> f64) -> ThermalFrame {
+        let mut temps = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                temps.push(f(x, y));
+            }
+        }
+        ThermalFrame::new(nx, ny, 100e-6, temps)
+    }
+
+    fn gaussian_bump(cx: f64, cy: f64, amp: f64, sigma: f64) -> impl Fn(usize, usize) -> f64 {
+        move |x, y| {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            50.0 + amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp()
+        }
+    }
+
+    #[test]
+    fn cool_die_has_no_hotspots() {
+        let f = frame_from(40, 40, gaussian_bump(20.0, 20.0, 10.0, 4.0)); // peak 60 °C
+        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        assert!(hs.is_empty());
+    }
+
+    #[test]
+    fn sharp_hot_bump_is_detected_at_its_peak() {
+        let f = frame_from(40, 40, gaussian_bump(20.0, 20.0, 45.0, 3.0)); // peak 95 °C
+        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        assert!(!hs.is_empty());
+        let top = hs.iter().max_by(|a, b| a.temp_c.total_cmp(&b.temp_c)).unwrap();
+        assert_eq!((top.ix, top.iy), (20, 20));
+        assert!(top.mltd_c > 25.0);
+        assert!(top.severity > 0.5);
+    }
+
+    #[test]
+    fn hot_but_uniform_die_is_not_a_hotspot() {
+        // 95 °C everywhere: high temperature but no localized differential.
+        let f = frame_from(30, 30, |_, _| 95.0);
+        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        assert!(hs.is_empty(), "uniform heat is not a (localized) hotspot");
+        let naive = detect_hotspots_naive(
+            &f,
+            &HotspotParams::paper_default(),
+            &SeverityParams::cpu_default(),
+        );
+        assert!(naive.is_empty());
+    }
+
+    #[test]
+    fn wide_warm_bump_fails_mltd_within_radius() {
+        // A bump so wide that within 1 mm (10 cells) the drop is < 25 °C.
+        let f = frame_from(80, 80, gaussian_bump(40.0, 40.0, 45.0, 25.0));
+        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        assert!(hs.is_empty(), "gradual warmth should not trip the MLTD test");
+    }
+
+    #[test]
+    fn candidate_hotspots_are_a_subset_of_naive() {
+        let f = frame_from(50, 50, |x, y| {
+            50.0 + gaussian_bump(15.0, 15.0, 40.0, 3.0)(x, y) - 50.0
+                + gaussian_bump(35.0, 35.0, 38.0, 2.5)(x, y)
+                - 50.0
+        });
+        let p = HotspotParams::paper_default();
+        let s = SeverityParams::cpu_default();
+        let fast = detect_hotspots(&f, &p, &s);
+        let naive = detect_hotspots_naive(&f, &p, &s);
+        assert!(!fast.is_empty());
+        for h in &fast {
+            assert!(
+                naive.iter().any(|n| n.ix == h.ix && n.iy == h.iy),
+                "candidate ({}, {}) not confirmed by the naive detector",
+                h.ix,
+                h.iy
+            );
+        }
+        // The worst hotspot (max temperature) is found by both.
+        let fmax = fast.iter().map(|h| h.temp_c).fold(0.0, f64::max);
+        let nmax = naive.iter().map(|h| h.temp_c).fold(0.0, f64::max);
+        assert!((fmax - nmax).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_distinct_hotspots_are_both_found() {
+        let f = frame_from(60, 60, |x, y| {
+            let a = gaussian_bump(15.0, 15.0, 45.0, 3.0)(x, y);
+            let b = gaussian_bump(45.0, 45.0, 42.0, 3.0)(x, y);
+            a.max(b)
+        });
+        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        let near = |hx: usize, hy: usize| {
+            hs.iter()
+                .any(|h| (h.ix as isize - hx as isize).abs() <= 1 && (h.iy as isize - hy as isize).abs() <= 1)
+        };
+        assert!(near(15, 15), "first bump missed");
+        assert!(near(45, 45), "second bump missed");
+    }
+
+    #[test]
+    fn local_maxima_of_monotone_field_is_corner() {
+        let f = frame_from(10, 10, |x, y| (x + y) as f64);
+        let m = local_maxima(&f);
+        assert!(m.contains(&(9, 9)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn plateau_cells_are_candidates() {
+        let f = frame_from(10, 10, |_, _| 50.0);
+        let m = local_maxima(&f);
+        assert_eq!(m.len(), 100, "a flat field is all ties");
+    }
+}

@@ -1,0 +1,133 @@
+//! Hotspot location attribution (§IV-D, Fig. 12): mapping detected hotspot
+//! cells back to floorplan units and counting occurrences per unit.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use hotgauge_floorplan::floorplan::Floorplan;
+use hotgauge_floorplan::grid::FloorplanGrid;
+
+use crate::detect::Hotspot;
+
+/// Accumulated hotspot counts per unit label (aggregated across cores, as in
+/// Fig. 12: `cALU`, `fpIWin`, `RATs`, ...).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HotspotCensus {
+    counts: BTreeMap<String, u64>,
+}
+
+impl HotspotCensus {
+    /// An empty census.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a batch of hotspots detected on a frame aligned with `grid`.
+    pub fn record(&mut self, hotspots: &[Hotspot], grid: &FloorplanGrid, fp: &Floorplan) {
+        for h in hotspots {
+            let idx = h.iy * grid.nx + h.ix;
+            let label = match grid.owner(idx) {
+                Some(u) => fp.units[u].kind.label().to_owned(),
+                None => "whitespace".to_owned(),
+            };
+            *self.counts.entry(label).or_insert(0) += 1;
+        }
+    }
+
+    /// Merges another census into this one.
+    pub fn merge(&mut self, other: &HotspotCensus) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Total recorded hotspots.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Counts sorted descending, as `(label, count)`.
+    pub fn ranked(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .counts
+            .iter()
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Count for one unit label.
+    pub fn count(&self, label: &str) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotgauge_floorplan::geometry::Rect;
+    use hotgauge_floorplan::unit::{FloorplanUnit, UnitKind};
+
+    fn setup() -> (Floorplan, FloorplanGrid) {
+        let fp = Floorplan::new(
+            "t",
+            Rect::new(0.0, 0.0, 2.0, 1.0),
+            vec![
+                FloorplanUnit::new("a.cALU", UnitKind::CAlu, Some(0), Rect::new(0.0, 0.0, 1.0, 1.0)),
+                FloorplanUnit::new("a.ROB", UnitKind::Rob, Some(0), Rect::new(1.0, 0.0, 1.0, 1.0)),
+            ],
+        );
+        let grid = FloorplanGrid::rasterize(&fp, 100.0);
+        (fp, grid)
+    }
+
+    fn hotspot_at(ix: usize, iy: usize) -> Hotspot {
+        Hotspot {
+            ix,
+            iy,
+            temp_c: 90.0,
+            mltd_c: 30.0,
+            severity: 0.8,
+        }
+    }
+
+    #[test]
+    fn counts_attribute_to_owning_unit() {
+        let (fp, grid) = setup();
+        let mut c = HotspotCensus::new();
+        c.record(&[hotspot_at(2, 5), hotspot_at(3, 5), hotspot_at(15, 5)], &grid, &fp);
+        assert_eq!(c.count("cALU"), 2);
+        assert_eq!(c.count("ROB"), 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn ranked_sorts_descending() {
+        let (fp, grid) = setup();
+        let mut c = HotspotCensus::new();
+        c.record(&[hotspot_at(2, 5), hotspot_at(3, 5), hotspot_at(15, 5)], &grid, &fp);
+        let r = c.ranked();
+        assert_eq!(r[0].0, "cALU");
+        assert_eq!(r[0].1, 2);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let (fp, grid) = setup();
+        let mut a = HotspotCensus::new();
+        a.record(&[hotspot_at(2, 5)], &grid, &fp);
+        let mut b = HotspotCensus::new();
+        b.record(&[hotspot_at(3, 5)], &grid, &fp);
+        a.merge(&b);
+        assert_eq!(a.count("cALU"), 2);
+    }
+
+    #[test]
+    fn unknown_count_is_zero() {
+        let c = HotspotCensus::new();
+        assert_eq!(c.count("AVX512"), 0);
+        assert_eq!(c.total(), 0);
+    }
+}

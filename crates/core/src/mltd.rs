@@ -1,0 +1,238 @@
+//! Maximum Localized Temperature Difference (MLTD, §III-E).
+//!
+//! `MLTD(p) = T(p) − min{ T(n) : ‖n − p‖ ≤ r }` — the largest temperature
+//! drop from a point to any neighbor within radius `r` (1 mm in the paper:
+//! roughly the distance covered in one clock cycle, kept fixed across nodes
+//! because global wires do not scale).
+//!
+//! Two implementations are provided: a direct `O(N · r²)` reference and a
+//! sliding-window-minimum version (`O(N · r)`) used by the pipeline; the
+//! benchmark harness compares them (the paper makes the same
+//! naive-vs-optimized argument for hotspot detection, §III-F).
+
+use hotgauge_thermal::frame::ThermalFrame;
+
+/// Computes the MLTD field naively (reference implementation).
+pub fn mltd_field_naive(frame: &ThermalFrame, radius_m: f64) -> Vec<f64> {
+    let r_cells = (radius_m / frame.cell_m).round() as isize;
+    let (nx, ny) = (frame.nx as isize, frame.ny as isize);
+    let mut out = vec![0.0; frame.temps.len()];
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let t = frame.temps[(iy * nx + ix) as usize];
+            let mut min = t;
+            for dy in -r_cells..=r_cells {
+                for dx in -r_cells..=r_cells {
+                    if dx * dx + dy * dy > r_cells * r_cells {
+                        continue;
+                    }
+                    let (x, y) = (ix + dx, iy + dy);
+                    if x < 0 || y < 0 || x >= nx || y >= ny {
+                        continue;
+                    }
+                    let v = frame.temps[(y * nx + x) as usize];
+                    if v < min {
+                        min = v;
+                    }
+                }
+            }
+            out[(iy * nx + ix) as usize] = t - min;
+        }
+    }
+    out
+}
+
+/// Computes the MLTD field with per-row sliding-window minima (deque
+/// algorithm), then a column-wise combination over the disc's chords.
+pub fn mltd_field(frame: &ThermalFrame, radius_m: f64) -> Vec<f64> {
+    let r_cells = (radius_m / frame.cell_m).round() as isize;
+    if r_cells <= 0 {
+        return vec![0.0; frame.temps.len()];
+    }
+    let (nx, ny) = (frame.nx, frame.ny);
+
+    // Precompute the horizontal half-width of the disc at each |dy|.
+    let half_w: Vec<isize> = (0..=r_cells)
+        .map(|dy| (((r_cells * r_cells - dy * dy) as f64).sqrt()).floor() as isize)
+        .collect();
+
+    // For each distinct half-width, the sliding-window minimum of every row.
+    // Collect which |dy| use which width to avoid recomputation.
+    let mut width_rows: Vec<Vec<f64>> = Vec::with_capacity(half_w.len());
+    for &w in &half_w {
+        width_rows.push(rows_window_min(&frame.temps, nx, ny, w));
+    }
+
+    let mut out = vec![f64::INFINITY; nx * ny];
+    for dy in -r_cells..=r_cells {
+        let w_idx = dy.unsigned_abs();
+        let mins = &width_rows[w_idx];
+        for iy in 0..ny as isize {
+            let sy = iy + dy;
+            if sy < 0 || sy >= ny as isize {
+                continue;
+            }
+            let src = &mins[(sy as usize) * nx..(sy as usize + 1) * nx];
+            let dst = &mut out[(iy as usize) * nx..(iy as usize + 1) * nx];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                if s < *d {
+                    *d = s;
+                }
+            }
+        }
+    }
+
+    out.iter()
+        .zip(&frame.temps)
+        .map(|(&min, &t)| t - min)
+        .collect()
+}
+
+/// Sliding-window minimum of half-width `w` applied to every row.
+fn rows_window_min(temps: &[f64], nx: usize, ny: usize, w: isize) -> Vec<f64> {
+    let w = w.max(0) as usize;
+    let mut out = vec![0.0; nx * ny];
+    let mut deque: Vec<usize> = Vec::with_capacity(nx);
+    for iy in 0..ny {
+        let row = &temps[iy * nx..(iy + 1) * nx];
+        deque.clear();
+        let mut head = 0usize;
+        // Classic monotonic deque over windows [i-w, i+w].
+        for i in 0..nx + w {
+            if i < nx {
+                while deque.len() > head && row[*deque.last().unwrap()] >= row[i] {
+                    deque.pop();
+                }
+                deque.push(i);
+            }
+            if i >= w {
+                let center = i - w;
+                // Drop indices left of the window.
+                while deque.len() > head && deque[head] + w < center {
+                    head += 1;
+                }
+                out[iy * nx + center] = row[deque[head]];
+            }
+        }
+    }
+    out
+}
+
+/// Maximum MLTD over the frame.
+pub fn max_mltd(frame: &ThermalFrame, radius_m: f64) -> f64 {
+    mltd_field(frame, radius_m)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_from(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> f64) -> ThermalFrame {
+        let mut temps = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                temps.push(f(x, y));
+            }
+        }
+        ThermalFrame::new(nx, ny, 100e-6, temps) // 100 µm cells
+    }
+
+    #[test]
+    fn uniform_frame_has_zero_mltd() {
+        let f = frame_from(20, 20, |_, _| 55.0);
+        let m = mltd_field(&f, 1e-3);
+        assert!(m.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_hot_cell_mltd_equals_contrast() {
+        let f = frame_from(31, 31, |x, y| if x == 15 && y == 15 { 90.0 } else { 50.0 });
+        let m = mltd_field(&f, 1e-3);
+        assert!((m[15 * 31 + 15] - 40.0).abs() < 1e-12);
+        // A point adjacent to the hot cell sees only cold neighbors below it.
+        assert!(m[15 * 31 + 14].abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_limits_visibility() {
+        // Hot plateau wider than the radius: its center cannot see the cold
+        // region, so its MLTD is 0; its edge can.
+        let f = frame_from(61, 61, |x, y| {
+            let dx = x as f64 - 30.0;
+            let dy = y as f64 - 30.0;
+            if (dx * dx + dy * dy).sqrt() <= 20.0 {
+                90.0
+            } else {
+                50.0
+            }
+        });
+        let m = mltd_field(&f, 1e-3); // radius = 10 cells < plateau radius 20
+        assert!(m[30 * 61 + 30].abs() < 1e-12, "center sees only hot cells");
+        assert!((m[30 * 61 + 12] - 40.0).abs() < 1e-12, "edge sees cold cells");
+    }
+
+    #[test]
+    fn optimized_matches_naive_on_random_fields() {
+        // Deterministic pseudo-random field.
+        let mut x = 0x243F6A8885A308D3u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            40.0 + (x % 1000) as f64 / 20.0
+        };
+        for (nx, ny, r) in [(17, 23, 3e-4), (40, 40, 1e-3), (9, 9, 2e-3)] {
+            let f = frame_from(nx, ny, |_, _| rnd());
+            let a = mltd_field_naive(&f, r);
+            let b = mltd_field(&f, r);
+            for i in 0..a.len() {
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-9,
+                    "mismatch at {i}: naive {} vs fast {} (nx={nx}, ny={ny})",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mltd_nonnegative() {
+        let f = frame_from(25, 25, |x, y| 40.0 + ((x * 7 + y * 13) % 29) as f64);
+        assert!(mltd_field(&f, 1e-3).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn max_mltd_picks_global_peak() {
+        let f = frame_from(31, 31, |x, y| {
+            if x == 5 && y == 5 {
+                80.0
+            } else if x == 25 && y == 25 {
+                95.0
+            } else {
+                50.0
+            }
+        });
+        assert!((max_mltd(&f, 1e-3) - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_gives_zero_field() {
+        let f = frame_from(10, 10, |x, _| x as f64);
+        let m = mltd_field(&f, 1e-9);
+        assert!(m.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn edge_cells_use_truncated_neighborhoods() {
+        // Gradient field: corner cell compares against in-bounds cells only.
+        let f = frame_from(12, 12, |x, y| (x + y) as f64);
+        let m = mltd_field(&f, 3e-4); // 3-cell radius
+        // Corner (11,11) = 22 sees min at (8, 11)/(11, 8) = 19 -> MLTD 3... but
+        // the disc includes (9,9)=18? dx=-2,dy=-2: 8 > 9 -> allowed (4+4=8<=9).
+        assert!((m[11 * 12 + 11] - 4.0).abs() < 1e-12);
+        assert_eq!(m[0], 0.0); // global minimum has zero MLTD
+    }
+}

@@ -1,0 +1,173 @@
+//! Time-series and distribution statistics used by the evaluation figures:
+//! percentiles (Fig. 10), box-and-whisker stats (Fig. 11), and the RMS
+//! severity summary of the IC-scaling limit study (§V-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of unsorted data.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is out of range.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p));
+    let mut v: Vec<f64> = data.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Box-and-whisker summary (Fig. 11: box = Q1..Q3, whiskers = min/max).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary of unsorted data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn of(data: &[f64]) -> Self {
+        Self {
+            min: percentile(data, 0.0),
+            q1: percentile(data, 25.0),
+            median: percentile(data, 50.0),
+            q3: percentile(data, 75.0),
+            max: percentile(data, 100.0),
+        }
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Root-mean-square of a sequence. The paper uses `RMS(sev(t))` so that
+/// "spending 1 ms at severity X is worse than spending 2 ms at severity X/2".
+pub fn rms(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v * v).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// A sampled scalar time series (e.g. peak severity per thermal step).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sample times, seconds.
+    pub times_s: Vec<f64>,
+    /// Sample values.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Appends a sample.
+    pub fn push(&mut self, time_s: f64, value: f64) {
+        self.times_s.push(time_s);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// RMS of the values.
+    pub fn rms(&self) -> f64 {
+        rms(&self.values)
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// First time at which the value reaches `threshold`, if ever.
+    pub fn first_crossing(&self, threshold: f64) -> Option<f64> {
+        self.times_s
+            .iter()
+            .zip(&self.values)
+            .find(|(_, &v)| v >= threshold)
+            .map(|(&t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_of_known_data() {
+        let d = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&d, 0.0), 1.0);
+        assert_eq!(percentile(&d, 50.0), 3.0);
+        assert_eq!(percentile(&d, 100.0), 5.0);
+        assert_eq!(percentile(&d, 25.0), 2.0);
+        // Interpolation between ranks.
+        let d2 = [0.0, 10.0];
+        assert_eq!(percentile(&d2, 50.0), 5.0);
+    }
+
+    #[test]
+    fn box_stats() {
+        let d = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = BoxStats::of(&d);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.iqr(), 2.0);
+    }
+
+    #[test]
+    fn rms_weights_peaks_more_than_mean() {
+        // Same mean, different RMS: 1 ms at X beats 2 ms at X/2.
+        let spiky = [1.0, 0.0];
+        let flat = [0.5, 0.5];
+        assert!(rms(&spiky) > rms(&flat));
+        assert_eq!(rms(&[]), 0.0);
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_series_crossing() {
+        let mut s = TimeSeries::default();
+        s.push(0.0, 0.1);
+        s.push(1e-3, 0.4);
+        s.push(2e-3, 0.8);
+        assert_eq!(s.first_crossing(0.5), Some(2e-3));
+        assert_eq!(s.first_crossing(0.9), None);
+        assert_eq!(s.len(), 3);
+        assert!((s.max() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+}

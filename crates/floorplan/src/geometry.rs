@@ -1,0 +1,237 @@
+//! Planar geometry primitives used by floorplans and thermal grids.
+//!
+//! All coordinates are in **millimeters** with the origin at the lower-left
+//! corner of the die; `x` grows to the right and `y` grows upward.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the die surface, in millimeters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in millimeters.
+    pub x: f64,
+    /// Vertical coordinate in millimeters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point, in millimeters.
+    pub fn distance(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle, in millimeters.
+///
+/// `x`/`y` give the lower-left corner; `w`/`h` are the (non-negative) extents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner x, millimeters.
+    pub x: f64,
+    /// Lower-left corner y, millimeters.
+    pub y: f64,
+    /// Width, millimeters.
+    pub w: f64,
+    /// Height, millimeters.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is negative or non-finite.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(
+            w.is_finite() && h.is_finite() && w >= 0.0 && h >= 0.0,
+            "rectangle extents must be finite and non-negative (w={w}, h={h})"
+        );
+        Self { x, y, w, h }
+    }
+
+    /// A zero-area rectangle at the origin.
+    pub fn zero() -> Self {
+        Self::new(0.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Area in square millimeters.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// The right edge (`x + w`).
+    pub fn x2(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// The top edge (`y + h`).
+    pub fn y2(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// The center point of the rectangle.
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Aspect ratio `w / h`; infinite if `h == 0`.
+    pub fn aspect(&self) -> f64 {
+        self.w / self.h
+    }
+
+    /// Whether `p` lies inside the rectangle (closed on the lower/left edges,
+    /// open on the upper/right edges so that adjacent tiles do not both claim
+    /// a shared boundary point).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.x2() && p.y >= self.y && p.y < self.y2()
+    }
+
+    /// Whether the two rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.intersection_area(other) > 0.0
+    }
+
+    /// Area of the overlap between the two rectangles, in mm².
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let ox = overlap_1d(self.x, self.x2(), other.x, other.x2());
+        let oy = overlap_1d(self.y, self.y2(), other.y, other.y2());
+        ox * oy
+    }
+
+    /// The overlapping region, if it has positive area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x1 = self.x.max(other.x);
+        let y1 = self.y.max(other.y);
+        let x2 = self.x2().min(other.x2());
+        let y2 = self.y2().min(other.y2());
+        if x2 > x1 && y2 > y1 {
+            Some(Rect::new(x1, y1, x2 - x1, y2 - y1))
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle containing both inputs.
+    pub fn union_bbox(&self, other: &Rect) -> Rect {
+        let x1 = self.x.min(other.x);
+        let y1 = self.y.min(other.y);
+        let x2 = self.x2().max(other.x2());
+        let y2 = self.y2().max(other.y2());
+        Rect::new(x1, y1, x2 - x1, y2 - y1)
+    }
+
+    /// Translates the rectangle by `(dx, dy)` millimeters.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+
+    /// Scales the rectangle about the global origin by `s` (both position and
+    /// extents). This is the transform used for uniform die scaling across
+    /// technology nodes and for IC white-space scaling.
+    pub fn scaled(&self, s: f64) -> Rect {
+        assert!(s.is_finite() && s > 0.0, "scale factor must be positive");
+        Rect::new(self.x * s, self.y * s, self.w * s, self.h * s)
+    }
+
+    /// Minimum Euclidean distance between this rectangle and a point
+    /// (zero if the point is inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.x - p.x).max(0.0).max(p.x - self.x2());
+        let dy = (self.y - p.y).max(0.0).max(p.y - self.y2());
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+fn overlap_1d(a1: f64, a2: f64, b1: f64, b2: f64) -> f64 {
+    (a2.min(b2) - a1.max(b1)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_edges() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.x2(), 4.0);
+        assert_eq!(r.y2(), 6.0);
+        let c = r.center();
+        assert_eq!(c.x, 2.5);
+        assert_eq!(c.y, 4.0);
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(0.5, 0.5)));
+        assert!(!r.contains(Point::new(1.0, 0.5)));
+        assert!(!r.contains(Point::new(0.5, 1.0)));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 1.0, 1.0);
+        assert!(a.intersection(&b).is_none());
+        assert_eq!(a.intersection_area(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(1.0, 1.0, 1.0, 1.0));
+        assert_eq!(a.intersection_area(&b), 1.0);
+    }
+
+    #[test]
+    fn touching_rectangles_do_not_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 1.0, 1.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn union_bbox_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(3.0, 4.0, 1.0, 2.0);
+        let u = a.union_bbox(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn scaled_scales_area_quadratically() {
+        let r = Rect::new(1.0, 1.0, 2.0, 3.0);
+        let s = r.scaled(2.0);
+        assert!((s.area() - 4.0 * r.area()).abs() < 1e-12);
+        assert_eq!(s.x, 2.0);
+    }
+
+    #[test]
+    fn distance_to_point_inside_is_zero() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.distance_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert!((r.distance_to_point(Point::new(3.0, 0.0)) - 1.0).abs() < 1e-12);
+        let d = r.distance_to_point(Point::new(3.0, 3.0));
+        assert!((d - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_extent_panics() {
+        let _ = Rect::new(0.0, 0.0, -1.0, 1.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Rasterization of floorplans onto the uniform thermal grid.
+//!
+//! The thermal model (like 3D-ICE) works on a regular in-plane grid — the
+//! paper uses a 100 µm resolution (Fig. 2 caption). This module maps each
+//! floorplan unit to the cells it covers, with exact area weighting, so that
+//! a per-unit power vector can be turned into a per-cell power-density map
+//! that conserves total power.
+
+use serde::{Deserialize, Serialize};
+
+use crate::floorplan::Floorplan;
+use crate::geometry::Rect;
+
+/// A floorplan rasterized onto a regular grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FloorplanGrid {
+    /// Number of cells along x.
+    pub nx: usize,
+    /// Number of cells along y.
+    pub ny: usize,
+    /// Cell edge length in millimeters.
+    pub cell_mm: f64,
+    /// Grid origin (lower-left corner of cell (0,0)) in die coordinates, mm.
+    pub origin_x: f64,
+    /// Grid origin y, mm.
+    pub origin_y: f64,
+    /// For each cell (row-major, `iy * nx + ix`), the index of the unit
+    /// covering the majority of the cell, or `-1` for white space.
+    pub cell_owner: Vec<i32>,
+    /// For each unit, the list of `(cell index, fraction of the unit's area
+    /// inside that cell)`; fractions sum to ~1 per unit.
+    pub coverage: Vec<Vec<(usize, f64)>>,
+}
+
+impl FloorplanGrid {
+    /// Rasterizes `fp` at the given cell size (micrometers) with uniform
+    /// intra-unit power density.
+    ///
+    /// The grid covers the die exactly, rounding the cell counts up so no
+    /// unit area is lost at the boundary.
+    pub fn rasterize(fp: &Floorplan, cell_um: f64) -> Self {
+        Self::rasterize_with_concentration(fp, cell_um, None)
+    }
+
+    /// Rasterizes `fp` with an intra-unit power-concentration model.
+    ///
+    /// `concentration = Some((area_frac, power_frac))` places `power_frac`
+    /// of each unit's power into a centered sub-rectangle covering
+    /// `area_frac` of its area (same aspect ratio), and the remainder in the
+    /// surrounding ring. McPAT-granularity units are internally non-uniform —
+    /// register files have hot read ports, schedulers have hot wakeup logic —
+    /// and modern cores have "upwards of 50 units" (§II-C) where this model
+    /// has 22, so concentrating intra-unit power reproduces the sharper
+    /// peaks a finer floorplan would show.
+    pub fn rasterize_with_concentration(
+        fp: &Floorplan,
+        cell_um: f64,
+        concentration: Option<(f64, f64)>,
+    ) -> Self {
+        assert!(cell_um.is_finite() && cell_um > 0.0, "cell size must be positive");
+        if let Some((af, pf)) = concentration {
+            assert!(
+                (0.0..1.0).contains(&af) && (0.0..=1.0).contains(&pf) && af > 0.0,
+                "bad concentration ({af}, {pf})"
+            );
+        }
+        let cell_mm = cell_um / 1000.0;
+        let nx = (fp.die.w / cell_mm).ceil().max(1.0) as usize;
+        let ny = (fp.die.h / cell_mm).ceil().max(1.0) as usize;
+        let mut owner_area = vec![0.0f64; nx * ny];
+        let mut cell_owner = vec![-1i32; nx * ny];
+        let mut coverage = Vec::with_capacity(fp.units.len());
+
+        for (ui, unit) in fp.units.iter().enumerate() {
+            let r = unit.rect;
+            let unit_area = r.area();
+            // Hot sub-rectangle (same center and aspect, area_frac of area).
+            let hot = concentration.map(|(af, pf)| {
+                let s = af.sqrt();
+                let (hw, hh) = (r.w * s, r.h * s);
+                let c = r.center();
+                (Rect::new(c.x - hw / 2.0, c.y - hh / 2.0, hw, hh), pf)
+            });
+            let ix0 = (((r.x - fp.die.x) / cell_mm).floor() as isize).max(0) as usize;
+            let iy0 = (((r.y - fp.die.y) / cell_mm).floor() as isize).max(0) as usize;
+            let ix1 = ((((r.x2() - fp.die.x) / cell_mm).ceil() as usize).max(ix0 + 1)).min(nx);
+            let iy1 = ((((r.y2() - fp.die.y) / cell_mm).ceil() as usize).max(iy0 + 1)).min(ny);
+            let mut cells = Vec::new();
+            for iy in iy0..iy1 {
+                for ix in ix0..ix1 {
+                    let cell = Rect::new(
+                        fp.die.x + ix as f64 * cell_mm,
+                        fp.die.y + iy as f64 * cell_mm,
+                        cell_mm,
+                        cell_mm,
+                    );
+                    let a = r.intersection_area(&cell);
+                    if a > 0.0 {
+                        let idx = iy * nx + ix;
+                        let frac = match hot {
+                            None => a / unit_area,
+                            Some((hr, pf)) => {
+                                let a_hot = hr.intersection_area(&cell);
+                                let a_cold = a - a_hot;
+                                let hot_area = hr.area();
+                                let cold_area = unit_area - hot_area;
+                                pf * a_hot / hot_area
+                                    + if cold_area > 0.0 {
+                                        (1.0 - pf) * a_cold / cold_area
+                                    } else {
+                                        0.0
+                                    }
+                            }
+                        };
+                        cells.push((idx, frac));
+                        if a > owner_area[idx] {
+                            owner_area[idx] = a;
+                            cell_owner[idx] = ui as i32;
+                        }
+                    }
+                }
+            }
+            coverage.push(cells);
+        }
+
+        Self {
+            nx,
+            ny,
+            cell_mm,
+            origin_x: fp.die.x,
+            origin_y: fp.die.y,
+            cell_owner,
+            coverage,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Converts a per-unit power vector (watts, same order as
+    /// `Floorplan::units`) to per-cell power (watts). Power is conserved:
+    /// the output sums to the input total (up to floating-point error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_powers.len()` differs from the rasterized unit count.
+    pub fn power_map(&self, unit_powers: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            unit_powers.len(),
+            self.coverage.len(),
+            "power vector length must match unit count"
+        );
+        let mut map = vec![0.0f64; self.cell_count()];
+        for (cells, &p) in self.coverage.iter().zip(unit_powers) {
+            for &(idx, frac) in cells {
+                map[idx] += p * frac;
+            }
+        }
+        map
+    }
+
+    /// Writes per-cell power into `out` (accumulating onto existing values).
+    pub fn accumulate_power_map(&self, unit_powers: &[f64], out: &mut [f64]) {
+        assert_eq!(unit_powers.len(), self.coverage.len());
+        assert_eq!(out.len(), self.cell_count());
+        for (cells, &p) in self.coverage.iter().zip(unit_powers) {
+            for &(idx, frac) in cells {
+                out[idx] += p * frac;
+            }
+        }
+    }
+
+    /// The cell index containing the die coordinate `(x, y)` in mm, if inside
+    /// the grid.
+    pub fn cell_at(&self, x: f64, y: f64) -> Option<usize> {
+        let ix = ((x - self.origin_x) / self.cell_mm).floor();
+        let iy = ((y - self.origin_y) / self.cell_mm).floor();
+        if ix < 0.0 || iy < 0.0 {
+            return None;
+        }
+        let (ix, iy) = (ix as usize, iy as usize);
+        if ix >= self.nx || iy >= self.ny {
+            return None;
+        }
+        Some(iy * self.nx + ix)
+    }
+
+    /// Center coordinates (mm) of the given cell.
+    pub fn cell_center(&self, idx: usize) -> (f64, f64) {
+        let ix = idx % self.nx;
+        let iy = idx / self.nx;
+        (
+            self.origin_x + (ix as f64 + 0.5) * self.cell_mm,
+            self.origin_y + (iy as f64 + 0.5) * self.cell_mm,
+        )
+    }
+
+    /// Owner unit index of the cell, or `None` for white space.
+    pub fn owner(&self, idx: usize) -> Option<usize> {
+        let o = self.cell_owner[idx];
+        (o >= 0).then_some(o as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skylake::SkylakeProxy;
+    use crate::tech::TechNode;
+    use crate::unit::{FloorplanUnit, UnitKind};
+
+    fn simple_plan() -> Floorplan {
+        Floorplan::new(
+            "g",
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            vec![
+                FloorplanUnit::new("a", UnitKind::Rob, None, Rect::new(0.0, 0.0, 0.5, 1.0)),
+                FloorplanUnit::new("b", UnitKind::CAlu, None, Rect::new(0.5, 0.0, 0.5, 1.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn coverage_fractions_sum_to_one() {
+        let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
+        for cells in &g.coverage {
+            let s: f64 = cells.iter().map(|(_, f)| f).sum();
+            assert!((s - 1.0).abs() < 1e-9, "coverage sum {s}");
+        }
+    }
+
+    #[test]
+    fn power_map_conserves_power() {
+        let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
+        let map = g.power_map(&[3.0, 5.0]);
+        let total: f64 = map.iter().sum();
+        assert!((total - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_lands_in_correct_half() {
+        let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
+        let map = g.power_map(&[1.0, 0.0]);
+        // All power in the left half.
+        for idx in 0..g.cell_count() {
+            let (x, _) = g.cell_center(idx);
+            if x > 0.5 {
+                assert_eq!(map[idx], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_assignment() {
+        let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
+        let left = g.cell_at(0.25, 0.5).unwrap();
+        let right = g.cell_at(0.75, 0.5).unwrap();
+        assert_eq!(g.owner(left), Some(0));
+        assert_eq!(g.owner(right), Some(1));
+    }
+
+    #[test]
+    fn cell_at_out_of_bounds() {
+        let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
+        assert!(g.cell_at(-0.1, 0.5).is_none());
+        assert!(g.cell_at(0.5, 1.5).is_none());
+    }
+
+    #[test]
+    fn skylake_rasterizes_and_conserves_power() {
+        let fp = SkylakeProxy::new(TechNode::N7).build();
+        let g = FloorplanGrid::rasterize(&fp, 100.0);
+        let powers: Vec<f64> = (0..fp.units.len()).map(|i| (i % 5) as f64 * 0.1).collect();
+        let map = g.power_map(&powers);
+        let total_in: f64 = powers.iter().sum();
+        let total_out: f64 = map.iter().sum();
+        assert!((total_in - total_out).abs() < 1e-6 * total_in.max(1.0));
+        // Essentially every cell should have an owner (die fully tiled).
+        let orphans = (0..g.cell_count()).filter(|&i| g.owner(i).is_none()).count();
+        assert!(
+            (orphans as f64) < 0.02 * g.cell_count() as f64,
+            "too many orphan cells: {orphans}/{}",
+            g.cell_count()
+        );
+    }
+
+    #[test]
+    fn concentration_conserves_power_and_peaks_in_center() {
+        let fp = simple_plan();
+        let g = FloorplanGrid::rasterize_with_concentration(&fp, 50.0, Some((0.35, 0.7)));
+        for cells in &g.coverage {
+            let s: f64 = cells.iter().map(|(_, f)| f).sum();
+            assert!((s - 1.0).abs() < 1e-9, "coverage sum {s}");
+        }
+        let map = g.power_map(&[1.0, 0.0]);
+        let total: f64 = map.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Center cell of unit a (0..0.5 x 0..1) is denser than its corner.
+        let center = g.cell_at(0.25, 0.5).unwrap();
+        let corner = g.cell_at(0.02, 0.02).unwrap();
+        assert!(
+            map[center] > 1.5 * map[corner],
+            "center {} vs corner {}",
+            map[center],
+            map[corner]
+        );
+    }
+
+    #[test]
+    fn concentration_none_matches_plain_rasterize() {
+        let fp = simple_plan();
+        let a = FloorplanGrid::rasterize(&fp, 100.0);
+        let b = FloorplanGrid::rasterize_with_concentration(&fp, 100.0, None);
+        assert_eq!(a.power_map(&[2.0, 3.0]), b.power_map(&[2.0, 3.0]));
+    }
+
+    #[test]
+    fn accumulate_power_map_adds_onto_existing() {
+        let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
+        let mut out = vec![1.0; g.cell_count()];
+        g.accumulate_power_map(&[3.0, 5.0], &mut out);
+        let total: f64 = out.iter().sum();
+        assert!((total - (g.cell_count() as f64 + 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_center_roundtrip() {
+        let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
+        for idx in [0, 5, g.cell_count() - 1] {
+            let (x, y) = g.cell_center(idx);
+            assert_eq!(g.cell_at(x, y), Some(idx));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Technology-node scaling rules.
+//!
+//! The paper extends McPAT below 22 nm using standard transistor scaling
+//! trends: **50 % area scaling node to node and a 20 % decrease in `C_dyn`**
+//! (§III-B, citing Auth '17, Shahidi '19, Yeap '19). The floorplan layout and
+//! processor composition are kept constant across nodes (§IV footnote 3);
+//! only the area is scaled.
+
+use serde::{Deserialize, Serialize};
+
+/// A CMOS process node supported by the model.
+///
+/// `N14`, `N10`, and `N7` are the nodes evaluated in the paper's case study;
+/// `N5` is provided because the paper notes "it is even possible to scale
+/// beyond 7nm if desired".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TechNode {
+    /// 14 nm (Skylake-class baseline).
+    N14,
+    /// 10 nm.
+    N10,
+    /// 7 nm.
+    N7,
+    /// 5 nm (extrapolated, beyond the paper's case study).
+    N5,
+}
+
+impl TechNode {
+    /// The three nodes used in the paper's case study.
+    pub const PAPER_NODES: [TechNode; 3] = [TechNode::N14, TechNode::N10, TechNode::N7];
+
+    /// All supported nodes, newest last.
+    pub const ALL: [TechNode; 4] = [TechNode::N14, TechNode::N10, TechNode::N7, TechNode::N5];
+
+    /// Number of full node generations after 14 nm (N14 = 0, N10 = 1, ...).
+    pub fn generations_from_14(&self) -> u32 {
+        match self {
+            TechNode::N14 => 0,
+            TechNode::N10 => 1,
+            TechNode::N7 => 2,
+            TechNode::N5 => 3,
+        }
+    }
+
+    /// Area scale factor relative to 14 nm (0.5× per generation).
+    ///
+    /// Table I: core area 5 / 2.5 / 1.25 mm² at 14 / 10 / 7 nm.
+    pub fn area_scale_from_14(&self) -> f64 {
+        0.5f64.powi(self.generations_from_14() as i32)
+    }
+
+    /// Linear (1-D) scale factor relative to 14 nm (`sqrt` of the area scale).
+    pub fn linear_scale_from_14(&self) -> f64 {
+        self.area_scale_from_14().sqrt()
+    }
+
+    /// Effective switching capacitance scale relative to 14 nm
+    /// (0.8× per generation, §III-B).
+    pub fn cdyn_scale_from_14(&self) -> f64 {
+        0.8f64.powi(self.generations_from_14() as i32)
+    }
+
+    /// Power-density scale relative to 14 nm for iso-activity workloads:
+    /// `C_dyn` shrinks 0.8× while area shrinks 0.5×, so density grows 1.6×
+    /// per generation — the post-Dennard trend motivating the paper (§II-A).
+    pub fn power_density_scale_from_14(&self) -> f64 {
+        self.cdyn_scale_from_14() / self.area_scale_from_14()
+    }
+
+    /// Human-readable label, e.g. `"7nm"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TechNode::N14 => "14nm",
+            TechNode::N10 => "10nm",
+            TechNode::N7 => "7nm",
+            TechNode::N5 => "5nm",
+        }
+    }
+}
+
+impl std::fmt::Display for TechNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_areas() {
+        // Table I: 5 / 2.5 / 1.25 mm² core area at 14 / 10 / 7 nm.
+        let base = 5.0;
+        assert!((base * TechNode::N14.area_scale_from_14() - 5.0).abs() < 1e-12);
+        assert!((base * TechNode::N10.area_scale_from_14() - 2.5).abs() < 1e-12);
+        assert!((base * TechNode::N7.area_scale_from_14() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_grows_1_6x_per_node() {
+        assert!((TechNode::N10.power_density_scale_from_14() - 1.6).abs() < 1e-12);
+        assert!((TechNode::N7.power_density_scale_from_14() - 2.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_scale_is_sqrt_of_area() {
+        for n in TechNode::ALL {
+            let l = n.linear_scale_from_14();
+            assert!((l * l - n.area_scale_from_14()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dennard_violation_factor() {
+        // §II-A: observed power density is ~2× what Dennard scaling would
+        // predict by 7nm. Under Dennard, density would stay constant; here it
+        // grows 2.56×, i.e. the same order as the paper's observation.
+        assert!(TechNode::N7.power_density_scale_from_14() > 2.0);
+    }
+}

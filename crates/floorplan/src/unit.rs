@@ -1,0 +1,223 @@
+//! Functional-unit taxonomy for the Skylake-proxy client CPU.
+//!
+//! The per-core units follow Fig. 5 of the HotGauge paper (a Skylake-inspired
+//! core floorplan) and include the units the paper's Fig. 12 identifies as
+//! hotspot-prone: the complex ALU (`CAlu`), the floating-point instruction
+//! window (`FpIWin`), the register access tables (`IntRat`/`FpRat`), the
+//! register files (`IntRf`/`FpRf`), miscellaneous core logic (`CoreOther`),
+//! and the reorder buffer (`Rob`). Uncore units cover the shared L3 ring,
+//! System Agent / SoC, memory controller (IMC), and I/O — the additions the
+//! paper made on top of McPAT's core-level output.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Rect;
+
+/// The kind of a floorplan element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UnitKind {
+    // ---- Front end -------------------------------------------------------
+    /// Instruction fetch (including the instruction TLB).
+    Fetch,
+    /// Branch prediction unit.
+    Bpu,
+    /// L1 instruction cache (32 KiB private).
+    L1I,
+    /// Decoders and the micro-op cache.
+    Decode,
+    // ---- Rename / retire ------------------------------------------------
+    /// Integer register access (alias) table.
+    IntRat,
+    /// Floating-point register access (alias) table.
+    FpRat,
+    /// Reorder buffer (224 entries).
+    Rob,
+    /// Retirement and allocation logic that is not otherwise attributed.
+    RetireOther,
+    // ---- Issue / execute -------------------------------------------------
+    /// Integer instruction window / scheduler partition.
+    IntIWin,
+    /// Floating-point instruction window / scheduler partition.
+    FpIWin,
+    /// Integer register file.
+    IntRf,
+    /// Floating-point / vector register file.
+    FpRf,
+    /// Simple integer ALUs (add/logic/shift ports).
+    SimpleAlu,
+    /// Complex integer ALU (multiply/divide, CRC, ...).
+    CAlu,
+    /// Address-generation units.
+    Agu,
+    /// Scalar floating-point unit.
+    Fpu,
+    /// AVX-512 vector unit (the paper's added floorplan model).
+    Avx512,
+    // ---- Memory subsystem (per core) --------------------------------------
+    /// L1 data cache (32 KiB private).
+    L1D,
+    /// Load/store queues (72 LQ + 56 SQ entries).
+    Lsq,
+    /// Memory-management unit / data TLB.
+    Mmu,
+    /// Private unified L2 cache (512 KiB).
+    L2,
+    /// Miscellaneous core logic not attributed to any other unit.
+    CoreOther,
+    // ---- Uncore ------------------------------------------------------------
+    /// One slice of the shared ring L3 (16 MiB total).
+    L3Slice,
+    /// System agent / SoC logic (the paper's added model).
+    SystemAgent,
+    /// Integrated memory controller (the paper's added model).
+    Imc,
+    /// I/O interfaces (the paper's added model).
+    Io,
+}
+
+impl UnitKind {
+    /// All per-core unit kinds in floorplan order.
+    pub const CORE_KINDS: [UnitKind; 22] = [
+        UnitKind::Fetch,
+        UnitKind::Bpu,
+        UnitKind::L1I,
+        UnitKind::Decode,
+        UnitKind::IntRat,
+        UnitKind::FpRat,
+        UnitKind::Rob,
+        UnitKind::RetireOther,
+        UnitKind::IntIWin,
+        UnitKind::FpIWin,
+        UnitKind::IntRf,
+        UnitKind::FpRf,
+        UnitKind::SimpleAlu,
+        UnitKind::CAlu,
+        UnitKind::Agu,
+        UnitKind::Fpu,
+        UnitKind::Avx512,
+        UnitKind::L1D,
+        UnitKind::Lsq,
+        UnitKind::Mmu,
+        UnitKind::L2,
+        UnitKind::CoreOther,
+    ];
+
+    /// All uncore unit kinds.
+    pub const UNCORE_KINDS: [UnitKind; 4] = [
+        UnitKind::L3Slice,
+        UnitKind::SystemAgent,
+        UnitKind::Imc,
+        UnitKind::Io,
+    ];
+
+    /// Whether this unit kind belongs to a core (as opposed to the uncore).
+    pub fn is_core_unit(&self) -> bool {
+        !matches!(
+            self,
+            UnitKind::L3Slice | UnitKind::SystemAgent | UnitKind::Imc | UnitKind::Io
+        )
+    }
+
+    /// Short display name matching the paper's labels where one exists
+    /// (e.g. `cALU`, `fpIWin`, `core_other`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnitKind::Fetch => "fetch",
+            UnitKind::Bpu => "BPU",
+            UnitKind::L1I => "L1I",
+            UnitKind::Decode => "decode",
+            UnitKind::IntRat => "intRAT",
+            UnitKind::FpRat => "fpRAT",
+            UnitKind::Rob => "ROB",
+            UnitKind::RetireOther => "retire_other",
+            UnitKind::IntIWin => "intIWin",
+            UnitKind::FpIWin => "fpIWin",
+            UnitKind::IntRf => "intRF",
+            UnitKind::FpRf => "fpRF",
+            UnitKind::SimpleAlu => "sALU",
+            UnitKind::CAlu => "cALU",
+            UnitKind::Agu => "AGU",
+            UnitKind::Fpu => "FPU",
+            UnitKind::Avx512 => "AVX512",
+            UnitKind::L1D => "L1D",
+            UnitKind::Lsq => "LSQ",
+            UnitKind::Mmu => "MMU",
+            UnitKind::L2 => "L2",
+            UnitKind::CoreOther => "core_other",
+            UnitKind::L3Slice => "L3",
+            UnitKind::SystemAgent => "SA",
+            UnitKind::Imc => "IMC",
+            UnitKind::Io => "IO",
+        }
+    }
+}
+
+/// A placed floorplan element: a unit kind, the core it belongs to (if any),
+/// and its physical footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloorplanUnit {
+    /// Unique name of this element, e.g. `core3.fpIWin` or `L3.2`.
+    pub name: String,
+    /// What kind of unit this is.
+    pub kind: UnitKind,
+    /// Index of the owning core, or `None` for uncore elements.
+    pub core: Option<usize>,
+    /// Physical footprint on the die, millimeters.
+    pub rect: Rect,
+}
+
+impl FloorplanUnit {
+    /// Creates a named floorplan element.
+    pub fn new(name: impl Into<String>, kind: UnitKind, core: Option<usize>, rect: Rect) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            core,
+            rect,
+        }
+    }
+
+    /// Area of the element in mm².
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_and_uncore_partition_is_consistent() {
+        for k in UnitKind::CORE_KINDS {
+            assert!(k.is_core_unit(), "{k:?} should be a core unit");
+        }
+        for k in UnitKind::UNCORE_KINDS {
+            assert!(!k.is_core_unit(), "{k:?} should be uncore");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = UnitKind::CORE_KINDS
+            .iter()
+            .chain(UnitKind::UNCORE_KINDS.iter())
+            .map(|k| k.label())
+            .collect();
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "duplicate unit label");
+    }
+
+    #[test]
+    fn paper_hot_units_present() {
+        // Fig. 12 of the paper names these as the dominant hotspot locations.
+        for label in ["cALU", "fpIWin", "intRAT", "fpRAT", "intRF", "fpRF", "core_other", "ROB"] {
+            assert!(
+                UnitKind::CORE_KINDS.iter().any(|k| k.label() == label),
+                "missing paper unit {label}"
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-window activity statistics — the interface between the performance
+//! and power models (the analog of Sniper's stats post-processed into McPAT
+//! input).
+
+use serde::{Deserialize, Serialize};
+
+/// Event counts accumulated over one simulation window (one thermal time
+/// step, nominally 1 M cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityCounters {
+    /// Cycles the window took.
+    pub cycles: u64,
+    /// Micro-ops retired.
+    pub instructions: u64,
+
+    // ---- Front end ----
+    /// L1I fetch-group accesses.
+    pub l1i_accesses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// Branch-predictor lookups (== dynamic branches).
+    pub bpu_lookups: u64,
+    /// Branch mispredictions.
+    pub bpu_mispredicts: u64,
+    /// Micro-ops decoded.
+    pub decoded_uops: u64,
+
+    // ---- Rename / retire ----
+    /// Integer RAT write ports exercised (int uops renamed).
+    pub int_rat_writes: u64,
+    /// FP RAT writes (fp uops renamed).
+    pub fp_rat_writes: u64,
+    /// ROB dispatches (== uops).
+    pub rob_dispatches: u64,
+    /// ROB retirements.
+    pub rob_retires: u64,
+
+    // ---- Issue / execute ----
+    /// Integer scheduler issues.
+    pub int_iwin_issues: u64,
+    /// FP scheduler issues.
+    pub fp_iwin_issues: u64,
+    /// Integer register-file reads.
+    pub int_rf_reads: u64,
+    /// Integer register-file writes.
+    pub int_rf_writes: u64,
+    /// FP register-file reads.
+    pub fp_rf_reads: u64,
+    /// FP register-file writes.
+    pub fp_rf_writes: u64,
+    /// Simple-ALU operations.
+    pub simple_alu_ops: u64,
+    /// Complex-ALU operations (imul/idiv/...).
+    pub complex_alu_ops: u64,
+    /// Address-generation operations.
+    pub agu_ops: u64,
+    /// Scalar FP operations.
+    pub fpu_ops: u64,
+    /// AVX-512 operations.
+    pub avx_ops: u64,
+
+    // ---- Memory ----
+    /// L1D accesses (loads + stores).
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// Load/store-queue occupancies (ops enqueued).
+    pub lsq_ops: u64,
+    /// Data-TLB lookups.
+    pub dtlb_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// L3 misses.
+    pub l3_misses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+}
+
+impl ActivityCounters {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.bpu_lookups == 0 {
+            0.0
+        } else {
+            self.bpu_mispredicts as f64 / self.bpu_lookups as f64
+        }
+    }
+
+    /// L1D misses per kilo-instruction.
+    pub fn l1d_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            1000.0 * self.l1d_misses as f64 / self.instructions as f64
+        }
+    }
+
+    /// Adds another window's counts onto this one.
+    pub fn add(&mut self, other: &ActivityCounters) {
+        macro_rules! acc {
+            ($($f:ident),* $(,)?) => { $( self.$f += other.$f; )* };
+        }
+        acc!(
+            cycles,
+            instructions,
+            l1i_accesses,
+            l1i_misses,
+            bpu_lookups,
+            bpu_mispredicts,
+            decoded_uops,
+            int_rat_writes,
+            fp_rat_writes,
+            rob_dispatches,
+            rob_retires,
+            int_iwin_issues,
+            fp_iwin_issues,
+            int_rf_reads,
+            int_rf_writes,
+            fp_rf_reads,
+            fp_rf_writes,
+            simple_alu_ops,
+            complex_alu_ops,
+            agu_ops,
+            fpu_ops,
+            avx_ops,
+            l1d_accesses,
+            l1d_misses,
+            lsq_ops,
+            dtlb_accesses,
+            l2_accesses,
+            l2_misses,
+            l3_accesses,
+            l3_misses,
+            dram_accesses,
+        );
+    }
+
+    /// Wall-clock duration of the window at `frequency_ghz`.
+    pub fn seconds(&self, frequency_ghz: f64) -> f64 {
+        self.cycles as f64 / (frequency_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let a = ActivityCounters {
+            cycles: 1000,
+            instructions: 2000,
+            bpu_lookups: 100,
+            bpu_mispredicts: 5,
+            l1d_misses: 4,
+            ..Default::default()
+        };
+        assert!((a.ipc() - 2.0).abs() < 1e-12);
+        assert!((a.mispredict_rate() - 0.05).abs() < 1e-12);
+        assert!((a.l1d_mpki() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_window_is_safe() {
+        let a = ActivityCounters::default();
+        assert_eq!(a.ipc(), 0.0);
+        assert_eq!(a.mispredict_rate(), 0.0);
+        assert_eq!(a.l1d_mpki(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates_all_fields() {
+        let mut a = ActivityCounters {
+            cycles: 1,
+            instructions: 2,
+            avx_ops: 3,
+            dram_accesses: 4,
+            ..Default::default()
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.cycles, 2);
+        assert_eq!(a.instructions, 4);
+        assert_eq!(a.avx_ops, 6);
+        assert_eq!(a.dram_accesses, 8);
+    }
+
+    #[test]
+    fn seconds_at_5ghz() {
+        let a = ActivityCounters {
+            cycles: 1_000_000,
+            ..Default::default()
+        };
+        assert!((a.seconds(5.0) - 200e-6).abs() < 1e-15);
+    }
+}

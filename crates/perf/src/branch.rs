@@ -1,0 +1,321 @@
+//! Branch predictors: gshare, bimodal, and the Alpha-21264-style tournament
+//! combination used by the core model.
+
+/// A bimodal predictor: per-PC 2-bit saturating counters. Robust to outcome
+/// noise (it learns each branch's bias independent of history).
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<u8>,
+    mask: u64,
+}
+
+impl BimodalPredictor {
+    /// A predictor with `2^bits` counters.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=24).contains(&bits));
+        Self {
+            table: vec![2u8; 1 << bits],
+            mask: (1u64 << bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predicted direction for `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Trains with the actual outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let c = self.table[idx];
+        self.table[idx] = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+    }
+}
+
+/// A tournament predictor: bimodal + gshare with a per-PC chooser, as in the
+/// Alpha 21264. The chooser learns, per branch, which component predicts it
+/// better — pattern-sensitive branches go to gshare, noisy-but-biased
+/// branches to bimodal.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    bimodal: BimodalPredictor,
+    gshare: GsharePredictor,
+    chooser: Vec<u8>,
+    chooser_mask: u64,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl TournamentPredictor {
+    /// A tournament predictor with the given table sizes (in index bits).
+    pub fn new(bimodal_bits: u32, gshare_bits: u32, chooser_bits: u32) -> Self {
+        Self {
+            bimodal: BimodalPredictor::new(bimodal_bits),
+            gshare: GsharePredictor::new(gshare_bits),
+            chooser: vec![1u8; 1 << chooser_bits], // weakly favor bimodal
+            chooser_mask: (1u64 << chooser_bits) - 1,
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Predicts `pc`, updates all components with `taken`, and returns
+    /// whether the prediction was correct.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        self.lookups += 1;
+        let b_pred = self.bimodal.predict(pc);
+        let g_pred = self.gshare.predict(pc);
+        let ci = ((pc >> 2) & self.chooser_mask) as usize;
+        let use_gshare = self.chooser[ci] >= 2;
+        let pred = if use_gshare { g_pred } else { b_pred };
+        let correct = pred == taken;
+        if !correct {
+            self.mispredicts += 1;
+        }
+        // Chooser trains toward whichever component was right (when they
+        // disagree).
+        let b_ok = b_pred == taken;
+        let g_ok = g_pred == taken;
+        if b_ok != g_ok {
+            let c = self.chooser[ci];
+            self.chooser[ci] = if g_ok { (c + 1).min(3) } else { c.saturating_sub(1) };
+        }
+        self.bimodal.update(pc, taken);
+        self.gshare.update(pc, taken);
+        correct
+    }
+
+    /// Lookups so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Lifetime misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+
+    /// Resets statistics (not learned state).
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.mispredicts = 0;
+    }
+}
+
+/// A gshare predictor: global history XOR PC indexing a table of 2-bit
+/// saturating counters.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    history: u64,
+    history_bits: u32,
+    table: Vec<u8>,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl GsharePredictor {
+    /// A predictor with `2^history_bits` two-bit counters.
+    pub fn new(history_bits: u32) -> Self {
+        assert!((2..=24).contains(&history_bits), "unreasonable table size");
+        Self {
+            history: 0,
+            history_bits,
+            table: vec![2u8; 1 << history_bits], // weakly taken
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.history_bits) - 1;
+        (((pc >> 2) ^ self.history) & mask) as usize
+    }
+
+    /// Predicted direction for `pc` under the current global history.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Trains the indexed counter and shifts the outcome into the history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let counter = self.table[idx];
+        self.table[idx] = if taken {
+            (counter + 1).min(3)
+        } else {
+            counter.saturating_sub(1)
+        };
+        let mask = (1u64 << self.history_bits) - 1;
+        self.history = ((self.history << 1) | taken as u64) & mask;
+    }
+
+    /// Predicts and updates with the actual outcome; returns `true` if the
+    /// prediction was correct.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        self.lookups += 1;
+        let correct = self.predict(pc) == taken;
+        if !correct {
+            self.mispredicts += 1;
+        }
+        self.update(pc, taken);
+        correct
+    }
+
+    /// Lookups performed so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Misprediction rate over the predictor's lifetime.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+
+    /// Resets counters (not the learned state).
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.mispredicts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = GsharePredictor::new(10);
+        for _ in 0..1000 {
+            p.predict_and_update(0x400, true);
+        }
+        p.reset_stats();
+        for _ in 0..1000 {
+            p.predict_and_update(0x400, true);
+        }
+        assert!(p.mispredict_rate() < 0.01, "{}", p.mispredict_rate());
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut p = GsharePredictor::new(12);
+        let mut taken = false;
+        for _ in 0..4000 {
+            p.predict_and_update(0x400, taken);
+            taken = !taken;
+        }
+        p.reset_stats();
+        for _ in 0..4000 {
+            p.predict_and_update(0x400, taken);
+            taken = !taken;
+        }
+        assert!(p.mispredict_rate() < 0.05, "{}", p.mispredict_rate());
+    }
+
+    #[test]
+    fn random_stream_mispredicts_heavily() {
+        let mut p = GsharePredictor::new(10);
+        // Deterministic pseudo-random outcomes.
+        let mut x = 0x12345678u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p.predict_and_update(0x400 + (i % 64) * 4, (x >> 62) & 1 == 1);
+        }
+        assert!(p.mispredict_rate() > 0.3, "{}", p.mispredict_rate());
+    }
+
+    #[test]
+    fn tournament_tolerates_noisy_biased_branches() {
+        // 10% iid outcome noise on biased branches: gshare's history gets
+        // polluted, but the tournament's bimodal side keeps the mispredict
+        // rate near the noise floor.
+        let mut t = TournamentPredictor::new(12, 12, 12);
+        let mut x = 99u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..60_000u64 {
+            let pc = 0x400 + (i % 200) * 4;
+            let bias = (pc / 4) % 3 != 0;
+            let flip = rnd() % 10 == 0;
+            t.predict_and_update(pc, bias ^ flip);
+        }
+        t.reset_stats();
+        for i in 0..60_000u64 {
+            let pc = 0x400 + (i % 200) * 4;
+            let bias = (pc / 4) % 3 != 0;
+            let flip = rnd() % 10 == 0;
+            t.predict_and_update(pc, bias ^ flip);
+        }
+        assert!(
+            t.mispredict_rate() < 0.16,
+            "tournament rate {} should be near the 10% noise floor",
+            t.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn tournament_learns_patterns_via_gshare_side() {
+        // A strictly alternating branch is hopeless for bimodal but easy for
+        // gshare; the chooser must route it there.
+        let mut t = TournamentPredictor::new(10, 12, 10);
+        let mut taken = false;
+        for _ in 0..8_000 {
+            t.predict_and_update(0x800, taken);
+            taken = !taken;
+        }
+        t.reset_stats();
+        for _ in 0..8_000 {
+            t.predict_and_update(0x800, taken);
+            taken = !taken;
+        }
+        assert!(t.mispredict_rate() < 0.05, "{}", t.mispredict_rate());
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut b = BimodalPredictor::new(10);
+        for _ in 0..100 {
+            b.update(0x40, true);
+        }
+        assert!(b.predict(0x40));
+        for _ in 0..100 {
+            b.update(0x40, false);
+        }
+        assert!(!b.predict(0x40));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = GsharePredictor::new(8);
+        for _ in 0..10 {
+            p.predict_and_update(0, true);
+        }
+        assert_eq!(p.lookups(), 10);
+        assert!(p.mispredicts() <= 10);
+    }
+}

@@ -1,0 +1,325 @@
+//! Set-associative cache model with true LRU replacement, and the three-level
+//! hierarchy of Table I.
+
+use crate::config::{CacheConfig, MemoryConfig};
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Served by the L1.
+    L1,
+    /// Served by the private L2.
+    L2,
+    /// Served by the shared L3.
+    L3,
+    /// Served by DRAM.
+    Memory,
+}
+
+/// A single set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    line_shift: u32,
+    /// Tag per (set, way); `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamp per (set, way) — larger = more recent.
+    stamps: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.line_bytes.is_power_of_two());
+        Self {
+            cfg,
+            sets,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tags: vec![u64::MAX; sets * cfg.ways],
+            stamps: vec![0; sets * cfg.ways],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accesses `addr`; returns `true` on hit. On miss the line is filled
+    /// (allocate-on-miss for both reads and writes).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line >> self.sets.trailing_zeros();
+        let base = set * self.cfg.ways;
+
+        for w in 0..self.cfg.ways {
+            if self.tags[base + w] == tag {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // Fill the LRU way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.cfg.ways {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidates all lines and resets statistics.
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.reset_stats();
+    }
+}
+
+/// The private two-level + shared L3 hierarchy of one core's data path.
+///
+/// The shared L3 is modeled per-core with capacity partitioning when
+/// multiple cores are active (a standard approximation for single-socket
+/// client workload studies; the paper's runs are single-threaded).
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Private unified L2.
+    pub l2: Cache,
+    /// Shared L3 (this core's view).
+    pub l3: Cache,
+    cfg: MemoryConfig,
+}
+
+/// Result of a data access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// The level that served the access.
+    pub level: HitLevel,
+    /// Latency in core cycles.
+    pub latency: u64,
+}
+
+impl MemoryHierarchy {
+    /// An empty hierarchy.
+    pub fn new(cfg: MemoryConfig) -> Self {
+        Self {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+            cfg,
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// A data-side access (load or store) to `addr`.
+    pub fn access_data(&mut self, addr: u64) -> AccessResult {
+        if self.l1d.access(addr) {
+            return AccessResult {
+                level: HitLevel::L1,
+                latency: self.cfg.l1d.latency_cycles,
+            };
+        }
+        if self.l2.access(addr) {
+            return AccessResult {
+                level: HitLevel::L2,
+                latency: self.cfg.l2.latency_cycles,
+            };
+        }
+        if self.l3.access(addr) {
+            return AccessResult {
+                level: HitLevel::L3,
+                latency: self.cfg.l3.latency_cycles,
+            };
+        }
+        AccessResult {
+            level: HitLevel::Memory,
+            latency: self.cfg.dram_latency_cycles,
+        }
+    }
+
+    /// An instruction-side access to `pc`. Instruction misses refill through
+    /// the unified L2/L3 like data misses.
+    pub fn access_instr(&mut self, pc: u64) -> AccessResult {
+        if self.l1i.access(pc) {
+            return AccessResult {
+                level: HitLevel::L1,
+                latency: self.cfg.l1i.latency_cycles,
+            };
+        }
+        if self.l2.access(pc) {
+            return AccessResult {
+                level: HitLevel::L2,
+                latency: self.cfg.l2.latency_cycles,
+            };
+        }
+        if self.l3.access(pc) {
+            return AccessResult {
+                level: HitLevel::L3,
+                latency: self.cfg.l3.latency_cycles,
+            };
+        }
+        AccessResult {
+            level: HitLevel::Memory,
+            latency: self.cfg.dram_latency_cycles,
+        }
+    }
+
+    /// Flushes every level (cold caches; the paper always warms before ROI).
+    pub fn flush(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+        self.l3.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            capacity_bytes: 1024, // 4 sets x 4 ways x 64 B
+            ways: 4,
+            line_bytes: 64,
+            latency_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x103F)); // same line
+        assert!(!c.access(0x1040)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // 4 ways in set 0: lines 0, 4, 8, 12 (stride = sets * line).
+        let stride = 4 * 64;
+        for i in 0..4u64 {
+            assert!(!c.access(i * stride));
+        }
+        // Touch line 0 to make it MRU; then insert a 5th line -> evicts line 1.
+        assert!(c.access(0));
+        assert!(!c.access(4 * stride));
+        assert!(c.access(0), "MRU line must survive");
+        assert!(!c.access(stride), "LRU line must have been evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_steady_misses() {
+        let mut c = tiny();
+        // 16 lines = exact capacity.
+        for round in 0..4 {
+            for i in 0..16u64 {
+                let hit = c.access(i * 64);
+                if round > 0 {
+                    assert!(hit, "round {round}, line {i}");
+                }
+            }
+        }
+        assert_eq!(c.misses(), 16);
+    }
+
+    #[test]
+    fn streaming_misses_every_line() {
+        let mut c = tiny();
+        for i in 0..1000u64 {
+            assert!(!c.access(i * 64 * 8)); // far-apart lines
+        }
+        assert!((c.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_latencies_ascend() {
+        let mut h = MemoryHierarchy::new(MemoryConfig::default());
+        let a = h.access_data(0x123456);
+        assert_eq!(a.level, HitLevel::Memory);
+        let b = h.access_data(0x123456);
+        assert_eq!(b.level, HitLevel::L1);
+        assert!(a.latency > b.latency);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = MemoryHierarchy::new(MemoryConfig::default());
+        let sets = h.l1d.config().sets() as u64;
+        let line = h.l1d.config().line_bytes as u64;
+        // Fill set 0 of L1 with 9 conflicting lines (8 ways) — first one
+        // falls out of L1 but stays in the larger L2.
+        for i in 0..9u64 {
+            h.access_data(i * sets * line);
+        }
+        let r = h.access_data(0);
+        assert_eq!(r.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut h = MemoryHierarchy::new(MemoryConfig::default());
+        h.access_data(0x40);
+        h.flush();
+        let r = h.access_data(0x40);
+        assert_eq!(r.level, HitLevel::Memory);
+        assert_eq!(h.l1d.accesses(), 1);
+    }
+}

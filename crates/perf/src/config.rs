@@ -1,0 +1,182 @@
+//! Core and memory-hierarchy configuration (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Out-of-order core parameters.
+///
+/// Defaults reproduce Table I: 224-entry ROB, 72-entry load queue, 56-entry
+/// store queue, 97-entry scheduler, 5 GHz, 2-way SMT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Core clock frequency, GHz (5 GHz turbo operating point).
+    pub frequency_ghz: f64,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Unified scheduler (instruction window) entries.
+    pub scheduler_entries: usize,
+    /// Front-end fetch/decode width, instructions per cycle.
+    pub fetch_width: usize,
+    /// Rename/dispatch width, micro-ops per cycle.
+    pub dispatch_width: usize,
+    /// Issue width (execution ports).
+    pub issue_width: usize,
+    /// Retire width.
+    pub commit_width: usize,
+    /// Branch misprediction penalty, cycles (front-end refill).
+    pub mispredict_penalty: u64,
+    /// SMT threads per core.
+    pub smt_threads: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            frequency_ghz: 5.0,
+            rob_entries: 224,
+            lq_entries: 72,
+            sq_entries: 56,
+            scheduler_entries: 97,
+            fetch_width: 6,
+            dispatch_width: 4,
+            issue_width: 8,
+            commit_width: 4,
+            mispredict_penalty: 16,
+            smt_threads: 2,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Cycles per second.
+    pub fn hz(&self) -> f64 {
+        self.frequency_ghz * 1e9
+    }
+
+    /// Seconds represented by `cycles` at this frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz()
+    }
+
+    /// The paper's simulation time step: 1 M cycles (200 µs at 5 GHz).
+    pub const TIME_STEP_CYCLES: u64 = 1_000_000;
+}
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity, bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Line size, bytes.
+    pub line_bytes: usize,
+    /// Access latency, cycles.
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// 32 KiB 8-way private L1 (I or D), Table I.
+    pub fn l1_default() -> Self {
+        Self {
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency_cycles: 4,
+        }
+    }
+
+    /// 512 KiB 8-way private L2, Table I.
+    pub fn l2_default() -> Self {
+        Self {
+            capacity_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency_cycles: 14,
+        }
+    }
+
+    /// 16 MiB shared ring L3, Table I.
+    pub fn l3_default() -> Self {
+        Self {
+            capacity_bytes: 16 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+            latency_cycles: 44,
+        }
+    }
+}
+
+/// Full memory-hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// Shared L3.
+    pub l3: CacheConfig,
+    /// DRAM access latency, cycles (at the core clock).
+    pub dram_latency_cycles: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self {
+            l1i: CacheConfig::l1_default(),
+            l1d: CacheConfig::l1_default(),
+            l2: CacheConfig::l2_default(),
+            l3: CacheConfig::l3_default(),
+            dram_latency_cycles: 280,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CoreConfig::default();
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(c.lq_entries, 72);
+        assert_eq!(c.sq_entries, 56);
+        assert_eq!(c.scheduler_entries, 97);
+        assert_eq!(c.smt_threads, 2);
+        assert!((c.frequency_ghz - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_m_cycles_is_200us_at_5ghz() {
+        let c = CoreConfig::default();
+        let s = c.cycles_to_seconds(CoreConfig::TIME_STEP_CYCLES);
+        assert!((s - 200e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_sets() {
+        assert_eq!(CacheConfig::l1_default().sets(), 64);
+        assert_eq!(CacheConfig::l2_default().sets(), 1024);
+        assert_eq!(CacheConfig::l3_default().sets(), 16384);
+    }
+
+    #[test]
+    fn hierarchy_capacities_match_table1() {
+        let m = MemoryConfig::default();
+        assert_eq!(m.l1i.capacity_bytes, 32 * 1024);
+        assert_eq!(m.l1d.capacity_bytes, 32 * 1024);
+        assert_eq!(m.l2.capacity_bytes, 512 * 1024);
+        assert_eq!(m.l3.capacity_bytes, 16 * 1024 * 1024);
+    }
+}

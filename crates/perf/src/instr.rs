@@ -1,0 +1,139 @@
+//! The micro-op representation exchanged between workload generators and the
+//! core model.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional class of a micro-op; determines which execution unit it
+/// exercises and therefore which floorplan unit its energy lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Simple integer op (add/logic/shift).
+    IntSimple,
+    /// Complex integer op (multiply, divide, CRC...).
+    IntComplex,
+    /// Scalar floating-point op.
+    FpScalar,
+    /// 512-bit vector op (AVX-512).
+    Avx512,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or indirect branch.
+    Branch,
+}
+
+impl InstrClass {
+    /// Whether this class reads/writes the floating-point register file.
+    pub fn is_fp(&self) -> bool {
+        matches!(self, InstrClass::FpScalar | InstrClass::Avx512)
+    }
+
+    /// Whether this class accesses data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+}
+
+/// One micro-op of the dynamic instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Functional class.
+    pub class: InstrClass,
+    /// Instruction pointer (used for I-cache and branch predictor indexing).
+    pub pc: u64,
+    /// Effective data address for loads/stores (ignored otherwise).
+    pub addr: u64,
+    /// Actual branch outcome for branches (taken / not taken).
+    pub taken: bool,
+    /// Execution latency in cycles beyond 1 (e.g. dividers); usually 0.
+    pub extra_latency: u8,
+}
+
+impl Instr {
+    /// A compute micro-op of the given class at `pc`.
+    pub fn compute(class: InstrClass, pc: u64) -> Self {
+        Self {
+            class,
+            pc,
+            addr: 0,
+            taken: false,
+            extra_latency: 0,
+        }
+    }
+
+    /// A load from `addr`.
+    pub fn load(pc: u64, addr: u64) -> Self {
+        Self {
+            class: InstrClass::Load,
+            pc,
+            addr,
+            taken: false,
+            extra_latency: 0,
+        }
+    }
+
+    /// A store to `addr`.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        Self {
+            class: InstrClass::Store,
+            pc,
+            addr,
+            taken: false,
+            extra_latency: 0,
+        }
+    }
+
+    /// A branch at `pc` with the given outcome.
+    pub fn branch(pc: u64, taken: bool) -> Self {
+        Self {
+            class: InstrClass::Branch,
+            pc,
+            addr: 0,
+            taken,
+            extra_latency: 0,
+        }
+    }
+}
+
+/// A source of micro-ops — implemented by the workload generators.
+///
+/// Sources are infinite: the core pulls as many micro-ops as fit in a
+/// simulation window (the paper simulates a fixed 200 M instructions of each
+/// benchmark's region of interest, which the caller enforces by counting).
+pub trait InstrSource {
+    /// Produces the next micro-op of the dynamic stream.
+    fn next_instr(&mut self) -> Instr;
+}
+
+/// Blanket implementation so `&mut S` is also a source.
+impl<S: InstrSource + ?Sized> InstrSource for &mut S {
+    fn next_instr(&mut self) -> Instr {
+        (**self).next_instr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstrClass::FpScalar.is_fp());
+        assert!(InstrClass::Avx512.is_fp());
+        assert!(!InstrClass::Load.is_fp());
+        assert!(InstrClass::Load.is_mem());
+        assert!(InstrClass::Store.is_mem());
+        assert!(!InstrClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn constructors() {
+        let l = Instr::load(0x400, 0x1000);
+        assert_eq!(l.class, InstrClass::Load);
+        assert_eq!(l.addr, 0x1000);
+        let b = Instr::branch(0x404, true);
+        assert!(b.taken);
+        assert_eq!(b.class, InstrClass::Branch);
+    }
+}

@@ -1,0 +1,97 @@
+//! Temperature-dependent leakage power.
+//!
+//! Leakage is modeled per unit as
+//! `P_leak(T) = ρ_leak(node) · A_unit · (V/V_ref) · e^{β (T − T_ref)}`,
+//! the standard exponential subthreshold model. This is the coupling that
+//! makes the perf-power-thermal loop *bidirectional*: "the thermal state of
+//! the chip will impact the performance and power of the system, e.g.,
+//! increased temperature will increase leakage power" (§II-C).
+
+use hotgauge_floorplan::tech::TechNode;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the exponential leakage model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageParams {
+    /// Leakage power density at `t_ref_c` and `v_ref`, W/mm², for 14 nm.
+    pub density_14nm_w_per_mm2: f64,
+    /// Exponential temperature coefficient, 1/K (≈ 2× every ~28 °C).
+    pub beta_per_k: f64,
+    /// Reference temperature, °C.
+    pub t_ref_c: f64,
+    /// Reference supply voltage, V.
+    pub v_ref: f64,
+    /// Leakage-density growth per technology generation (thinner oxides and
+    /// tighter pitches raise W/mm² even as total area halves).
+    pub density_scale_per_node: f64,
+}
+
+impl Default for LeakageParams {
+    fn default() -> Self {
+        Self {
+            density_14nm_w_per_mm2: 0.15,
+            beta_per_k: 0.025,
+            t_ref_c: 60.0,
+            v_ref: 1.4,
+            density_scale_per_node: 1.25,
+        }
+    }
+}
+
+impl LeakageParams {
+    /// Leakage density at the given node and reference conditions, W/mm².
+    pub fn density(&self, node: TechNode) -> f64 {
+        self.density_14nm_w_per_mm2
+            * self
+                .density_scale_per_node
+                .powi(node.generations_from_14() as i32)
+    }
+
+    /// Leakage power of a block of `area_mm2` at temperature `t_c` and
+    /// supply `vdd`, W.
+    pub fn power(&self, node: TechNode, area_mm2: f64, t_c: f64, vdd: f64) -> f64 {
+        self.density(node)
+            * area_mm2
+            * (vdd / self.v_ref)
+            * ((t_c - self.t_ref_c) * self.beta_per_k).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_doubles_about_every_28c() {
+        let p = LeakageParams::default();
+        let a = p.power(TechNode::N14, 1.0, 60.0, 1.4);
+        let b = p.power(TechNode::N14, 1.0, 60.0 + (2.0f64).ln() / 0.025, 1.4);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_grows_per_node_but_block_leakage_shrinks() {
+        let p = LeakageParams::default();
+        // Same logical block: area halves per node, density grows 1.25x, so
+        // absolute leakage of the block decreases.
+        let l14 = p.power(TechNode::N14, 1.0, 60.0, 1.4);
+        let l7 = p.power(TechNode::N7, 0.25, 60.0, 1.4);
+        assert!(l7 < l14);
+        assert!(p.density(TechNode::N7) > p.density(TechNode::N14));
+    }
+
+    #[test]
+    fn voltage_scales_linearly() {
+        let p = LeakageParams::default();
+        let hi = p.power(TechNode::N14, 1.0, 60.0, 1.4);
+        let lo = p.power(TechNode::N14, 1.0, 60.0, 0.7);
+        assert!((hi / lo - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_point_equals_density_times_area() {
+        let p = LeakageParams::default();
+        let w = p.power(TechNode::N14, 2.0, 60.0, 1.4);
+        assert!((w - 0.3).abs() < 1e-12);
+    }
+}

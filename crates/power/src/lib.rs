@@ -1,0 +1,55 @@
+//! McPAT-style per-unit power model with sub-22 nm technology scaling —
+//! the power stage of the HotGauge perf-power-therm co-simulation.
+//!
+//! * [`units`] — per-unit `C_dyn` budgets and activity→utilization mapping;
+//! * [`leakage`] — exponential temperature-dependent leakage (the
+//!   thermal→power feedback);
+//! * [`model`] — the chip-level [`model::PowerModel`] evaluated every time
+//!   step at unit granularity;
+//! * [`validation`] — Table III silicon `C_dyn` references and error math.
+//!
+//! Technology scaling follows the paper's McPAT extensions: 50 % area and
+//! −20 % `C_dyn` per node (via [`hotgauge_floorplan::tech::TechNode`]), at
+//! the 5 GHz / 1.4 V turbo operating point.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotgauge_floorplan::prelude::*;
+//! use hotgauge_perf::activity::ActivityCounters;
+//! use hotgauge_power::prelude::*;
+//!
+//! let fp = SkylakeProxy::new(TechNode::N7).build();
+//! let model = PowerModel::new(&fp, TechNode::N7, PowerParams::default());
+//!
+//! let act = ActivityCounters { cycles: 1_000_000, instructions: 2_000_000,
+//!     simple_alu_ops: 1_000_000, ..Default::default() };
+//! let mut cores = vec![CoreWindow::Parked; 7];
+//! cores[0] = CoreWindow::Active { activity: &act, duty: 1.0 };
+//! let power = model.evaluate(&cores, &vec![60.0; fp.units.len()]);
+//! assert!(power.total_w() > 0.0);
+//! ```
+
+pub mod leakage;
+pub mod model;
+pub mod units;
+pub mod validation;
+
+pub use crate::leakage::LeakageParams;
+pub use crate::model::{
+    CoreWindow, PowerBreakdown, PowerModel, PowerParams, CORE_CDYN_TOTAL_14NM_NF,
+};
+pub use crate::units::{cdyn_max_nf, unit_utilization, CLOCK_FLOOR};
+pub use crate::validation::{
+    mean_abs_percent_error, silicon_cdyn, CdynValidationRow, SiliconCdyn, TABLE3_PAPER_MODEL_14NM,
+    TABLE3_SILICON,
+};
+
+/// Convenient glob import of the most used types.
+pub mod prelude {
+    pub use crate::leakage::LeakageParams;
+    pub use crate::model::{CoreWindow, PowerBreakdown, PowerModel, PowerParams};
+    pub use crate::validation::{
+        mean_abs_percent_error, silicon_cdyn, CdynValidationRow, TABLE3_SILICON,
+    };
+}

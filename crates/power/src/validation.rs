@@ -1,0 +1,153 @@
+//! Table III validation data: measured single-core `C_dyn` of real Intel
+//! silicon, and the error computation against the model.
+//!
+//! The paper measured an Intel Core i5-10310U (14 nm mobile) and an
+//! i7-1165G7 (10 nm SuperFin) with the Intel Thermal Analysis Tool, isolating
+//! leakage and computing `C_dyn = P / (V² f)`, which is invariant to voltage
+//! and frequency. We cannot measure silicon here, so the published
+//! measurements are embedded as the reference and our model plays the role
+//! of the paper's McPAT-based model column.
+
+use hotgauge_floorplan::tech::TechNode;
+use serde::{Deserialize, Serialize};
+
+/// Measured silicon `C_dyn` values from Table III, nanofarads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiliconCdyn {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// 14 nm part (i5-10310U), nF.
+    pub si_14nm_nf: f64,
+    /// 10 nm part (i7-1165G7), nF.
+    pub si_10nm_nf: f64,
+}
+
+/// The Table III validation set.
+pub const TABLE3_SILICON: [SiliconCdyn; 5] = [
+    SiliconCdyn {
+        benchmark: "bzip2",
+        si_14nm_nf: 1.33,
+        si_10nm_nf: 1.32,
+    },
+    SiliconCdyn {
+        benchmark: "gcc",
+        si_14nm_nf: 1.51,
+        si_10nm_nf: 1.80,
+    },
+    SiliconCdyn {
+        benchmark: "omnetpp",
+        si_14nm_nf: 1.16,
+        si_10nm_nf: 0.99,
+    },
+    SiliconCdyn {
+        benchmark: "povray",
+        si_14nm_nf: 1.87,
+        si_10nm_nf: 1.87,
+    },
+    SiliconCdyn {
+        benchmark: "hmmer",
+        si_14nm_nf: 1.52,
+        si_10nm_nf: 1.49,
+    },
+];
+
+/// The paper's own model column of Table III (nF), used as a secondary
+/// reference to check that this reproduction's model lands in the same
+/// region as the authors' calibrated McPAT.
+pub const TABLE3_PAPER_MODEL_14NM: [(&str, f64); 5] = [
+    ("bzip2", 1.36),
+    ("gcc", 1.30),
+    ("omnetpp", 1.33),
+    ("povray", 1.62),
+    ("hmmer", 1.65),
+];
+
+/// Reference silicon `C_dyn` for `benchmark` at `node`, if it is part of the
+/// validation set (only 14 nm and 10 nm were measured).
+pub fn silicon_cdyn(benchmark: &str, node: TechNode) -> Option<f64> {
+    let row = TABLE3_SILICON.iter().find(|r| r.benchmark == benchmark)?;
+    match node {
+        TechNode::N14 => Some(row.si_14nm_nf),
+        TechNode::N10 => Some(row.si_10nm_nf),
+        _ => None,
+    }
+}
+
+/// One row of a reproduced Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdynValidationRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Technology node.
+    pub node: TechNode,
+    /// Measured silicon reference, nF.
+    pub silicon_nf: f64,
+    /// This model's value, nF.
+    pub model_nf: f64,
+}
+
+impl CdynValidationRow {
+    /// Signed percent error of the model against silicon.
+    pub fn percent_error(&self) -> f64 {
+        100.0 * (self.model_nf - self.silicon_nf) / self.silicon_nf
+    }
+}
+
+/// Mean absolute percent error over a set of validation rows.
+pub fn mean_abs_percent_error(rows: &[CdynValidationRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.percent_error().abs()).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_data_is_complete() {
+        assert_eq!(TABLE3_SILICON.len(), 5);
+        for r in &TABLE3_SILICON {
+            assert!(r.si_14nm_nf > 0.5 && r.si_14nm_nf < 3.0);
+            assert!(r.si_10nm_nf > 0.5 && r.si_10nm_nf < 3.0);
+        }
+    }
+
+    #[test]
+    fn lookup_by_node() {
+        assert_eq!(silicon_cdyn("bzip2", TechNode::N14), Some(1.33));
+        assert_eq!(silicon_cdyn("bzip2", TechNode::N10), Some(1.32));
+        assert_eq!(silicon_cdyn("bzip2", TechNode::N7), None);
+        assert_eq!(silicon_cdyn("doom", TechNode::N14), None);
+    }
+
+    #[test]
+    fn percent_error_sign() {
+        let row = CdynValidationRow {
+            benchmark: "bzip2".into(),
+            node: TechNode::N14,
+            silicon_nf: 1.33,
+            model_nf: 1.36,
+        };
+        assert!(row.percent_error() > 0.0);
+        assert!((row.percent_error() - 2.2556).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_errors_reproduce_from_paper_model_column() {
+        // Sanity: applying our error formula to the paper's own model values
+        // reproduces the paper's reported ~11% average for 14 nm.
+        let rows: Vec<CdynValidationRow> = TABLE3_PAPER_MODEL_14NM
+            .iter()
+            .map(|(b, m)| CdynValidationRow {
+                benchmark: (*b).into(),
+                node: TechNode::N14,
+                silicon_nf: silicon_cdyn(b, TechNode::N14).unwrap(),
+                model_nf: *m,
+            })
+            .collect();
+        let mape = mean_abs_percent_error(&rows);
+        assert!((mape - 11.0).abs() < 1.5, "14nm MAPE {mape}, paper says 11%");
+    }
+}

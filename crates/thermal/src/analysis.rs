@@ -1,0 +1,92 @@
+//! Stack-level analyses: junction-to-ambient resistance Ψ_j,a and TDP
+//! (Table IV of the paper).
+
+use crate::model::ThermalModel;
+use crate::solver::CgConfig;
+
+/// Result of the Ψ / TDP analysis for one thermal stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsiTdp {
+    /// Junction-to-ambient thermal resistance, °C/W: peak active-layer
+    /// temperature rise over ambient per watt of uniformly dissipated power.
+    pub psi_c_per_w: f64,
+    /// Thermal design power for the given budget, W.
+    pub tdp_w: f64,
+}
+
+/// Thermal budget used in the paper's TDP estimate: 40 °C local ambient and
+/// 100 °C maximum operating temperature (§III-D).
+pub const PAPER_THERMAL_BUDGET_C: f64 = 60.0;
+
+/// Computes Ψ_j,a by dissipating `probe_power_w` uniformly across the die
+/// and reading the peak steady-state active-layer rise, then derives the TDP
+/// as `budget / Ψ`.
+///
+/// The probe power only sets the numerical scale — the model is linear, so
+/// Ψ is power-independent.
+pub fn psi_tdp(model: &ThermalModel, budget_c: f64, probe_power_w: f64) -> PsiTdp {
+    assert!(probe_power_w > 0.0 && budget_c > 0.0);
+    let s = model.stack();
+    let cells = s.nx_die * s.ny_die;
+    let per_cell = probe_power_w / cells as f64;
+    let (t, stats) = model.steady_state(
+        &vec![per_cell; cells],
+        &CgConfig {
+            tolerance: 1e-10,
+            max_iterations: 100_000,
+        },
+    );
+    assert!(stats.converged, "steady solve failed: {stats:?}");
+    let frame = model.die_frame_of(&t);
+    let psi = (frame.max() - s.ambient_c) / probe_power_w;
+    PsiTdp {
+        psi_c_per_w: psi,
+        tdp_w: budget_c / psi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackDescription;
+
+    fn model_for_die(area_mm2: f64, cell_um: f64) -> ThermalModel {
+        // Square die of the given area.
+        let side_mm = area_mm2.sqrt();
+        let n = (side_mm * 1000.0 / cell_um).round() as usize;
+        ThermalModel::new(StackDescription::client_cpu(n, n, cell_um))
+    }
+
+    #[test]
+    fn psi_is_power_independent() {
+        let m = model_for_die(20.0, 500.0);
+        let a = psi_tdp(&m, 60.0, 1.0);
+        let b = psi_tdp(&m, 60.0, 25.0);
+        assert!(
+            (a.psi_c_per_w - b.psi_c_per_w).abs() < 1e-6 * a.psi_c_per_w,
+            "{} vs {}",
+            a.psi_c_per_w,
+            b.psi_c_per_w
+        );
+    }
+
+    #[test]
+    fn psi_increases_as_die_shrinks() {
+        // Table IV: Ψ rises 0.96 -> 1.13 -> 1.40 °C/W as the die shrinks,
+        // because the heatsink stays the same while the IC gets smaller.
+        let big = psi_tdp(&model_for_die(60.0, 500.0), 60.0, 10.0);
+        let mid = psi_tdp(&model_for_die(30.0, 500.0), 60.0, 10.0);
+        let small = psi_tdp(&model_for_die(15.0, 500.0), 60.0, 10.0);
+        assert!(big.psi_c_per_w < mid.psi_c_per_w);
+        assert!(mid.psi_c_per_w < small.psi_c_per_w);
+        // And TDP falls correspondingly.
+        assert!(big.tdp_w > mid.tdp_w && mid.tdp_w > small.tdp_w);
+    }
+
+    #[test]
+    fn tdp_is_budget_over_psi() {
+        let m = model_for_die(20.0, 500.0);
+        let r = psi_tdp(&m, 60.0, 10.0);
+        assert!((r.tdp_w * r.psi_c_per_w - 60.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Frame export: PPM heat-map images and CSV dumps.
+//!
+//! The original HotGauge release ships post-processing scripts that plot the
+//! thermal simulation output; this module provides the equivalent for the
+//! Rust toolchain without adding plotting dependencies — PPM is viewable
+//! everywhere and trivially convertible.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::frame::ThermalFrame;
+
+/// A color ramp for temperature visualization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorMap {
+    /// Black → red → yellow → white (classic heat).
+    Heat,
+    /// Blue → white → red (diverging; good for ΔT fields).
+    Diverging,
+    /// Plain grayscale.
+    Gray,
+}
+
+impl ColorMap {
+    /// Maps `t` in `[0, 1]` to RGB.
+    pub fn rgb(&self, t: f64) -> [u8; 3] {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            ColorMap::Gray => {
+                let v = (t * 255.0) as u8;
+                [v, v, v]
+            }
+            ColorMap::Heat => {
+                // Three linear segments: black->red, red->yellow, yellow->white.
+                if t < 1.0 / 3.0 {
+                    [(t * 3.0 * 255.0) as u8, 0, 0]
+                } else if t < 2.0 / 3.0 {
+                    [255, ((t - 1.0 / 3.0) * 3.0 * 255.0) as u8, 0]
+                } else {
+                    [255, 255, ((t - 2.0 / 3.0) * 3.0 * 255.0) as u8]
+                }
+            }
+            ColorMap::Diverging => {
+                if t < 0.5 {
+                    let u = t * 2.0;
+                    [(u * 255.0) as u8, (u * 255.0) as u8, 255]
+                } else {
+                    let u = (t - 0.5) * 2.0;
+                    [255, ((1.0 - u) * 255.0) as u8, ((1.0 - u) * 255.0) as u8]
+                }
+            }
+        }
+    }
+}
+
+/// Renders a frame as a binary PPM (P6) image, one pixel per cell, with the
+/// temperature range `[lo, hi]` mapped onto the color ramp. Row 0 of the
+/// frame is rendered at the *bottom* (die coordinates, y up).
+pub fn frame_to_ppm(frame: &ThermalFrame, lo: f64, hi: f64, map: ColorMap) -> Vec<u8> {
+    assert!(hi > lo, "invalid range");
+    let mut out = Vec::with_capacity(32 + 3 * frame.nx * frame.ny);
+    out.extend_from_slice(format!("P6\n{} {}\n255\n", frame.nx, frame.ny).as_bytes());
+    for iy in (0..frame.ny).rev() {
+        for ix in 0..frame.nx {
+            let t = (frame.at(ix, iy) - lo) / (hi - lo);
+            out.extend_from_slice(&map.rgb(t));
+        }
+    }
+    out
+}
+
+/// Writes a frame as PPM to `path` with auto-scaled range.
+pub fn write_ppm(frame: &ThermalFrame, path: &Path, map: ColorMap) -> io::Result<()> {
+    let (lo, hi) = (frame.min(), frame.max().max(frame.min() + 1e-9));
+    let bytes = frame_to_ppm(frame, lo, hi, map);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)
+}
+
+/// Serializes a frame as CSV (`x_mm,y_mm,temp_c` per line, with header).
+pub fn frame_to_csv(frame: &ThermalFrame) -> String {
+    let mut s = String::with_capacity(frame.temps.len() * 24);
+    s.push_str("x_mm,y_mm,temp_c\n");
+    let cell_mm = frame.cell_m * 1e3;
+    for iy in 0..frame.ny {
+        for ix in 0..frame.nx {
+            s.push_str(&format!(
+                "{:.4},{:.4},{:.3}\n",
+                (ix as f64 + 0.5) * cell_mm,
+                (iy as f64 + 0.5) * cell_mm,
+                frame.at(ix, iy)
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> ThermalFrame {
+        ThermalFrame::new(3, 2, 1e-4, vec![40.0, 50.0, 60.0, 70.0, 80.0, 90.0])
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let f = frame();
+        let ppm = frame_to_ppm(&f, 40.0, 90.0, ColorMap::Heat);
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 3 * 6);
+    }
+
+    #[test]
+    fn hottest_pixel_is_brightest_in_heat_map() {
+        let f = frame();
+        let ppm = frame_to_ppm(&f, 40.0, 90.0, ColorMap::Heat);
+        let body = &ppm[11..];
+        // Frame row 1 (top, temps 70/80/90) renders first; its last pixel is
+        // the hottest (white); the first body pixel is 70 C.
+        let hottest = &body[6..9];
+        assert_eq!(hottest, &[255, 255, 255]);
+        // The coldest cell (40 C) renders in the bottom row, first pixel.
+        let coldest = &body[9..12];
+        assert_eq!(coldest, &[0, 0, 0]);
+    }
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(ColorMap::Gray.rgb(0.0), [0, 0, 0]);
+        assert_eq!(ColorMap::Gray.rgb(1.0), [255, 255, 255]);
+        assert_eq!(ColorMap::Heat.rgb(1.0), [255, 255, 255]);
+        assert_eq!(ColorMap::Diverging.rgb(0.5)[2], 255);
+        // Out-of-range clamps.
+        assert_eq!(ColorMap::Heat.rgb(2.0), [255, 255, 255]);
+        assert_eq!(ColorMap::Heat.rgb(-1.0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_cells() {
+        let f = frame();
+        let csv = frame_to_csv(&f);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert_eq!(lines[0], "x_mm,y_mm,temp_c");
+        assert!(lines[1].starts_with("0.0500,0.0500,40.000"));
+    }
+
+    #[test]
+    fn write_ppm_roundtrip() {
+        let dir = std::env::temp_dir().join("hotgauge_test_ppm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.ppm");
+        write_ppm(&frame(), &path, ColorMap::Heat).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P6\n"));
+        std::fs::remove_file(&path).ok();
+    }
+}

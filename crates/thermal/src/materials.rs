@@ -1,0 +1,119 @@
+//! Material thermal properties.
+//!
+//! Values for the case-study stack come from Table II of the paper, converted
+//! from the paper's per-micrometer units to SI:
+//!
+//! | Layer                  | k [W/µm·K] → [W/m·K] | c_v [J/µm³·K] → [J/m³·K] |
+//! |------------------------|----------------------|---------------------------|
+//! | Thermal grease         | 0.04e-4  → 4.0       | 3.376e-12 → 3.376e6       |
+//! | Copper (heat spreader) | 3.9e-4   → 390       | 3.376e-12 → 3.376e6       |
+//! | Solder TIM             | 0.25e-4  → 25        | 1.628e-12 → 1.628e6       |
+//! | Silicon (IC wafer)     | 1.20e-4  → 120       | 1.651e-12 → 1.651e6       |
+
+use serde::{Deserialize, Serialize};
+
+/// Homogeneous, isotropic material thermal properties (SI units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Volumetric heat capacity, J/(m³·K).
+    pub heat_capacity: f64,
+}
+
+impl Material {
+    /// Creates a material.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either property is non-positive or non-finite.
+    pub fn new(conductivity: f64, heat_capacity: f64) -> Self {
+        assert!(
+            conductivity.is_finite() && conductivity > 0.0,
+            "conductivity must be positive"
+        );
+        assert!(
+            heat_capacity.is_finite() && heat_capacity > 0.0,
+            "heat capacity must be positive"
+        );
+        Self {
+            conductivity,
+            heat_capacity,
+        }
+    }
+
+    /// Thermal diffusivity `k / c_v`, m²/s.
+    pub fn diffusivity(&self) -> f64 {
+        self.conductivity / self.heat_capacity
+    }
+
+    /// Silicon (IC wafer), Table II.
+    pub const SILICON: Material = Material {
+        conductivity: 120.0,
+        heat_capacity: 1.651e6,
+    };
+
+    /// Copper heat spreader, Table II.
+    pub const COPPER: Material = Material {
+        conductivity: 390.0,
+        heat_capacity: 3.376e6,
+    };
+
+    /// Solder thermal interface material (TIM1), Table II.
+    pub const SOLDER_TIM: Material = Material {
+        conductivity: 25.0,
+        heat_capacity: 1.628e6,
+    };
+
+    /// Thermal grease (TIM2), Table II.
+    pub const THERMAL_GREASE: Material = Material {
+        conductivity: 4.0,
+        heat_capacity: 3.376e6,
+    };
+
+    /// Aluminum (heatsink base; HS483-ND is an aluminum extrusion).
+    pub const ALUMINUM: Material = Material {
+        conductivity: 237.0,
+        heat_capacity: 2.42e6,
+    };
+
+    /// Package mold / underfill filler used for border cells outside the die
+    /// footprint in die-level layers.
+    pub const MOLD_FILLER: Material = Material {
+        conductivity: 0.9,
+        heat_capacity: 1.7e6,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_in_si() {
+        // Cross-check the unit conversion against Table II of the paper.
+        assert!((Material::THERMAL_GREASE.conductivity - 0.04e-4 * 1e6).abs() < 1e-9);
+        assert!((Material::COPPER.conductivity - 3.9e-4 * 1e6).abs() < 1e-9);
+        assert!((Material::SOLDER_TIM.conductivity - 0.25e-4 * 1e6).abs() < 1e-9);
+        assert!((Material::SILICON.conductivity - 1.20e-4 * 1e6).abs() < 1e-9);
+        assert!((Material::SILICON.heat_capacity - 1.651e-12 * 1e18).abs() < 1.0);
+        assert!((Material::SOLDER_TIM.heat_capacity - 1.628e-12 * 1e18).abs() < 1.0);
+    }
+
+    #[test]
+    fn diffusivity_is_ratio() {
+        let m = Material::SILICON;
+        assert!((m.diffusivity() - 120.0 / 1.651e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silicon_diffuses_faster_than_grease() {
+        assert!(Material::SILICON.diffusivity() > Material::THERMAL_GREASE.diffusivity());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_conductivity() {
+        let _ = Material::new(0.0, 1.0);
+    }
+}

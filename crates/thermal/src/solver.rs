@@ -1,0 +1,244 @@
+//! Jacobi-preconditioned conjugate-gradient solver for the SPD systems
+//! produced by the RC-network discretization.
+
+use crate::sparse::CsrMatrix;
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Ax‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Configuration for the CG solver.
+#[derive(Debug, Clone, Copy)]
+pub struct CgConfig {
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-9,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+/// Solves `A x = b` for SPD `A` by preconditioned conjugate gradients,
+/// starting from the initial guess already in `x` (a warm start — the
+/// previous time step's solution — typically cuts iterations several-fold).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or the matrix has a non-positive diagonal
+/// entry (not SPD).
+pub fn solve_cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: &CgConfig) -> SolveStats {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+
+    let diag = a.diagonal();
+    let inv_diag: Vec<f64> = diag
+        .iter()
+        .map(|&d| {
+            assert!(d > 0.0, "matrix diagonal must be positive for CG");
+            1.0 / d
+        })
+        .collect();
+
+    let norm_b = norm2(b);
+    if norm_b == 0.0 {
+        x.fill(0.0);
+        return SolveStats {
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        };
+    }
+
+    // r = b - A x
+    let mut r = vec![0.0; n];
+    a.mul_vec(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut res = norm2(&r) / norm_b;
+    if res <= cfg.tolerance {
+        return SolveStats {
+            iterations: 0,
+            relative_residual: res,
+            converged: true,
+        };
+    }
+
+    for it in 1..=cfg.max_iterations {
+        a.mul_vec(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Should not happen for SPD systems; bail out conservatively.
+            return SolveStats {
+                iterations: it,
+                relative_residual: res,
+                converged: false,
+            };
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        res = norm2(&r) / norm_b;
+        if res <= cfg.tolerance {
+            return SolveStats {
+                iterations: it,
+                relative_residual: res,
+                converged: true,
+            };
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    SolveStats {
+        iterations: cfg.max_iterations,
+        relative_residual: res,
+        converged: false,
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    /// 1-D Poisson matrix with Dirichlet-like grounding at both ends.
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_conductance(i, i + 1, 1.0);
+        }
+        b.add_grounded_conductance(0, 1.0);
+        b.add_grounded_conductance(n - 1, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn solves_small_system_exactly() {
+        let a = poisson(4);
+        let x_true = vec![1.0, -2.0, 3.0, 0.5];
+        let b = a.mul_vec_alloc(&x_true);
+        let mut x = vec![0.0; 4];
+        let stats = solve_cg(&a, &b, &mut x, &CgConfig::default());
+        assert!(stats.converged);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn solves_larger_system() {
+        let n = 2000;
+        let a = poisson(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 37 % 100) as f64) / 10.0 - 5.0).collect();
+        let b = a.mul_vec_alloc(&x_true);
+        let mut x = vec![0.0; n];
+        let stats = solve_cg(
+            &a,
+            &b,
+            &mut x,
+            &CgConfig {
+                tolerance: 1e-10,
+                max_iterations: 50_000,
+            },
+        );
+        assert!(stats.converged, "res = {}", stats.relative_residual);
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 5e-3, "error {err}");
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 1000;
+        let a = poisson(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let b = a.mul_vec_alloc(&x_true);
+
+        let mut cold = vec![0.0; n];
+        let cold_stats = solve_cg(&a, &b, &mut cold, &CgConfig::default());
+
+        // Warm start from a slightly perturbed truth.
+        let mut warm: Vec<f64> = x_true.iter().map(|v| v + 1e-6).collect();
+        let warm_stats = solve_cg(&a, &b, &mut warm, &CgConfig::default());
+        assert!(warm_stats.iterations < cold_stats.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = poisson(10);
+        let mut x = vec![3.0; 10];
+        let stats = solve_cg(&a, &vec![0.0; 10], &mut x, &CgConfig::default());
+        assert!(stats.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reports_nonconvergence_when_capped() {
+        let n = 500;
+        let a = poisson(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let stats = solve_cg(
+            &a,
+            &b,
+            &mut x,
+            &CgConfig {
+                tolerance: 1e-14,
+                max_iterations: 2,
+            },
+        );
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_diagonal() {
+        let b = TripletBuilder::new(2);
+        let a = b.build(); // all-zero diagonal
+        let mut x = vec![0.0; 2];
+        let _ = solve_cg(&a, &[1.0, 1.0], &mut x, &CgConfig::default());
+    }
+}

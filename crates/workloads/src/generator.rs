@@ -1,0 +1,377 @@
+//! Deterministic micro-op stream generation from a [`WorkloadProfile`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hotgauge_perf::instr::{Instr, InstrClass, InstrSource};
+
+use crate::profile::WorkloadProfile;
+
+/// A deterministic, infinite micro-op stream for one profile.
+///
+/// Two generators with the same `(profile, seed)` produce identical streams,
+/// which makes every figure of the reproduction bit-reproducible.
+pub struct WorkloadGen {
+    profile: WorkloadProfile,
+    rng: SmallRng,
+    /// Dynamic instruction counter.
+    icount: u64,
+    /// Position within the phase cycle.
+    phase_pos: u64,
+    phase_idx: usize,
+    /// Per-static-branch bias bit (the branch's usual direction).
+    branch_bias: Vec<bool>,
+    /// Current sequential-stream address.
+    stream_addr: u64,
+    /// Current code position within the footprint.
+    pc: u64,
+    /// Base address of the current hot code region (inner loop).
+    region_base: u64,
+    /// Salt for the per-PC static-instruction hash.
+    class_salt: u64,
+}
+
+/// Base of the data segment for generated addresses.
+const DATA_BASE: u64 = 0x1000_0000;
+/// Base of the large (cold) data segment.
+const BIG_BASE: u64 = 0x8000_0000;
+/// Base of the code segment.
+const CODE_BASE: u64 = 0x40_0000;
+
+impl WorkloadGen {
+    /// Creates a generator for `profile` with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile {}: {e}", profile.name));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let branch_bias = (0..profile.branch.static_branches)
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        Self {
+            profile,
+            rng,
+            icount: 0,
+            phase_pos: 0,
+            phase_idx: 0,
+            branch_bias,
+            stream_addr: DATA_BASE,
+            pc: CODE_BASE,
+            region_base: CODE_BASE,
+            class_salt: seed.wrapping_mul(0xA076_1D64_78BD_642F) | 1,
+        }
+    }
+
+    /// The profile driving this stream.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.icount
+    }
+
+    /// Skips `n` instructions of the dynamic stream without generating them,
+    /// advancing the phase position accordingly. Used by the sampling
+    /// co-simulation: only a sample of each 1 M-cycle window is simulated in
+    /// detail, but phase progression must track *all* instructions the
+    /// window represents.
+    pub fn skip(&mut self, n: u64) {
+        self.icount += n;
+        let cycle = self.profile.phase_cycle_instrs();
+        let mut rem = n % cycle;
+        while rem > 0 {
+            let left = self.profile.phases[self.phase_idx].length_instrs - self.phase_pos;
+            if rem >= left {
+                rem -= left;
+                self.phase_pos = 0;
+                self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
+            } else {
+                self.phase_pos += rem;
+                rem = 0;
+            }
+        }
+    }
+
+    fn advance_phase(&mut self) {
+        self.phase_pos += 1;
+        if self.phase_pos >= self.profile.phases[self.phase_idx].length_instrs {
+            self.phase_pos = 0;
+            self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
+        }
+    }
+
+    fn next_pc(&mut self) -> u64 {
+        // Loop-dominated code model: execution stays inside a hot region
+        // (an inner loop) and occasionally migrates to a different region of
+        // the footprint, as phase-structured programs do. Large footprints
+        // therefore cost I-cache misses at region switches, not on every
+        // fetch — walking the whole text sequentially would thrash the L1I
+        // in a way real programs do not.
+        const HOT_REGION_BYTES: u64 = 8 * 1024;
+        let footprint = self.profile.code_footprint_bytes;
+        let region = HOT_REGION_BYTES.min(footprint);
+        if self.rng.gen_bool(5e-4) {
+            // Migrate to a new hot region.
+            let regions = (footprint / region).max(1);
+            self.region_base = CODE_BASE + self.rng.gen_range(0..regions) * region;
+        }
+        self.pc += 4;
+        if self.pc < self.region_base || self.pc >= self.region_base + region {
+            self.pc = self.region_base;
+        }
+        self.pc
+    }
+
+    fn data_address(&mut self, mem_scale: f64) -> u64 {
+        let mem = self.profile.mem;
+        let big_fraction = (mem.big_fraction * mem_scale).min(1.0);
+        if self.rng.gen_bool(big_fraction) {
+            // Cold/large set: random within big_set.
+            let lines = (mem.big_set_bytes / 64).max(1);
+            BIG_BASE + self.rng.gen_range(0..lines) * 64
+        } else if self.rng.gen_bool(mem.stream_fraction) {
+            // Sequential streaming through the working set.
+            self.stream_addr += 64;
+            if self.stream_addr >= DATA_BASE + mem.working_set_bytes {
+                self.stream_addr = DATA_BASE;
+            }
+            self.stream_addr
+        } else {
+            // Random within the hot working set.
+            let lines = (mem.working_set_bytes / 64).max(1);
+            DATA_BASE + self.rng.gen_range(0..lines) * 64
+        }
+    }
+
+    /// Deterministic per-PC roll in [0, 1): real programs execute the *same*
+    /// instruction at a given PC on every pass, which is what lets branch
+    /// predictors and instruction caches train. Salted by the phase so phase
+    /// transitions change the executed code.
+    fn class_roll(&self, pc: u64) -> f64 {
+        let mut z = pc ^ ((self.phase_idx as u64) << 48) ^ self.class_salt;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    }
+
+    fn branch_outcome(&mut self, pc: u64) -> bool {
+        let idx = ((pc / 4) % self.branch_bias.len() as u64) as usize;
+        let bias = self.branch_bias[idx];
+        if self.rng.gen_bool(self.profile.branch.predictability) {
+            bias
+        } else {
+            !bias
+        }
+    }
+}
+
+impl InstrSource for WorkloadGen {
+    fn next_instr(&mut self) -> Instr {
+        self.icount += 1;
+        let phase = self.profile.phases[self.phase_idx];
+        self.advance_phase();
+
+        let mix = self.profile.mix;
+        // Phase-scaled FP share: hot phases shift weight from int to FP/AVX.
+        let fp = (mix.fp * phase.fp_scale).min(0.9);
+        let avx = (mix.avx * phase.fp_scale).min(0.9 - fp);
+        let shift = (fp - mix.fp) + (avx - mix.avx);
+        let int_simple = (mix.int_simple - shift).max(0.0);
+
+        let pc = self.next_pc();
+        let r: f64 = self.class_roll(pc);
+        let mut acc = mix.loads;
+        let mut ins = if r < acc {
+            Instr::load(pc, self.data_address(phase.mem_scale))
+        } else if {
+            acc += mix.stores;
+            r < acc
+        } {
+            Instr::store(pc, self.data_address(phase.mem_scale))
+        } else if {
+            acc += mix.branches;
+            r < acc
+        } {
+            let taken = self.branch_outcome(pc);
+            Instr::branch(pc, taken)
+        } else if {
+            acc += int_simple;
+            r < acc
+        } {
+            Instr::compute(InstrClass::IntSimple, pc)
+        } else if {
+            acc += mix.int_complex;
+            r < acc
+        } {
+            let mut i = Instr::compute(InstrClass::IntComplex, pc);
+            // Complex ops (mul/div) carry real latency.
+            i.extra_latency = 2;
+            i
+        } else if {
+            acc += fp;
+            r < acc
+        } {
+            Instr::compute(InstrClass::FpScalar, pc)
+        } else {
+            Instr::compute(InstrClass::Avx512, pc)
+        };
+
+        // Dependency-chain serialization, scaled by the phase.
+        let serial_p = (self.profile.serial_fraction * phase.serial_scale).min(1.0);
+        if !matches!(ins.class, InstrClass::IntComplex) && self.rng.gen_bool(serial_p) {
+            ins.extra_latency = ins.extra_latency.max(self.rng.gen_range(1..=2));
+        }
+        ins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BranchBehavior, InstMix, MemoryBehavior, Phase};
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "synthetic".into(),
+            mix: InstMix {
+                loads: 0.25,
+                stores: 0.10,
+                branches: 0.15,
+                int_simple: 0.35,
+                int_complex: 0.05,
+                fp: 0.08,
+                avx: 0.02,
+            },
+            mem: MemoryBehavior {
+                working_set_bytes: 256 * 1024,
+                big_set_bytes: 64 * 1024 * 1024,
+                big_fraction: 0.02,
+                stream_fraction: 0.5,
+            },
+            branch: BranchBehavior {
+                predictability: 0.94,
+                static_branches: 512,
+            },
+            serial_fraction: 0.15,
+            code_footprint_bytes: 32 * 1024,
+            phases: vec![Phase::neutral(100_000)],
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = WorkloadGen::new(profile(), 7);
+        let mut b = WorkloadGen::new(profile(), 7);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WorkloadGen::new(profile(), 1);
+        let mut b = WorkloadGen::new(profile(), 2);
+        let differs = (0..1000).any(|_| a.next_instr() != b.next_instr());
+        assert!(differs);
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let mut g = WorkloadGen::new(profile(), 3);
+        let n = 200_000;
+        let mut loads = 0;
+        let mut branches = 0;
+        let mut fp = 0;
+        for _ in 0..n {
+            match g.next_instr().class {
+                InstrClass::Load => loads += 1,
+                InstrClass::Branch => branches += 1,
+                InstrClass::FpScalar | InstrClass::Avx512 => fp += 1,
+                _ => {}
+            }
+        }
+        let fl = loads as f64 / n as f64;
+        let fb = branches as f64 / n as f64;
+        let ff = fp as f64 / n as f64;
+        assert!((fl - 0.25).abs() < 0.02, "load fraction {fl}");
+        assert!((fb - 0.15).abs() < 0.02, "branch fraction {fb}");
+        assert!((ff - 0.10).abs() < 0.02, "fp fraction {ff}");
+    }
+
+    #[test]
+    fn addresses_stay_in_segments() {
+        let mut g = WorkloadGen::new(profile(), 4);
+        for _ in 0..50_000 {
+            let i = g.next_instr();
+            if matches!(i.class, InstrClass::Load | InstrClass::Store) {
+                let in_hot = (DATA_BASE..DATA_BASE + 256 * 1024 + 64).contains(&i.addr);
+                let in_big = (BIG_BASE..BIG_BASE + 64 * 1024 * 1024 + 64).contains(&i.addr);
+                assert!(in_hot || in_big, "address {:x} outside segments", i.addr);
+            }
+            assert!(i.pc >= CODE_BASE && i.pc < CODE_BASE + 32 * 1024 + 4);
+        }
+    }
+
+    #[test]
+    fn phase_scaling_changes_fp_share() {
+        let mut p = profile();
+        p.phases = vec![Phase {
+            length_instrs: 50_000,
+            serial_scale: 1.0,
+            mem_scale: 1.0,
+            fp_scale: 5.0,
+        }];
+        let mut g = WorkloadGen::new(p, 5);
+        let n = 50_000;
+        let fp = (0..n)
+            .filter(|_| g.next_instr().class.is_fp())
+            .count() as f64
+            / n as f64;
+        assert!(fp > 0.3, "fp share under 5x scale: {fp}");
+    }
+
+    #[test]
+    fn skip_advances_phase_like_generation() {
+        let mut p = profile();
+        p.phases = vec![
+            Phase::neutral(1000),
+            Phase {
+                length_instrs: 500,
+                serial_scale: 2.0,
+                mem_scale: 1.0,
+                fp_scale: 1.0,
+            },
+        ];
+        let mut a = WorkloadGen::new(p.clone(), 9);
+        let mut b = WorkloadGen::new(p, 9);
+        // Generating n instructions and skipping n must land in the same
+        // phase position.
+        for _ in 0..1234 {
+            a.next_instr();
+        }
+        b.skip(1234);
+        assert_eq!(a.phase_idx, b.phase_idx);
+        assert_eq!(a.phase_pos, b.phase_pos);
+        assert_eq!(a.generated(), b.generated());
+        // Skipping a whole number of cycles is a no-op on phase position.
+        let (pi, pp) = (b.phase_idx, b.phase_pos);
+        b.skip(1500 * 4);
+        assert_eq!((pi, pp), (b.phase_idx, b.phase_pos));
+    }
+
+    #[test]
+    fn generated_counts() {
+        let mut g = WorkloadGen::new(profile(), 6);
+        for _ in 0..123 {
+            g.next_instr();
+        }
+        assert_eq!(g.generated(), 123);
+    }
+}

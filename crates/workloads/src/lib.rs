@@ -1,0 +1,41 @@
+//! Deterministic SPEC CPU2006 proxy workloads for the HotGauge reproduction.
+//!
+//! The original study traces real SPEC2006 binaries with a Pin-based
+//! simulator; this crate substitutes **statistical workload models**: one
+//! calibrated profile per benchmark ([`spec2006`]), a deterministic micro-op
+//! stream generator ([`generator`]), the idle/OS background task used
+//! for thermal warm-up ([`idle`]), and binary trace recording/replay
+//! ([`trace`]) for Sniper-style trace-driven runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotgauge_perf::prelude::*;
+//! use hotgauge_workloads::prelude::*;
+//!
+//! let profile = spec2006::profile("gcc").unwrap();
+//! let mut stream = WorkloadGen::new(profile, /*seed=*/ 0);
+//! let mut core = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
+//! core.warm_up(&mut stream, 500_000);
+//! let window = core.run_cycles(&mut stream, 200_000);
+//! assert!(window.ipc() > 0.05);
+//! ```
+
+pub mod generator;
+pub mod idle;
+pub mod profile;
+pub mod spec2006;
+pub mod trace;
+
+pub use crate::generator::WorkloadGen;
+pub use crate::idle::{idle_profile, IDLE_DUTY_CYCLE, IDLE_WARMUP_DURATION_S};
+pub use crate::profile::{BranchBehavior, InstMix, MemoryBehavior, Phase, WorkloadProfile};
+pub use crate::trace::{Trace, TraceReplay};
+
+/// Convenient glob import of the most used items.
+pub mod prelude {
+    pub use crate::generator::WorkloadGen;
+    pub use crate::idle::{idle_profile, IDLE_DUTY_CYCLE, IDLE_WARMUP_DURATION_S};
+    pub use crate::profile::{InstMix, MemoryBehavior, Phase, WorkloadProfile};
+    pub use crate::spec2006;
+}

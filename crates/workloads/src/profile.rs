@@ -1,0 +1,241 @@
+//! Statistical workload profiles.
+//!
+//! A [`WorkloadProfile`] captures the microarchitectural signature of a
+//! benchmark — instruction mix, memory behavior, branch predictability,
+//! dependency-chain density, and phase structure. The generator
+//! (`crate::generator`) turns a profile into a deterministic micro-op stream
+//! for the interval core model.
+//!
+//! This is the substitution for running real SPEC2006 binaries under a
+//! Pin-based simulator: the hotspot methodology consumes only per-unit
+//! activity densities over 1 M-cycle windows, which these profiles control
+//! directly.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction-class mix. Fractions must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstMix {
+    /// Memory loads.
+    pub loads: f64,
+    /// Memory stores.
+    pub stores: f64,
+    /// Branches.
+    pub branches: f64,
+    /// Simple integer ALU ops.
+    pub int_simple: f64,
+    /// Complex integer ops (mul/div).
+    pub int_complex: f64,
+    /// Scalar floating point.
+    pub fp: f64,
+    /// AVX-512 vector ops.
+    pub avx: f64,
+}
+
+impl InstMix {
+    /// Sum of all fractions (should be ≈ 1).
+    pub fn total(&self) -> f64 {
+        self.loads
+            + self.stores
+            + self.branches
+            + self.int_simple
+            + self.int_complex
+            + self.fp
+            + self.avx
+    }
+
+    /// Checks that the mix is a probability distribution.
+    pub fn validate(&self) -> Result<(), String> {
+        let t = self.total();
+        if (t - 1.0).abs() > 1e-6 {
+            return Err(format!("instruction mix sums to {t}, expected 1.0"));
+        }
+        for (name, v) in [
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("branches", self.branches),
+            ("int_simple", self.int_simple),
+            ("int_complex", self.int_complex),
+            ("fp", self.fp),
+            ("avx", self.avx),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} fraction {v} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Data-memory access behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBehavior {
+    /// Primary (hot) working-set size, bytes.
+    pub working_set_bytes: u64,
+    /// Secondary (cold/large) set size, bytes.
+    pub big_set_bytes: u64,
+    /// Fraction of accesses that go to the big set.
+    pub big_fraction: f64,
+    /// Fraction of accesses that stream sequentially (rest are random).
+    pub stream_fraction: f64,
+}
+
+/// Control-flow behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchBehavior {
+    /// Probability a branch follows its learned per-PC bias
+    /// (1.0 = perfectly predictable, 0.5 = random).
+    pub predictability: f64,
+    /// Number of distinct static branch sites.
+    pub static_branches: u32,
+}
+
+/// One execution phase: SPEC workloads alternate between phases of different
+/// computational intensity (the paper attributes late hotspots to "a sudden
+/// and dramatic spike in computational intensity at a certain phase").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase length in instructions.
+    pub length_instrs: u64,
+    /// Multiplier on dependency-chain density (higher = more serialization,
+    /// lower IPC, lower power).
+    pub serial_scale: f64,
+    /// Multiplier on the big-set access fraction (memory intensity).
+    pub mem_scale: f64,
+    /// Multiplier on FP/AVX share (compute intensity shifts toward the FP
+    /// stack during hot phases).
+    pub fp_scale: f64,
+}
+
+impl Phase {
+    /// A neutral phase of the given length.
+    pub fn neutral(length_instrs: u64) -> Self {
+        Self {
+            length_instrs,
+            serial_scale: 1.0,
+            mem_scale: 1.0,
+            fp_scale: 1.0,
+        }
+    }
+}
+
+/// A complete statistical benchmark profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name (e.g. `"gcc"`).
+    pub name: String,
+    /// Baseline instruction mix.
+    pub mix: InstMix,
+    /// Memory behavior.
+    pub mem: MemoryBehavior,
+    /// Branch behavior.
+    pub branch: BranchBehavior,
+    /// Probability that a compute op carries a serializing dependency
+    /// (extra latency 1–3 cycles), limiting ILP.
+    pub serial_fraction: f64,
+    /// Code footprint in bytes (drives L1I behavior).
+    pub code_footprint_bytes: u64,
+    /// Phase sequence, cycled endlessly.
+    pub phases: Vec<Phase>,
+}
+
+impl WorkloadProfile {
+    /// Checks profile invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mix.validate()?;
+        if !(0.0..=1.0).contains(&self.serial_fraction) {
+            return Err("serial_fraction out of range".into());
+        }
+        if !(0.5..=1.0).contains(&self.branch.predictability) {
+            return Err("branch predictability must be in [0.5, 1.0]".into());
+        }
+        if !(0.0..=1.0).contains(&self.mem.big_fraction)
+            || !(0.0..=1.0).contains(&self.mem.stream_fraction)
+        {
+            return Err("memory fractions out of range".into());
+        }
+        if self.phases.is_empty() {
+            return Err("profile needs at least one phase".into());
+        }
+        if self.code_footprint_bytes < 64 {
+            return Err("code footprint too small".into());
+        }
+        Ok(())
+    }
+
+    /// Total instructions in one pass over all phases.
+    pub fn phase_cycle_instrs(&self) -> u64 {
+        self.phases.iter().map(|p| p.length_instrs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> InstMix {
+        InstMix {
+            loads: 0.25,
+            stores: 0.10,
+            branches: 0.15,
+            int_simple: 0.35,
+            int_complex: 0.05,
+            fp: 0.08,
+            avx: 0.02,
+        }
+    }
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "test".into(),
+            mix: mix(),
+            mem: MemoryBehavior {
+                working_set_bytes: 64 * 1024,
+                big_set_bytes: 64 * 1024 * 1024,
+                big_fraction: 0.05,
+                stream_fraction: 0.5,
+            },
+            branch: BranchBehavior {
+                predictability: 0.95,
+                static_branches: 256,
+            },
+            serial_fraction: 0.2,
+            code_footprint_bytes: 16 * 1024,
+            phases: vec![Phase::neutral(1_000_000)],
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert!(profile().validate().is_ok());
+        assert!((mix().total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_mix_fails() {
+        let mut p = profile();
+        p.mix.loads = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_predictability_fails() {
+        let mut p = profile();
+        p.branch.predictability = 0.3;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn empty_phases_fail() {
+        let mut p = profile();
+        p.phases.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn phase_cycle_length() {
+        let mut p = profile();
+        p.phases = vec![Phase::neutral(100), Phase::neutral(300)];
+        assert_eq!(p.phase_cycle_instrs(), 400);
+    }
+}

@@ -1,0 +1,211 @@
+//! Micro-op trace recording and replay.
+//!
+//! The original toolchain is trace-driven (Pin traces of real binaries fed
+//! to Sniper). This module provides the equivalent capability for the Rust
+//! toolchain: any [`InstrSource`] can be recorded into a compact binary
+//! trace, persisted, and replayed deterministically — useful for sharing
+//! exact workload windows, regression-pinning a simulation, or feeding the
+//! core model from externally produced traces.
+//!
+//! Encoding (little-endian, 18 bytes per record after an 8-byte header):
+//! `class:u8, extra_latency:u8, pc:u64, addr_or_taken:u64`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use hotgauge_perf::instr::{Instr, InstrClass, InstrSource};
+
+/// Magic prefix of the trace format (version 1).
+const MAGIC: u64 = 0x4854_4743_5452_0001; // "HTGCTR\0\x01"
+
+fn class_to_u8(c: InstrClass) -> u8 {
+    match c {
+        InstrClass::IntSimple => 0,
+        InstrClass::IntComplex => 1,
+        InstrClass::FpScalar => 2,
+        InstrClass::Avx512 => 3,
+        InstrClass::Load => 4,
+        InstrClass::Store => 5,
+        InstrClass::Branch => 6,
+    }
+}
+
+fn class_from_u8(v: u8) -> Option<InstrClass> {
+    Some(match v {
+        0 => InstrClass::IntSimple,
+        1 => InstrClass::IntComplex,
+        2 => InstrClass::FpScalar,
+        3 => InstrClass::Avx512,
+        4 => InstrClass::Load,
+        5 => InstrClass::Store,
+        6 => InstrClass::Branch,
+        _ => return None,
+    })
+}
+
+/// An in-memory recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    instrs: Vec<Instr>,
+}
+
+impl Trace {
+    /// Records `n` micro-ops from a source.
+    pub fn record<S: InstrSource>(src: &mut S, n: usize) -> Self {
+        let instrs = (0..n).map(|_| src.next_instr()).collect();
+        Self { instrs }
+    }
+
+    /// Number of recorded micro-ops.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The recorded micro-ops.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.instrs.len() * 18);
+        buf.put_u64_le(MAGIC);
+        for i in &self.instrs {
+            buf.put_u8(class_to_u8(i.class));
+            buf.put_u8(i.extra_latency);
+            buf.put_u64_le(i.pc);
+            let payload = if i.class == InstrClass::Branch {
+                i.taken as u64
+            } else {
+                i.addr
+            };
+            buf.put_u64_le(payload);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from the binary format.
+    ///
+    /// Returns `Err` with a description on malformed input.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+        if data.remaining() < 8 {
+            return Err("trace too short for header".into());
+        }
+        if data.get_u64_le() != MAGIC {
+            return Err("bad trace magic".into());
+        }
+        if data.remaining() % 18 != 0 {
+            return Err(format!("truncated trace body ({} bytes)", data.remaining()));
+        }
+        let mut instrs = Vec::with_capacity(data.remaining() / 18);
+        while data.has_remaining() {
+            let class = class_from_u8(data.get_u8()).ok_or("unknown instruction class")?;
+            let extra_latency = data.get_u8();
+            let pc = data.get_u64_le();
+            let payload = data.get_u64_le();
+            let (addr, taken) = if class == InstrClass::Branch {
+                (0, payload != 0)
+            } else {
+                (payload, false)
+            };
+            instrs.push(Instr {
+                class,
+                pc,
+                addr,
+                taken,
+                extra_latency,
+            });
+        }
+        Ok(Self { instrs })
+    }
+
+    /// A replaying source over this trace. The replay loops endlessly, like
+    /// a steady-state region of interest.
+    pub fn replay(&self) -> TraceReplay<'_> {
+        TraceReplay {
+            trace: self,
+            pos: 0,
+        }
+    }
+}
+
+/// Replays a [`Trace`] as an [`InstrSource`], looping at the end.
+pub struct TraceReplay<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl InstrSource for TraceReplay<'_> {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.trace.instrs[self.pos];
+        self.pos = (self.pos + 1) % self.trace.instrs.len();
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGen;
+    use crate::spec2006;
+
+    fn sample_trace(n: usize) -> Trace {
+        let mut gen = WorkloadGen::new(spec2006::profile("gcc").unwrap(), 42);
+        Trace::record(&mut gen, n)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let t = sample_trace(5_000);
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn replay_matches_recording_and_loops() {
+        let t = sample_trace(100);
+        let mut r = t.replay();
+        for i in 0..300 {
+            assert_eq!(r.next_instr(), t.instrs()[i % 100]);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(Trace::from_bytes(Bytes::from_static(b"short")).is_err());
+        let mut bad = BytesMut::new();
+        bad.put_u64_le(0xDEAD_BEEF);
+        assert!(Trace::from_bytes(bad.freeze()).is_err());
+        let t = sample_trace(3);
+        let mut data = t.to_bytes().to_vec();
+        data.pop();
+        assert!(Trace::from_bytes(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn replayed_trace_drives_the_core_identically() {
+        use hotgauge_perf::config::{CoreConfig, MemoryConfig};
+        use hotgauge_perf::engine::CoreSim;
+
+        let t = sample_trace(50_000);
+        let mut a = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
+        let mut b = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
+        let wa = a.run_instructions(&mut t.replay(), 50_000);
+        let wb = b.run_instructions(&mut t.replay(), 50_000);
+        assert_eq!(wa, wb);
+        assert!(wa.ipc() > 0.05);
+    }
+
+    #[test]
+    fn record_size_is_18_bytes_per_instr() {
+        let t = sample_trace(10);
+        assert_eq!(t.to_bytes().len(), 8 + 10 * 18);
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+    }
+}

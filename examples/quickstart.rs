@@ -1,0 +1,51 @@
+//! Quickstart: run one perf-power-therm co-simulation and characterize its
+//! hotspots.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_core::report::{fmt_time, fmt_tuh};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn main() {
+    // Simulate 5 ms of single-threaded gcc pinned to core 0 of the 7 nm
+    // Skylake-proxy client CPU, after an idle warm-up — the paper's default
+    // scenario.
+    let mut cfg = SimConfig::new(TechNode::N7, "gcc");
+    cfg.target_core = 0;
+    cfg.warmup = Warmup::Idle;
+    cfg.max_time_s = 5e-3;
+
+    println!("running gcc on a 7nm client CPU for 5 ms of simulated time...");
+    let result = run_sim(cfg);
+
+    // Time-until-hotspot with the paper's definition (80 C, 25 C MLTD, 1 mm).
+    println!("TUH: {}", fmt_tuh(result.tuh_s, 5e-3));
+
+    // Per-step thermal summary.
+    let last = result.records.last().expect("at least one step");
+    println!(
+        "after {}: max {:.1} C, mean {:.1} C, max MLTD {:.1} C, peak severity {:.2}",
+        fmt_time(last.time_s),
+        last.max_temp_c,
+        last.mean_temp_c,
+        last.max_mltd_c,
+        result.peak_severity(),
+    );
+
+    // Where did the hotspots land?
+    println!("hotspot locations:");
+    for (unit, count) in result.census.ranked().into_iter().take(5) {
+        println!("  {unit:<12} {count}");
+    }
+
+    // The severity time series is available for further analysis.
+    println!(
+        "severity RMS over the run: {:.3} ({} samples)",
+        result.rms_severity(),
+        result.sev_series.len()
+    );
+}

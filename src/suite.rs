@@ -1,0 +1,9 @@
+//! Umbrella library for the HotGauge reproduction's integration tests and
+//! examples. Re-exports every crate of the workspace.
+
+pub use hotgauge_core as core;
+pub use hotgauge_floorplan as floorplan;
+pub use hotgauge_perf as perf;
+pub use hotgauge_power as power;
+pub use hotgauge_thermal as thermal;
+pub use hotgauge_workloads as workloads;

@@ -1,0 +1,177 @@
+//! End-to-end integration tests: the full perf → power → thermal → metrics
+//! pipeline across crates, at reduced fidelity.
+
+use hotgauge_core::pipeline::{run_many, run_sim, SimConfig};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn tiny(node: TechNode, bench: &str) -> SimConfig {
+    let mut cfg = SimConfig::new(node, bench);
+    cfg.cell_um = 300.0;
+    cfg.border_mm = 1.5;
+    cfg.substeps = 1;
+    cfg.sample_instrs = 8_000;
+    cfg.max_time_s = 2e-3;
+    cfg.warmup = Warmup::Idle;
+    cfg
+}
+
+#[test]
+fn seven_nm_runs_hotter_than_fourteen() {
+    let r14 = run_sim(tiny(TechNode::N14, "povray"));
+    let r7 = run_sim(tiny(TechNode::N7, "povray"));
+    let max14 = r14.records.iter().map(|r| r.max_temp_c).fold(0.0, f64::max);
+    let max7 = r7.records.iter().map(|r| r.max_temp_c).fold(0.0, f64::max);
+    assert!(
+        max7 > max14 + 5.0,
+        "7nm should run much hotter: {max7} vs {max14}"
+    );
+    let mltd14 = r14.records.iter().map(|r| r.max_mltd_c).fold(0.0, f64::max);
+    let mltd7 = r7.records.iter().map(|r| r.max_mltd_c).fold(0.0, f64::max);
+    assert!(mltd7 > mltd14, "7nm MLTD should exceed 14nm");
+}
+
+#[test]
+fn compute_dense_workload_beats_memory_bound_on_severity() {
+    // Both may saturate to severity 1.0 at 7 nm eventually, so compare the
+    // RMS of the severity series (the paper's own whole-run summary).
+    let hot = run_sim(tiny(TechNode::N7, "povray"));
+    let cold = run_sim(tiny(TechNode::N7, "lbm"));
+    assert!(
+        hot.rms_severity() > cold.rms_severity(),
+        "povray {} vs lbm {}",
+        hot.rms_severity(),
+        cold.rms_severity()
+    );
+}
+
+#[test]
+fn total_power_is_physically_plausible() {
+    // Chip power at the turbo operating point should be tens of watts — in
+    // the neighborhood of the Table IV TDPs — not zero and not kilowatts.
+    for node in [TechNode::N14, TechNode::N7] {
+        let r = run_sim(tiny(node, "bzip2"));
+        let p = r.records.last().unwrap().power_w;
+        assert!((10.0..120.0).contains(&p), "{node:?}: {p} W");
+    }
+}
+
+#[test]
+fn leakage_feedback_grows_power_as_die_heats() {
+    let mut cfg = tiny(TechNode::N7, "hmmer");
+    cfg.max_time_s = 3e-3;
+    cfg.warmup = Warmup::Cold;
+    let r = run_sim(cfg);
+    let first = r.records.first().unwrap().power_w;
+    let last = r.records.last().unwrap().power_w;
+    assert!(
+        last > first,
+        "temperature-dependent leakage should raise power: {first} -> {last}"
+    );
+}
+
+#[test]
+fn instruction_budget_counts_up() {
+    let r = run_sim(tiny(TechNode::N7, "gcc"));
+    // 10 windows of 1M cycles at IPC ~0.3-2 -> millions of instructions.
+    assert!(r.total_instructions > 500_000);
+    assert!(r.total_instructions < 50_000_000);
+}
+
+#[test]
+fn stop_at_first_hotspot_truncates_run() {
+    let mut cfg = tiny(TechNode::N7, "povray");
+    cfg.max_time_s = 20e-3;
+    cfg.stop_at_first_hotspot = true;
+    let r = run_sim(cfg.clone());
+    if let Some(tuh) = r.tuh_s {
+        let last = r.records.last().unwrap().time_s;
+        assert!(
+            (last - tuh).abs() < 1e-9,
+            "run should end at the first hotspot: {last} vs {tuh}"
+        );
+    }
+}
+
+#[test]
+fn tuh_is_the_first_detection_time() {
+    let mut cfg = tiny(TechNode::N7, "namd");
+    cfg.max_time_s = 5e-3;
+    let r = run_sim(cfg);
+    match r.tuh_s {
+        Some(tuh) => {
+            let first_with_hotspot = r
+                .records
+                .iter()
+                .find(|rec| rec.hotspot_count > 0)
+                .expect("tuh implies a hotspot record");
+            assert!((first_with_hotspot.time_s - tuh).abs() < 1e-12);
+            // No earlier record has hotspots.
+            for rec in &r.records {
+                if rec.time_s < tuh {
+                    assert_eq!(rec.hotspot_count, 0);
+                }
+            }
+        }
+        None => {
+            assert!(r.records.iter().all(|rec| rec.hotspot_count == 0));
+        }
+    }
+}
+
+#[test]
+fn severity_series_matches_records() {
+    let r = run_sim(tiny(TechNode::N7, "sjeng"));
+    assert_eq!(r.sev_series.len(), r.records.len());
+    for (rec, (&t, &v)) in r
+        .records
+        .iter()
+        .zip(r.sev_series.times_s.iter().zip(&r.sev_series.values))
+    {
+        assert_eq!(rec.time_s, t);
+        assert_eq!(rec.peak_severity, v);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}
+
+#[test]
+fn parked_background_is_cooler_than_idle_background() {
+    let mut idle = tiny(TechNode::N7, "gcc");
+    idle.max_time_s = 1e-3;
+    let mut parked = idle.clone();
+    parked.background_idle = false;
+    let ri = run_sim(idle);
+    let rp = run_sim(parked);
+    assert!(
+        ri.records.last().unwrap().mean_temp_c > rp.records.last().unwrap().mean_temp_c,
+        "background tasks should warm the die"
+    );
+}
+
+#[test]
+fn run_many_equals_sequential_runs() {
+    let cfgs = vec![tiny(TechNode::N7, "hmmer"), tiny(TechNode::N14, "hmmer")];
+    let parallel = run_many(cfgs.clone(), 2);
+    let sequential: Vec<_> = cfgs.into_iter().map(run_sim).collect();
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.records.len(), s.records.len());
+        assert_eq!(
+            p.records.last().unwrap().max_temp_c,
+            s.records.last().unwrap().max_temp_c
+        );
+    }
+}
+
+#[test]
+fn different_cores_give_different_thermal_outcomes() {
+    let mut a = tiny(TechNode::N7, "gobmk");
+    a.max_time_s = 3e-3;
+    let mut b = a.clone();
+    b.target_core = 3;
+    let ra = run_sim(a);
+    let rb = run_sim(b);
+    // Core 0 (die corner) vs core 3 (die center) must not be identical.
+    let ta = ra.records.last().unwrap().max_temp_c;
+    let tb = rb.records.last().unwrap().max_temp_c;
+    assert!((ta - tb).abs() > 0.05, "core placement should matter: {ta} vs {tb}");
+}

@@ -1,0 +1,85 @@
+//! Smoke tests for the experiment runners at miniature fidelity: every
+//! figure harness must execute end-to-end and produce structurally sound
+//! output.
+
+use hotgauge_core::experiments::{
+    fig11_tuh_per_benchmark, fig12_location_census, fig2_delta_distributions, fig8_warmup_runs,
+    fig9_mltd_series, sec5b_ic_scaling, Fidelity,
+};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn mini() -> Fidelity {
+    Fidelity {
+        cell_um: 350.0,
+        border_mm: 1.0,
+        substeps: 1,
+        sample_instrs: 5_000,
+        max_time_s: 1.2e-3,
+        threads: 2,
+    }
+}
+
+#[test]
+fn fig11_runner_shapes() {
+    let rows = fig11_tuh_per_benchmark(&mini(), Warmup::Idle, &["hmmer", "lbm"], &[0, 3]);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].0, "hmmer");
+    assert_eq!(rows[0].1.len(), 2);
+}
+
+#[test]
+fn fig9_runner_produces_series_per_core() {
+    let out = fig9_mltd_series(&mini(), &[TechNode::N7], &[0, 6], 1e-3);
+    assert_eq!(out.len(), 2);
+    for (node, core, ts) in &out {
+        assert_eq!(*node, TechNode::N7);
+        assert!([0usize, 6].contains(core));
+        assert!(!ts.is_empty());
+        assert!(ts.values.iter().all(|&v| v >= 0.0));
+    }
+}
+
+#[test]
+fn fig12_census_aggregates() {
+    let census = fig12_location_census(&mini(), &["povray"], &[0]);
+    // At miniature fidelity hotspots may or may not appear; the census must
+    // simply be well-formed.
+    let ranked = census.ranked();
+    let sum: u64 = ranked.iter().map(|(_, c)| c).sum();
+    assert_eq!(sum, census.total());
+}
+
+#[test]
+fn fig2_histograms_cover_both_nodes() {
+    let rows = fig2_delta_distributions(&mini(), "bzip2", 1e-3);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].0, TechNode::N14);
+    assert_eq!(rows[1].0, TechNode::N7);
+    for (_, edges, counts) in &rows {
+        assert_eq!(edges.len(), counts.len() + 1);
+        assert!(counts.iter().sum::<usize>() > 0);
+    }
+}
+
+#[test]
+fn fig8_records_histograms_for_both_warmups() {
+    let runs = fig8_warmup_runs(&mini(), 1e-3);
+    assert_eq!(runs.len(), 2);
+    assert_eq!(runs[0].config.warmup, Warmup::Cold);
+    assert_eq!(runs[1].config.warmup, Warmup::Idle);
+    for r in &runs {
+        assert!(r.records.iter().all(|rec| rec.temp_hist.is_some()));
+    }
+}
+
+#[test]
+fn sec5b_sweep_is_monotone_enough() {
+    let rows = sec5b_ic_scaling(&mini(), &["povray"], &[1.5, 2.5], 1.2e-3);
+    assert_eq!(rows.len(), 1);
+    let (_, target, sweep, _) = &rows[0];
+    assert!(*target >= 0.0);
+    assert_eq!(sweep.len(), 2);
+    // More area never increases RMS severity.
+    assert!(sweep[1].1 <= sweep[0].1 + 1e-9);
+}

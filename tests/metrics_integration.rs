@@ -1,0 +1,133 @@
+//! Metric-layer integration: the hotspot definition, detection, MLTD, and
+//! severity evaluated on frames produced by the real thermal model (not
+//! synthetic fields).
+
+use hotgauge_core::detect::{detect_hotspots, detect_hotspots_naive, HotspotParams};
+use hotgauge_core::mltd::{mltd_field, mltd_field_naive};
+use hotgauge_core::pipeline::{run_sim, SimConfig};
+use hotgauge_core::severity::SeverityParams;
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+fn simulated_frame() -> hotgauge_thermal::frame::ThermalFrame {
+    let mut cfg = SimConfig::new(TechNode::N7, "povray");
+    cfg.cell_um = 300.0;
+    cfg.border_mm = 1.5;
+    cfg.substeps = 1;
+    cfg.sample_instrs = 8_000;
+    cfg.max_time_s = 3e-3;
+    cfg.warmup = Warmup::Idle;
+    run_sim(cfg).final_frame
+}
+
+#[test]
+fn fast_and_naive_mltd_agree_on_simulated_frames() {
+    let frame = simulated_frame();
+    let fast = mltd_field(&frame, 1e-3);
+    let naive = mltd_field_naive(&frame, 1e-3);
+    for (i, (a, b)) in fast.iter().zip(&naive).enumerate() {
+        assert!((a - b).abs() < 1e-9, "cell {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn candidate_detector_agrees_with_naive_on_simulated_frames() {
+    let frame = simulated_frame();
+    let p = HotspotParams::paper_default();
+    let s = SeverityParams::cpu_default();
+    let fast = detect_hotspots(&frame, &p, &s);
+    let naive = detect_hotspots_naive(&frame, &p, &s);
+    // Every candidate hotspot satisfies the definition.
+    for h in &fast {
+        assert!(
+            naive.iter().any(|n| n.ix == h.ix && n.iy == h.iy),
+            "({},{}) not confirmed",
+            h.ix,
+            h.iy
+        );
+    }
+    // If the naive detector finds any hotspot, the candidate detector must
+    // find one too (the hottest local maximum qualifies).
+    assert_eq!(fast.is_empty(), naive.is_empty());
+    // And the worst severity agrees.
+    if !naive.is_empty() {
+        let f = fast.iter().map(|h| h.severity).fold(0.0, f64::max);
+        let n = naive.iter().map(|h| h.severity).fold(0.0, f64::max);
+        assert!((f - n).abs() < 1e-9, "{f} vs {n}");
+    }
+}
+
+#[test]
+fn hotspot_mltd_values_are_consistent_with_field() {
+    let frame = simulated_frame();
+    let p = HotspotParams::paper_default();
+    let s = SeverityParams::cpu_default();
+    let field = mltd_field(&frame, p.radius_m);
+    for h in detect_hotspots(&frame, &p, &s) {
+        let idx = h.iy * frame.nx + h.ix;
+        assert!((h.mltd_c - field[idx]).abs() < 1e-12);
+        assert!((h.temp_c - frame.temps[idx]).abs() < 1e-12);
+        assert!(h.temp_c > p.t_threshold_c);
+        assert!(h.mltd_c > p.mltd_threshold_c);
+        assert!((0.0..=1.0).contains(&h.severity));
+    }
+}
+
+#[test]
+fn tighter_thresholds_find_fewer_hotspots() {
+    let frame = simulated_frame();
+    let s = SeverityParams::cpu_default();
+    let loose = HotspotParams {
+        t_threshold_c: 70.0,
+        mltd_threshold_c: 15.0,
+        radius_m: 1e-3,
+    };
+    let strict = HotspotParams {
+        t_threshold_c: 95.0,
+        mltd_threshold_c: 35.0,
+        radius_m: 1e-3,
+    };
+    let n_loose = detect_hotspots(&frame, &loose, &s).len();
+    let n_strict = detect_hotspots(&frame, &strict, &s).len();
+    assert!(n_loose >= n_strict, "{n_loose} vs {n_strict}");
+}
+
+#[test]
+fn larger_radius_gives_no_smaller_mltd() {
+    let frame = simulated_frame();
+    let small = mltd_field(&frame, 0.5e-3);
+    let large = mltd_field(&frame, 2e-3);
+    for (s, l) in small.iter().zip(&large) {
+        assert!(l >= s, "MLTD must grow with radius: {l} < {s}");
+    }
+}
+
+#[test]
+fn census_attributes_hotspots_to_hot_units() {
+    // Run long enough for hotspots and check the census points at the
+    // execution stack, as Fig. 12 reports.
+    let mut cfg = SimConfig::new(TechNode::N7, "povray");
+    cfg.cell_um = 300.0;
+    cfg.border_mm = 1.5;
+    cfg.substeps = 1;
+    cfg.sample_instrs = 8_000;
+    cfg.max_time_s = 6e-3;
+    cfg.warmup = Warmup::Idle;
+    let r = run_sim(cfg);
+    if r.census.total() == 0 {
+        return; // nothing to attribute at this fidelity
+    }
+    let ranked = r.census.ranked();
+    let paper_hot = [
+        "cALU", "fpIWin", "intRAT", "fpRAT", "intRF", "fpRF", "core_other", "ROB", "intIWin",
+        "sALU", "FPU", "AVX512",
+    ];
+    // At this very coarse test grid (300 µm) a peak cell can be owned by a
+    // neighboring cache block, so require an execution-stack unit among the
+    // top three rather than strictly first.
+    let top3: Vec<&str> = ranked.iter().take(3).map(|(u, _)| u.as_str()).collect();
+    assert!(
+        top3.iter().any(|u| paper_hot.contains(u)),
+        "top hotspot units {top3:?} should include an execution-stack unit"
+    );
+}

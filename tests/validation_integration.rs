@@ -1,0 +1,86 @@
+//! Validation-layer integration: the Table III / Table IV / §II-A shapes the
+//! paper uses to establish trust in the models.
+
+use hotgauge_core::experiments::{benchmark_cdyn_nf, sec2a_power_density, table4_rows};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_power::validation::silicon_cdyn;
+
+#[test]
+fn cdyn_is_in_table3_neighborhood() {
+    // Every validation benchmark's model C_dyn must be within 50% of the
+    // published silicon value (the paper's own model was within 37%).
+    for bench in hotgauge_workloads::spec2006::VALIDATION_BENCHMARKS {
+        for node in [TechNode::N14, TechNode::N10] {
+            let model = benchmark_cdyn_nf(bench, node);
+            let si = silicon_cdyn(bench, node).unwrap();
+            let err = (model - si).abs() / si;
+            assert!(
+                err < 0.5,
+                "{bench}@{node:?}: model {model:.2} vs silicon {si:.2} ({:.0}% off)",
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn cdyn_orders_compute_intensity() {
+    // The FP compute-dense benchmarks must have higher effective C_dyn than
+    // the stall-heavy pointer chaser, as in Table III.
+    let omnetpp = benchmark_cdyn_nf("omnetpp", TechNode::N14);
+    let povray = benchmark_cdyn_nf("povray", TechNode::N14);
+    let hmmer = benchmark_cdyn_nf("hmmer", TechNode::N14);
+    assert!(povray > omnetpp, "povray {povray} vs omnetpp {omnetpp}");
+    assert!(hmmer > omnetpp, "hmmer {hmmer} vs omnetpp {omnetpp}");
+}
+
+#[test]
+fn cdyn_scales_down_with_node() {
+    for bench in ["bzip2", "gcc"] {
+        let c14 = benchmark_cdyn_nf(bench, TechNode::N14);
+        let c10 = benchmark_cdyn_nf(bench, TechNode::N10);
+        let ratio = c10 / c14;
+        assert!(
+            (ratio - 0.8).abs() < 0.05,
+            "{bench}: C_dyn node scaling {ratio}, expected ~0.8"
+        );
+    }
+}
+
+#[test]
+fn table4_shape_holds() {
+    let rows = table4_rows(400.0);
+    // Ψ monotonically increases as the die shrinks; TDP decreases.
+    assert!(rows[0].1.psi_c_per_w < rows[1].1.psi_c_per_w);
+    assert!(rows[1].1.psi_c_per_w < rows[2].1.psi_c_per_w);
+    assert!(rows[0].1.tdp_w > rows[1].1.tdp_w);
+    assert!(rows[1].1.tdp_w > rows[2].1.tdp_w);
+    // 14 nm is calibrated to the paper's 0.96 C/W.
+    assert!(
+        (rows[0].1.psi_c_per_w - 0.96).abs() < 0.15,
+        "14nm psi {}",
+        rows[0].1.psi_c_per_w
+    );
+    // TDP magnitudes are tens of watts, like the paper's 43-63 W.
+    for (_, r) in &rows {
+        assert!((15.0..90.0).contains(&r.tdp_w), "TDP {}", r.tdp_w);
+    }
+}
+
+#[test]
+fn sec2a_shape_holds() {
+    let rows = sec2a_power_density();
+    // Power decreases ~linearly; density increases; 7nm crosses 8 W/mm².
+    assert!(rows[0].core_power_w > rows[1].core_power_w);
+    assert!(rows[1].core_power_w > rows[2].core_power_w);
+    assert!(rows[2].core_density_w_mm2 > rows[1].core_density_w_mm2);
+    assert!(rows[1].core_density_w_mm2 > rows[0].core_density_w_mm2);
+    assert!(
+        rows[2].core_density_w_mm2 > 8.0,
+        "7nm bzip2 density {}",
+        rows[2].core_density_w_mm2
+    );
+    // ~2x the Dennard expectation (paper §II-A).
+    let growth = rows[2].core_density_w_mm2 / rows[0].core_density_w_mm2;
+    assert!((2.0..3.2).contains(&growth), "density growth {growth}");
+}
