@@ -21,7 +21,9 @@ fn bench_rasterize(c: &mut Criterion) {
 fn bench_power_map(c: &mut Criterion) {
     let fp = SkylakeProxy::new(TechNode::N7).build();
     let grid = FloorplanGrid::rasterize(&fp, 100.0);
-    let powers: Vec<f64> = (0..fp.units.len()).map(|i| 0.1 + (i % 7) as f64 * 0.05).collect();
+    let powers: Vec<f64> = (0..fp.units.len())
+        .map(|i| 0.1 + (i % 7) as f64 * 0.05)
+        .collect();
     c.bench_function("power_map_100um", |b| {
         b.iter(|| grid.power_map(black_box(&powers)))
     });

@@ -16,8 +16,8 @@ fn setup(cell_um: f64) -> (ThermalModel, Vec<f64>) {
     // A plausible power map: 20 W spread over the die with a hot column.
     let cells = grid.cell_count();
     let mut power = vec![15.0 / cells as f64; cells];
-    for i in 0..cells / 10 {
-        power[i] = 50.0 / cells as f64;
+    for p in power.iter_mut().take(cells / 10) {
+        *p = 50.0 / cells as f64;
     }
     (model, power)
 }
@@ -31,7 +31,15 @@ fn bench_steady(c: &mut Criterion) {
             BenchmarkId::new("nodes", model.node_count()),
             &(model, power),
             |b, (m, p)| {
-                b.iter(|| m.steady_state(black_box(p), &CgConfig { tolerance: 1e-8, max_iterations: 50_000 }))
+                b.iter(|| {
+                    m.steady_state(
+                        black_box(p),
+                        &CgConfig {
+                            tolerance: 1e-8,
+                            max_iterations: 50_000,
+                        },
+                    )
+                })
             },
         );
     }

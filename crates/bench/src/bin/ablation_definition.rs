@@ -13,7 +13,13 @@ fn main() {
     let fid = Fidelity::from_env();
     let bench = "gcc";
     let horizon = fid.max_time_s.min(0.015);
-    let mut table = TextTable::new(vec!["T_th [C]", "MLTD_th [C]", "radius [mm]", "TUH", "hotspot windows"]);
+    let mut table = TextTable::new(vec![
+        "T_th [C]",
+        "MLTD_th [C]",
+        "radius [mm]",
+        "TUH",
+        "hotspot windows",
+    ]);
     for (t_th, m_th, r_mm) in [
         (80.0, 25.0, 1.0), // paper default
         (70.0, 25.0, 1.0), // stacked-DRAM-like temperature limit

@@ -12,7 +12,10 @@ fn main() {
     let fid = Fidelity::from_env();
     let bench = "povray";
     let horizon = fid.max_time_s.min(0.015);
-    println!("Ablation: model fidelity knobs ({bench} @7nm, {} ms)\n", horizon * 1e3);
+    println!(
+        "Ablation: model fidelity knobs ({bench} @7nm, {} ms)\n",
+        horizon * 1e3
+    );
 
     let mut table = TextTable::new(vec!["variant", "Tmax [C]", "max MLTD [C]", "TUH"]);
     let run = |label: &str, f: &dyn Fn(&mut SimConfig)| -> Vec<String> {

@@ -63,7 +63,10 @@ fn main() {
             format!("{:.3}", r.rms_severity),
             format!("{:.1}", r.max_temp_c),
             format!("{:.0}", r.throttled_fraction * 100.0),
-            format!("{:.0}%", 100.0 * r.instructions as f64 / base.instructions as f64),
+            format!(
+                "{:.0}%",
+                100.0 * r.instructions as f64 / base.instructions as f64
+            ),
         ]);
     }
     println!("{}", table.render());

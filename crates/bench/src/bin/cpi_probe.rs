@@ -27,6 +27,12 @@ fn main() {
         let cpi = a.cycles as f64 / n;
         let base = 0.25;
         let misp = a.bpu_mispredicts as f64 * 16.0 / n;
-        println!("           CPI {:.2}: base {:.2}, mispred {:.2}, rest {:.2}", cpi, base, misp, cpi - base - misp);
+        println!(
+            "           CPI {:.2}: base {:.2}, mispred {:.2}, rest {:.2}",
+            cpi,
+            base,
+            misp,
+            cpi - base - misp
+        );
     }
 }

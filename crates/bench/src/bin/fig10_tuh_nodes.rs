@@ -5,13 +5,28 @@
 //! that (0.2/0.4/0.6 ms) at 7 nm; late hotspots (> 5 ms) similar across
 //! nodes.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::{fig10_tuh_by_node, Fidelity};
 use hotgauge_core::report::{fmt_time, TextTable};
 use hotgauge_core::series::percentile;
 use hotgauge_floorplan::tech::TechNode;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
+#[derive(serde::Serialize)]
+struct NodeRow {
+    node: String,
+    hotspot_runs: usize,
+    missing_runs: usize,
+    p5_s: Option<f64>,
+    p25_s: Option<f64>,
+    p50_s: Option<f64>,
+    p75_s: Option<f64>,
+    max_s: Option<f64>,
+    tuh_s: Vec<Option<f64>>,
+}
+
 fn main() {
+    let args = BinArgs::parse("fig10_tuh_nodes");
     let fid = Fidelity::from_env();
     let cores: Vec<usize> = (0..7).collect();
     let rows = fig10_tuh_by_node(
@@ -20,13 +35,44 @@ fn main() {
         &ALL_BENCHMARKS,
         &cores,
     );
-    println!("Fig. 10: TUH distribution per node (idle warmup, {} runs/node)\n", 7 * ALL_BENCHMARKS.len());
-    let mut table = TextTable::new(vec!["node", "n(hotspot)", "p5", "p25", "p50", "p75", "max", "no-hotspot"]);
+
+    let mut json_rows = Vec::new();
+    let mut table = TextTable::new(vec![
+        "node",
+        "n(hotspot)",
+        "p5",
+        "p25",
+        "p50",
+        "p75",
+        "max",
+        "no-hotspot",
+    ]);
     for (node, tuhs) in &rows {
         let fired: Vec<f64> = tuhs.iter().flatten().copied().collect();
         let missing = tuhs.len() - fired.len();
+        let pct = |p: f64| (!fired.is_empty()).then(|| percentile(&fired, p));
+        json_rows.push(NodeRow {
+            node: node.label().to_owned(),
+            hotspot_runs: fired.len(),
+            missing_runs: missing,
+            p5_s: pct(5.0),
+            p25_s: pct(25.0),
+            p50_s: pct(50.0),
+            p75_s: pct(75.0),
+            max_s: pct(100.0),
+            tuh_s: tuhs.clone(),
+        });
         if fired.is_empty() {
-            table.row(vec![node.label().to_owned(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), missing.to_string()]);
+            table.row(vec![
+                node.label().to_owned(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                missing.to_string(),
+            ]);
             continue;
         }
         table.row(vec![
@@ -40,12 +86,25 @@ fn main() {
             missing.to_string(),
         ]);
     }
+
+    args.emit_manifest(
+        &[
+            ("nodes", "14nm,7nm".to_owned()),
+            ("benchmarks", ALL_BENCHMARKS.len().to_string()),
+            ("cores", cores.len().to_string()),
+        ],
+        &json_rows,
+    );
+    if args.quiet() {
+        return;
+    }
+
+    println!(
+        "Fig. 10: TUH distribution per node (idle warmup, {} runs/node)\n",
+        7 * ALL_BENCHMARKS.len()
+    );
     println!("{}", table.render());
-    let p50 = |i: usize| -> Option<f64> {
-        let fired: Vec<f64> = rows[i].1.iter().flatten().copied().collect();
-        (!fired.is_empty()).then(|| percentile(&fired, 50.0))
-    };
-    if let (Some(a), Some(b)) = (p50(0), p50(1)) {
+    if let (Some(a), Some(b)) = (json_rows[0].p50_s, json_rows[1].p50_s) {
         println!("median TUH ratio 14nm/7nm: {:.1}x  (paper: ~2x)", a / b);
     }
 }

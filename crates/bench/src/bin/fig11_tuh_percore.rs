@@ -5,26 +5,65 @@
 //! (0.2 ms – 150 ms); gobmk and namd are warm-up sensitive; ~20 % of
 //! benchmarks show order-of-magnitude core-to-core spread.
 
-use hotgauge_core::experiments::{fig11_tuh_per_benchmark, Fidelity};
+use hotgauge_bench::cli::{sweep_ticker, BinArgs};
+use hotgauge_core::experiments::{fig11_tuh_per_benchmark_with, Fidelity};
 use hotgauge_core::report::{fmt_tuh, TextTable};
 use hotgauge_core::series::BoxStats;
 use hotgauge_thermal::warmup::Warmup;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
+#[derive(serde::Serialize)]
+struct TuhRow {
+    warmup: String,
+    benchmark: String,
+    tuh_s: Vec<Option<f64>>,
+}
+
 fn main() {
+    let args = BinArgs::parse("fig11_tuh_percore");
     let fid = Fidelity::from_env();
     let cores: Vec<usize> = (0..7).collect();
+    let mut json_rows = Vec::new();
     for warmup in [Warmup::Cold, Warmup::Idle] {
-        let rows = fig11_tuh_per_benchmark(&fid, warmup, &ALL_BENCHMARKS, &cores);
+        let printer = args.sweep_progress((ALL_BENCHMARKS.len() * cores.len()) as u64);
+        let on_done = sweep_ticker(&printer);
+        let rows =
+            fig11_tuh_per_benchmark_with(&fid, warmup, &ALL_BENCHMARKS, &cores, Some(&on_done));
+        for (bench, tuhs) in &rows {
+            json_rows.push(TuhRow {
+                warmup: warmup.label().to_owned(),
+                benchmark: bench.clone(),
+                tuh_s: tuhs.clone(),
+            });
+        }
+        if args.quiet() {
+            continue;
+        }
         println!("\nFig. 11 ({}): TUH at 7nm across cores\n", warmup.label());
-        let mut table = TextTable::new(vec!["benchmark", "min", "q1", "median", "q3", "max", "none"]);
+        let mut table = TextTable::new(vec![
+            "benchmark",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max",
+            "none",
+        ]);
         let mut global: Vec<f64> = Vec::new();
         for (bench, tuhs) in &rows {
             let fired: Vec<f64> = tuhs.iter().flatten().copied().collect();
             let none = tuhs.len() - fired.len();
             global.extend(&fired);
             if fired.is_empty() {
-                table.row(vec![bench.clone(), "-".into(), "-".into(), "-".into(), "-".into(), format!(">{:.0}ms", fid.max_time_s * 1e3), none.to_string()]);
+                table.row(vec![
+                    bench.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!(">{:.0}ms", fid.max_time_s * 1e3),
+                    none.to_string(),
+                ]);
                 continue;
             }
             let b = BoxStats::of(&fired);
@@ -42,8 +81,20 @@ fn main() {
         if !global.is_empty() {
             let lo = global.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = global.iter().cloned().fold(0.0f64, f64::max);
-            println!("TUH spread across benchmarks: {:.2e} s .. {:.2e} s ({:.1} orders of magnitude)",
-                lo, hi, (hi / lo).log10());
+            println!(
+                "TUH spread across benchmarks: {:.2e} s .. {:.2e} s ({:.1} orders of magnitude)",
+                lo,
+                hi,
+                (hi / lo).log10()
+            );
         }
     }
+    args.emit_manifest(
+        &[
+            ("node", "7nm".to_owned()),
+            ("benchmarks", ALL_BENCHMARKS.len().to_string()),
+            ("cores", cores.len().to_string()),
+        ],
+        &json_rows,
+    );
 }

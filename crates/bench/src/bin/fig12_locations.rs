@@ -5,11 +5,13 @@
 //! register files (RFs), miscellaneous core logic (core_other), and the
 //! reorder buffer (ROB).
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::{fig12_location_census, Fidelity};
 use hotgauge_core::report::TextTable;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
 fn main() {
+    let args = BinArgs::parse("fig12_locations");
     let fid = Fidelity::from_env();
     // Sweep a representative set of cores; the paper aggregates all runs.
     let cores: Vec<usize> = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
@@ -18,6 +20,19 @@ fn main() {
         vec![0, 3, 6]
     };
     let census = fig12_location_census(&fid, &ALL_BENCHMARKS, &cores);
+
+    args.emit_manifest(
+        &[
+            ("benchmarks", ALL_BENCHMARKS.len().to_string()),
+            ("cores", cores.len().to_string()),
+            ("total_hotspot_frames", census.total().to_string()),
+        ],
+        &census.ranked(),
+    );
+    if args.quiet() {
+        return;
+    }
+
     println!(
         "Fig. 12: hotspot locations at 7nm over {} benchmarks x {} cores ({} hotspot-frames)\n",
         ALL_BENCHMARKS.len(),
@@ -29,11 +44,23 @@ fn main() {
         table.row(vec![
             label,
             count.to_string(),
-            format!("{:.1}%", 100.0 * count as f64 / census.total().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * count as f64 / census.total().max(1) as f64
+            ),
         ]);
     }
     println!("{}", table.render());
-    let paper_units = ["cALU", "fpIWin", "intRAT", "fpRAT", "intRF", "fpRF", "core_other", "ROB"];
+    let paper_units = [
+        "cALU",
+        "fpIWin",
+        "intRAT",
+        "fpRAT",
+        "intRF",
+        "fpRF",
+        "core_other",
+        "ROB",
+    ];
     let hot: u64 = paper_units.iter().map(|u| census.count(u)).sum();
     println!(
         "share in paper's dominant units (cALU, fpIWin, RATs, RFs, core_other, ROB): {:.0}%",

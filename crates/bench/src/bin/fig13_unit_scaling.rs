@@ -6,21 +6,33 @@
 //! scaling it is far less effective — scaling the RFs helps more. No
 //! single-unit mitigation works across workloads.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::{fig13_unit_scaling, Fidelity};
 use hotgauge_core::report::TextTable;
 use hotgauge_floorplan::unit::UnitKind;
 
+#[derive(serde::Serialize)]
+struct ScalingRow {
+    benchmark: String,
+    unit: String,
+    config: String,
+    peak_severity: f64,
+    rms_severity: f64,
+    time_above_half_pct: f64,
+}
+
 fn main() {
+    let args = BinArgs::parse("fig13_unit_scaling");
     let fid = Fidelity::from_env();
     let horizon = fid.max_time_s.min(0.02);
     let scales = [2.0, 5.0, 10.0];
+    let mut json_rows = Vec::new();
     for (bench, unit) in [
         ("gcc", UnitKind::FpIWin),
         ("milc", UnitKind::FpIWin),
         ("milc", UnitKind::FpRf),
     ] {
         let runs = fig13_unit_scaling(&fid, bench, unit, &scales, horizon);
-        println!("\nFig. 13: severity in {} while running {}\n", unit.label(), bench);
         let mut table = TextTable::new(vec!["config", "peak sev", "RMS sev", "time>0.5 [%]"]);
         for r in &runs {
             let above: usize = r.series.values.iter().filter(|&&v| v >= 0.5).count();
@@ -31,13 +43,36 @@ fn main() {
             } else {
                 format!("7nm {}x{:.0}", unit.label(), r.scale)
             };
+            let above_pct = 100.0 * above as f64 / r.series.len().max(1) as f64;
+            json_rows.push(ScalingRow {
+                benchmark: bench.to_owned(),
+                unit: unit.label().to_owned(),
+                config: label.clone(),
+                peak_severity: r.series.max(),
+                rms_severity: r.series.rms(),
+                time_above_half_pct: above_pct,
+            });
             table.row(vec![
                 label,
                 format!("{:.2}", r.series.max()),
                 format!("{:.3}", r.series.rms()),
-                format!("{:.0}", 100.0 * above as f64 / r.series.len().max(1) as f64),
+                format!("{above_pct:.0}"),
             ]);
         }
-        println!("{}", table.render());
+        if !args.quiet() {
+            println!(
+                "\nFig. 13: severity in {} while running {}\n",
+                unit.label(),
+                bench
+            );
+            println!("{}", table.render());
+        }
     }
+    args.emit_manifest(
+        &[
+            ("scales", "2,5,10".to_owned()),
+            ("horizon_s", horizon.to_string()),
+        ],
+        &json_rows,
+    );
 }

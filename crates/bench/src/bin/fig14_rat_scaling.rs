@@ -4,14 +4,22 @@
 //! Paper: even at 10x, peak severity stays above the 14 nm target, and many
 //! workloads still reach severity 1.0 — single-unit scaling is not enough.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::{fig14_rat_scaling, Fidelity};
 use hotgauge_core::report::TextTable;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
 fn main() {
+    let args = BinArgs::parse("fig14_rat_scaling");
     let fid = Fidelity::from_env();
     let horizon = fid.max_time_s.min(0.02);
     let rows = fig14_rat_scaling(&fid, &ALL_BENCHMARKS, horizon);
+
+    args.emit_manifest(&[("horizon_s", horizon.to_string())], &rows);
+    if args.quiet() {
+        return;
+    }
+
     println!("Fig. 14: max severity after scaling the RATs 10x (7nm)\n");
     let mut table = TextTable::new(vec!["benchmark", "14nm", "7nm", "7nm RATs x10"]);
     let mut saturated = 0;
@@ -31,6 +39,12 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("benchmarks still reaching severity 1.0 after RATs x10: {saturated}/{}", rows.len());
-    println!("benchmarks still above their 14nm target:              {above_target}/{}", rows.len());
+    println!(
+        "benchmarks still reaching severity 1.0 after RATs x10: {saturated}/{}",
+        rows.len()
+    );
+    println!(
+        "benchmarks still above their 14nm target:              {above_target}/{}",
+        rows.len()
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     let frame = &r.final_frame;
     let cell_um = frame.cell_m * 1e6;
 
-    println!("Fig. 1: advanced hotspot frame (povray, 7nm, t = {:.1} ms)\n", fid.max_time_s.min(0.03) * 1e3);
+    println!(
+        "Fig. 1: advanced hotspot frame (povray, 7nm, t = {:.1} ms)\n",
+        fid.max_time_s.min(0.03) * 1e3
+    );
     // ASCII heat map.
     let (lo, hi) = (frame.min(), frame.max());
     let ramp = b" .:-=+*#%@";
@@ -52,7 +55,14 @@ fn main() {
         hi, coolest_near, d_cells as f64 * cell_um, hi - coolest_near
     );
     let mltd = mltd_field(frame, 1e-3);
-    println!("max MLTD (1mm): {:.1} C", mltd.iter().cloned().fold(0.0, f64::max));
-    let hs = detect_hotspots(frame, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+    println!(
+        "max MLTD (1mm): {:.1} C",
+        mltd.iter().cloned().fold(0.0, f64::max)
+    );
+    let hs = detect_hotspots(
+        frame,
+        &HotspotParams::paper_default(),
+        &SeverityParams::cpu_default(),
+    );
     println!("hotspots in frame: {}", hs.len());
 }

@@ -4,43 +4,79 @@
 //! Paper: the 7 nm die shows both a greater peak ΔT and a wider variance —
 //! temperature moves farther and less uniformly within a single 200 µs step.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::{fig2_delta_distributions, Fidelity};
 
+#[derive(serde::Serialize)]
+struct DeltaRow {
+    node: String,
+    mean_dt_c: f64,
+    std_dt_c: f64,
+    peak_dt_c: f64,
+    samples: usize,
+    bin_edges_c: Vec<f64>,
+    counts: Vec<usize>,
+}
+
 fn main() {
+    let args = BinArgs::parse("fig2_delta_dist");
     let fid = Fidelity::from_env();
     let rows = fig2_delta_distributions(&fid, "bzip2", fid.max_time_s.min(0.02));
+
+    let json_rows: Vec<DeltaRow> = rows
+        .iter()
+        .map(|(node, edges, counts)| {
+            let total: usize = counts.iter().sum();
+            let mean: f64 = edges
+                .windows(2)
+                .zip(counts)
+                .map(|(e, &c)| (e[0] + e[1]) / 2.0 * c as f64)
+                .sum::<f64>()
+                / total as f64;
+            let var: f64 = edges
+                .windows(2)
+                .zip(counts)
+                .map(|(e, &c)| {
+                    let mid = (e[0] + e[1]) / 2.0;
+                    (mid - mean) * (mid - mean) * c as f64
+                })
+                .sum::<f64>()
+                / total as f64;
+            // Peak positive delta: highest non-empty bin.
+            let peak = edges
+                .windows(2)
+                .zip(counts)
+                .filter(|(_, &c)| c > 0)
+                .map(|(e, _)| e[1])
+                .fold(f64::NEG_INFINITY, f64::max);
+            DeltaRow {
+                node: node.label().to_owned(),
+                mean_dt_c: mean,
+                std_dt_c: var.sqrt(),
+                peak_dt_c: peak,
+                samples: total,
+                bin_edges_c: edges.clone(),
+                counts: counts.clone(),
+            }
+        })
+        .collect();
+
+    args.emit_manifest(
+        &[
+            ("benchmark", "bzip2".to_owned()),
+            ("window_s", "200e-6".to_owned()),
+        ],
+        &json_rows,
+    );
+    if args.quiet() {
+        return;
+    }
+
     println!("Fig. 2: distribution of dT over 200us windows (bzip2, single thread)\n");
-    for (node, edges, counts) in &rows {
-        let total: usize = counts.iter().sum();
-        let mean: f64 = edges
-            .windows(2)
-            .zip(counts)
-            .map(|(e, &c)| (e[0] + e[1]) / 2.0 * c as f64)
-            .sum::<f64>()
-            / total as f64;
-        let var: f64 = edges
-            .windows(2)
-            .zip(counts)
-            .map(|(e, &c)| {
-                let mid = (e[0] + e[1]) / 2.0;
-                (mid - mean) * (mid - mean) * c as f64
-            })
-            .sum::<f64>()
-            / total as f64;
-        // Peak positive delta: highest non-empty bin.
-        let peak = edges
-            .windows(2)
-            .zip(counts)
-            .filter(|(_, &c)| c > 0)
-            .map(|(e, _)| e[1])
-            .fold(f64::NEG_INFINITY, f64::max);
+    for ((_, edges, counts), row) in rows.iter().zip(&json_rows) {
         println!(
             "{}: mean dT {:+.3} C, std {:.3} C, max dT bin {:+.2} C  ({} samples)",
-            node.label(),
-            mean,
-            var.sqrt(),
-            peak,
-            total
+            row.node, row.mean_dt_c, row.std_dt_c, row.peak_dt_c, row.samples
         );
         // Compact ASCII histogram (log scale).
         let max_c = *counts.iter().max().unwrap_or(&1) as f64;

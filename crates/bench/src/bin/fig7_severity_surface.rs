@@ -23,7 +23,16 @@ fn main() {
     }
     println!();
     println!("landmarks:");
-    println!("  sev(80, 25)  = {:.3}  (hotspot definition point, must be > 0.5)", p.severity(80.0, 25.0));
-    println!("  sev(115, 25) = {:.3}  (device-failure saturation)", p.severity(115.0, 25.0));
-    println!("  sev(45, 0)   = {:.3}  (no concern)", p.severity(45.0, 0.0));
+    println!(
+        "  sev(80, 25)  = {:.3}  (hotspot definition point, must be > 0.5)",
+        p.severity(80.0, 25.0)
+    );
+    println!(
+        "  sev(115, 25) = {:.3}  (device-failure saturation)",
+        p.severity(115.0, 25.0)
+    );
+    println!(
+        "  sev(45, 0)   = {:.3}  (no concern)",
+        p.severity(45.0, 0.0)
+    );
 }

@@ -4,12 +4,45 @@
 //! Paper: after an idle warm-up the die shows more temperature variation and
 //! crosses 110 °C more than 4x faster than from cold.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::{fig8_warmup_runs, first_crossing_time, Fidelity};
 use hotgauge_core::report::fmt_time;
 
+#[derive(serde::Serialize)]
+struct WarmupRow {
+    warmup: String,
+    crossing_110c_s: Option<f64>,
+    final_min_temp_c: f64,
+    final_mean_temp_c: f64,
+    final_max_temp_c: f64,
+}
+
 fn main() {
+    let args = BinArgs::parse("fig8_warmup");
     let fid = Fidelity::from_env();
     let runs = fig8_warmup_runs(&fid, fid.max_time_s.min(0.04));
+
+    let json_rows: Vec<WarmupRow> = runs
+        .iter()
+        .map(|r| {
+            let last = r.records.last().expect("steps");
+            WarmupRow {
+                warmup: r.config.warmup.label().to_owned(),
+                crossing_110c_s: first_crossing_time(r, 110.0),
+                final_min_temp_c: last.min_temp_c,
+                final_mean_temp_c: last.mean_temp_c,
+                final_max_temp_c: last.max_temp_c,
+            }
+        })
+        .collect();
+    args.emit_manifest(
+        &[("benchmark", "gcc".to_owned()), ("node", "7nm".to_owned())],
+        &json_rows,
+    );
+    if args.quiet() {
+        return;
+    }
+
     println!("Fig. 8: temperature distribution over time (gcc, 7nm)\n");
     let mut crossings = Vec::new();
     for r in &runs {
@@ -27,7 +60,13 @@ fn main() {
                 .map(|ch| {
                     let c: usize = ch.iter().sum();
                     match (c as f64 / max_c * 8.0) as usize {
-                        0 => if c > 0 { '.' } else { ' ' },
+                        0 => {
+                            if c > 0 {
+                                '.'
+                            } else {
+                                ' '
+                            }
+                        }
                         1..=2 => ':',
                         3..=5 => 'o',
                         _ => '#',
@@ -51,6 +90,9 @@ fn main() {
         crossings.push(cross);
     }
     if let (Some(cold), Some(warm)) = (crossings[0], crossings[1]) {
-        println!("110C crossing speedup from idle warmup: {:.1}x  (paper: >4x)", cold / warm);
+        println!(
+            "110C crossing speedup from idle warmup: {:.1}x  (paper: >4x)",
+            cold / warm
+        );
     }
 }

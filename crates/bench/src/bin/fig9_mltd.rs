@@ -5,18 +5,35 @@
 //! (peaks ~70 °C vs < 60 °C), and at 7 nm the left-column cores (0, 2, 5)
 //! run hottest while the right column (1, 4, 6) runs coolest.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::{fig9_mltd_series, Fidelity};
 use hotgauge_core::report::TextTable;
 use hotgauge_floorplan::tech::TechNode;
 
+#[derive(serde::Serialize)]
+struct MltdRow {
+    node: String,
+    core: usize,
+    side: String,
+    peak_mltd_c: f64,
+    mean_mltd_c: f64,
+}
+
 fn main() {
+    let args = BinArgs::parse("fig9_mltd");
     let fid = Fidelity::from_env();
     let horizon = 0.02_f64.min(fid.max_time_s.max(0.01));
     let cores: Vec<usize> = (0..7).collect();
     let series = fig9_mltd_series(&fid, &[TechNode::N14, TechNode::N7], &cores, horizon);
 
-    println!("Fig. 9: MLTD (1mm radius) for gobmk after idle warmup, horizon {:.0} ms\n", horizon * 1e3);
-    let mut table = TextTable::new(vec!["node", "core", "side", "peak MLTD [C]", "mean MLTD [C]"]);
+    let mut json_rows = Vec::new();
+    let mut table = TextTable::new(vec![
+        "node",
+        "core",
+        "side",
+        "peak MLTD [C]",
+        "mean MLTD [C]",
+    ]);
     let mut peaks = std::collections::BTreeMap::new();
     for (node, core, ts) in &series {
         let peak = ts.max();
@@ -27,6 +44,13 @@ fn main() {
             _ => "middle",
         };
         peaks.insert((node.label(), *core), peak);
+        json_rows.push(MltdRow {
+            node: node.label().to_owned(),
+            core: *core,
+            side: side.to_owned(),
+            peak_mltd_c: peak,
+            mean_mltd_c: mean,
+        });
         table.row(vec![
             node.label().to_owned(),
             core.to_string(),
@@ -35,14 +59,41 @@ fn main() {
             format!("{mean:.1}"),
         ]);
     }
+
+    args.emit_manifest(
+        &[
+            ("benchmark", "gobmk".to_owned()),
+            ("horizon_s", horizon.to_string()),
+        ],
+        &json_rows,
+    );
+    if args.quiet() {
+        return;
+    }
+
+    println!(
+        "Fig. 9: MLTD (1mm radius) for gobmk after idle warmup, horizon {:.0} ms\n",
+        horizon * 1e3
+    );
     println!("{}", table.render());
 
     let avg = |node: &str, cs: &[usize]| -> f64 {
         cs.iter().map(|c| peaks[&(node, *c)]).sum::<f64>() / cs.len() as f64
     };
-    println!("7nm/14nm peak-MLTD ratio (all cores): {:.2}x  (paper: ~2x)",
-        avg("7nm", &[0,1,2,3,4,5,6]) / avg("14nm", &[0,1,2,3,4,5,6]));
-    println!("7nm left cores (0,2,5) avg peak: {:.1} C", avg("7nm", &[0,2,5]));
-    println!("7nm middle core (3) peak:        {:.1} C", peaks[&("7nm", 3)]);
-    println!("7nm right cores (1,4,6) avg peak: {:.1} C", avg("7nm", &[1,4,6]));
+    println!(
+        "7nm/14nm peak-MLTD ratio (all cores): {:.2}x  (paper: ~2x)",
+        avg("7nm", &[0, 1, 2, 3, 4, 5, 6]) / avg("14nm", &[0, 1, 2, 3, 4, 5, 6])
+    );
+    println!(
+        "7nm left cores (0,2,5) avg peak: {:.1} C",
+        avg("7nm", &[0, 2, 5])
+    );
+    println!(
+        "7nm middle core (3) peak:        {:.1} C",
+        peaks[&("7nm", 3)]
+    );
+    println!(
+        "7nm right cores (1,4,6) avg peak: {:.1} C",
+        avg("7nm", &[1, 4, 6])
+    );
 }

@@ -1,119 +1,243 @@
 //! `hotgauge` — command-line front end for one-off co-simulation runs.
 //!
 //! ```text
-//! hotgauge <benchmark> [--node 14|10|7|5] [--core N] [--cold]
-//!          [--ms HORIZON] [--cell UM] [--scale UNIT FACTOR]
-//!          [--ic-area FACTOR] [--json]
+//! hotgauge [--benchmark] <benchmark> [--node 14|10|7|5[nm]] [--core N]
+//!          [--cold] [--ms HORIZON] [--cell UM] [--scale UNIT FACTOR]
+//!          [--ic-area FACTOR] [--json PATH] [--quiet] [--progress]
 //! ```
+//!
+//! `--json PATH` writes a schema-versioned run manifest (results plus, when
+//! built with `--features telemetry`, per-stage timing and solver counters)
+//! atomically to PATH; `-` prints it to stdout. Bad benchmark, node, core,
+//! or unit names exit with status 2 instead of panicking.
 
 use hotgauge_core::experiments::Fidelity;
-use hotgauge_core::pipeline::{run_sim, SimConfig};
-use hotgauge_core::report::{fmt_tuh, to_json, TextTable};
+use hotgauge_core::pipeline::{CoSimulation, SimConfig, WindowProgress};
+use hotgauge_core::report::{fmt_tuh, TextTable};
 use hotgauge_floorplan::tech::TechNode;
 use hotgauge_floorplan::unit::UnitKind;
+use hotgauge_telemetry::manifest::{write_json_atomic, RunManifest};
+use hotgauge_telemetry::progress::ProgressPrinter;
+use hotgauge_telemetry::TelemetryReport;
 use hotgauge_thermal::warmup::Warmup;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: hotgauge <benchmark> [--node 14|10|7|5] [--core N] [--cold]\n\
-         \x20                [--ms HORIZON] [--cell UM] [--scale UNIT FACTOR]\n\
-         \x20                [--ic-area FACTOR] [--json]\n\
-         benchmarks: {}",
-        ALL_BENCHMARKS.join(", ")
-    );
+const USAGE: &str = "usage: hotgauge [--benchmark] <benchmark> [options]
+options:
+  --benchmark NAME   workload to run (may also be given positionally)
+  --node NODE        technology node: 14|10|7|5, `nm` suffix accepted
+  --core N           target core, 0..6
+  --cold             start from ambient instead of the idle-warm state
+  --ms HORIZON       simulated horizon in milliseconds
+  --cell UM          thermal grid cell size in micrometers
+  --scale UNIT F     scale one unit kind's area by F (repeatable)
+  --ic-area F        uniform IC area factor
+  --json PATH        write the run manifest to PATH (`-` for stdout)
+  --quiet            suppress the human-readable report
+  --progress         report per-window liveness on stderr
+  --help             show this message";
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
-fn unit_by_label(label: &str) -> Option<UnitKind> {
-    UnitKind::CORE_KINDS.iter().copied().find(|k| k.label() == label)
+fn parse_node(s: &str) -> Option<TechNode> {
+    match s.strip_suffix("nm").unwrap_or(s) {
+        "14" => Some(TechNode::N14),
+        "10" => Some(TechNode::N10),
+        "7" => Some(TechNode::N7),
+        "5" => Some(TechNode::N5),
+        _ => None,
+    }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    let bench = args[0].clone();
-    if !ALL_BENCHMARKS.contains(&bench.as_str()) && bench != "idle" {
-        eprintln!("unknown benchmark {bench}");
-        usage();
-    }
+fn unit_by_label(label: &str) -> Option<UnitKind> {
+    UnitKind::CORE_KINDS
+        .iter()
+        .copied()
+        .find(|k| k.label() == label)
+}
+
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+}
+
+/// Everything the CLI decides before running.
+struct Cli {
+    cfg: SimConfig,
+    json_path: Option<String>,
+    quiet: bool,
+    progress: bool,
+}
+
+fn parse_args(args: &[String]) -> Cli {
     let fid = Fidelity::from_env();
-    let mut cfg = fid.apply(SimConfig::new(TechNode::N7, &bench));
-    let mut json = false;
-    let mut i = 1;
+    let mut cfg = fid.apply(SimConfig::new(TechNode::N7, ""));
+    let mut benchmark: Option<String> = None;
+    let mut json_path = None;
+    let mut quiet = false;
+    let mut progress = false;
+
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--benchmark" => {
+                benchmark = Some(flag_value(args, &mut i, "--benchmark").to_owned());
+            }
             "--node" => {
-                i += 1;
-                cfg.node = match args.get(i).map(String::as_str) {
-                    Some("14") => TechNode::N14,
-                    Some("10") => TechNode::N10,
-                    Some("7") => TechNode::N7,
-                    Some("5") => TechNode::N5,
-                    _ => usage(),
-                };
+                let v = flag_value(args, &mut i, "--node");
+                cfg.node = parse_node(v)
+                    .unwrap_or_else(|| fail(format!("unknown node {v} (expected 14|10|7|5)")));
             }
             "--core" => {
-                i += 1;
-                cfg.target_core = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let v = flag_value(args, &mut i, "--core");
+                let core: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("invalid core {v}")));
+                if core >= 7 {
+                    fail(format!("core {core} out of range (0..6)"));
+                }
+                cfg.target_core = core;
             }
             "--cold" => cfg.warmup = Warmup::Cold,
             "--ms" => {
-                i += 1;
-                let ms: f64 = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let v = flag_value(args, &mut i, "--ms");
+                let ms: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("invalid horizon {v}")));
                 cfg.max_time_s = ms * 1e-3;
             }
             "--cell" => {
-                i += 1;
-                cfg.cell_um = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let v = flag_value(args, &mut i, "--cell");
+                cfg.cell_um = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("invalid cell size {v}")));
             }
             "--scale" => {
-                let unit = args.get(i + 1).and_then(|u| unit_by_label(u)).unwrap_or_else(|| usage());
-                let factor: f64 = args.get(i + 2).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let unit_label = flag_value(args, &mut i, "--scale").to_owned();
+                let unit = unit_by_label(&unit_label)
+                    .unwrap_or_else(|| fail(format!("unknown unit {unit_label}")));
+                let v = flag_value(args, &mut i, "--scale");
+                let factor: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("invalid scale factor {v}")));
                 cfg.unit_scales.push((unit, factor));
-                i += 2;
             }
             "--ic-area" => {
-                i += 1;
-                cfg.ic_area_factor = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let v = flag_value(args, &mut i, "--ic-area");
+                cfg.ic_area_factor = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("invalid IC area factor {v}")));
             }
-            "--json" => json = true,
-            _ => usage(),
+            "--json" => {
+                json_path = Some(flag_value(args, &mut i, "--json").to_owned());
+            }
+            "--quiet" => quiet = true,
+            "--progress" => progress = true,
+            other if !other.starts_with('-') && benchmark.is_none() => {
+                benchmark = Some(other.to_owned());
+            }
+            other => fail(format!("unknown argument {other}")),
         }
         i += 1;
     }
 
-    // The node must be applied before building the floorplan name etc.
-    let horizon = cfg.max_time_s;
-    let r = run_sim(cfg);
+    let benchmark = benchmark.unwrap_or_else(|| fail("no benchmark given"));
+    if !ALL_BENCHMARKS.contains(&benchmark.as_str()) && benchmark != "idle" {
+        fail(format!(
+            "unknown benchmark {benchmark} (expected one of: {}, idle)",
+            ALL_BENCHMARKS.join(", ")
+        ));
+    }
+    cfg.benchmark = benchmark;
 
-    if json {
-        #[derive(serde::Serialize)]
-        struct Out<'a> {
-            benchmark: &'a str,
-            node: &'a str,
-            tuh_s: Option<f64>,
-            peak_severity: f64,
-            rms_severity: f64,
-            max_temp_c: f64,
-            max_mltd_c: f64,
-            hotspot_census: Vec<(String, u64)>,
-            instructions: u64,
-        }
-        let out = Out {
-            benchmark: &r.config.benchmark,
-            node: r.config.node.label(),
-            tuh_s: r.tuh_s,
-            peak_severity: r.peak_severity(),
-            rms_severity: r.rms_severity(),
-            max_temp_c: r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max),
-            max_mltd_c: r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max),
-            hotspot_census: r.census.ranked(),
-            instructions: r.total_instructions,
+    Cli {
+        cfg,
+        json_path,
+        quiet,
+        progress,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct RunSummary {
+    benchmark: String,
+    node: String,
+    tuh_s: Option<f64>,
+    peak_severity: f64,
+    rms_severity: f64,
+    max_temp_c: f64,
+    max_mltd_c: f64,
+    hotspot_census: Vec<(String, u64)>,
+    instructions: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args);
+    let report = TelemetryReport::new("hotgauge").quiet(cli.quiet);
+
+    let horizon = cli.cfg.max_time_s;
+    let window_s = cli.cfg.window_seconds();
+    let sim = CoSimulation::new(cli.cfg);
+    let r = if cli.progress {
+        let total = (horizon / window_s).ceil().max(1.0) as u64;
+        let printer = ProgressPrinter::new("window", total);
+        let on_window = |p: WindowProgress| {
+            printer.tick(&format!(
+                "t={:.2}ms instrs={:.1}M",
+                p.time_s * 1e3,
+                p.instructions as f64 / 1e6
+            ));
         };
-        println!("{}", to_json(&out));
+        sim.run_with_progress(Some(&on_window))
+    } else {
+        sim.run()
+    };
+
+    let summary = RunSummary {
+        benchmark: r.config.benchmark.clone(),
+        node: r.config.node.label().to_owned(),
+        tuh_s: r.tuh_s,
+        peak_severity: r.peak_severity(),
+        rms_severity: r.rms_severity(),
+        max_temp_c: r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max),
+        max_mltd_c: r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max),
+        hotspot_census: r.census.ranked(),
+        instructions: r.total_instructions,
+    };
+
+    if let Some(path) = &cli.json_path {
+        let mut manifest = RunManifest::new("hotgauge")
+            .with_config("benchmark", &r.config.benchmark)
+            .with_config("node", r.config.node.label())
+            .with_config("core", r.config.target_core)
+            .with_config("warmup", r.config.warmup.label())
+            .with_config("cell_um", r.config.cell_um)
+            .with_config("max_time_s", r.config.max_time_s)
+            .with_config("ic_area_factor", r.config.ic_area_factor);
+        manifest.set_results(&summary);
+        manifest.capture_metrics();
+        if path == "-" {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&manifest).expect("manifest serializes")
+            );
+        } else if let Err(e) = write_json_atomic(std::path::Path::new(path), &manifest) {
+            eprintln!("error: failed to write manifest to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if cli.quiet {
         return;
     }
 
@@ -128,27 +252,40 @@ fn main() {
     let last = r.records.last().expect("steps");
     let mut table = TextTable::new(vec!["metric", "value"]);
     table.row(vec!["TUH".to_owned(), fmt_tuh(r.tuh_s, horizon)]);
-    table.row(vec!["peak severity".to_owned(), format!("{:.2}", r.peak_severity())]);
-    table.row(vec!["RMS severity".to_owned(), format!("{:.3}", r.rms_severity())]);
+    table.row(vec![
+        "peak severity".to_owned(),
+        format!("{:.2}", summary.peak_severity),
+    ]);
+    table.row(vec![
+        "RMS severity".to_owned(),
+        format!("{:.3}", summary.rms_severity),
+    ]);
     table.row(vec![
         "max temperature".to_owned(),
-        format!("{:.1} C", r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max)),
+        format!("{:.1} C", summary.max_temp_c),
     ]);
     table.row(vec![
         "max MLTD (1mm)".to_owned(),
-        format!("{:.1} C", r.records.iter().map(|x| x.max_mltd_c).fold(0.0, f64::max)),
+        format!("{:.1} C", summary.max_mltd_c),
     ]);
-    table.row(vec!["chip power (last window)".to_owned(), format!("{:.1} W", last.power_w)]);
-    table.row(vec!["IPC (last window)".to_owned(), format!("{:.2}", last.ipc)]);
+    table.row(vec![
+        "chip power (last window)".to_owned(),
+        format!("{:.1} W", last.power_w),
+    ]);
+    table.row(vec![
+        "IPC (last window)".to_owned(),
+        format!("{:.2}", last.ipc),
+    ]);
     table.row(vec![
         "instructions".to_owned(),
-        format!("{:.1} M", r.total_instructions as f64 / 1e6),
+        format!("{:.1} M", summary.instructions as f64 / 1e6),
     ]);
     println!("{}", table.render());
     if r.census.total() > 0 {
         println!("hotspot locations:");
-        for (unit, count) in r.census.ranked().into_iter().take(6) {
+        for (unit, count) in summary.hotspot_census.iter().take(6) {
             println!("  {unit:<12} {count}");
         }
     }
+    drop(report);
 }

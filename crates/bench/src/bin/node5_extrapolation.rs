@@ -10,7 +10,14 @@ use hotgauge_floorplan::tech::TechNode;
 fn main() {
     let fid = Fidelity::from_env();
     let horizon = fid.max_time_s.min(0.015);
-    let mut table = TextTable::new(vec!["node", "benchmark", "Tmax [C]", "max MLTD [C]", "peak sev", "TUH"]);
+    let mut table = TextTable::new(vec![
+        "node",
+        "benchmark",
+        "Tmax [C]",
+        "max MLTD [C]",
+        "peak sev",
+        "TUH",
+    ]);
     for bench in ["gcc", "hmmer", "milc"] {
         for node in TechNode::ALL {
             let mut cfg = fid.apply(SimConfig::new(node, bench));

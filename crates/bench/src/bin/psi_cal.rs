@@ -1,8 +1,8 @@
 //! Dev tool: sweep the heatsink film coefficient and border to calibrate
 //! Table IV's junction-to-ambient resistance.
 use hotgauge_floorplan::prelude::*;
-use hotgauge_thermal::prelude::*;
 use hotgauge_thermal::model::ThermalModel;
+use hotgauge_thermal::prelude::*;
 
 fn main() {
     for border_mm in [2.0, 3.0, 4.0] {

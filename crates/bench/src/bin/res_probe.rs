@@ -18,7 +18,10 @@ fn main() {
             let tmax = r.records.iter().map(|x| x.max_temp_c).fold(0.0, f64::max);
             println!(
                 "cell {:>3}um  {:<8} Tmax {:>6.1}  MLTD {:>5.1}  TUH {}",
-                cell, b, tmax, mltd,
+                cell,
+                b,
+                tmax,
+                mltd,
                 hotgauge_core::report::fmt_tuh(r.tuh_s, 0.012)
             );
         }

@@ -4,11 +4,36 @@
 //! so density rises ~1.6x per node, exceeding 8 W/mm² at 7 nm — about 2x
 //! what Dennard scaling would have predicted.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::sec2a_power_density;
 use hotgauge_core::report::TextTable;
 
+#[derive(serde::Serialize)]
+struct DensityRow {
+    node: String,
+    core_power_w: f64,
+    core_density_w_mm2: f64,
+    peak_unit_density_w_mm2: f64,
+}
+
 fn main() {
+    let args = BinArgs::parse("sec2a_power_density");
     let rows = sec2a_power_density();
+
+    let json_rows: Vec<DensityRow> = rows
+        .iter()
+        .map(|r| DensityRow {
+            node: r.node.label().to_owned(),
+            core_power_w: r.core_power_w,
+            core_density_w_mm2: r.core_density_w_mm2,
+            peak_unit_density_w_mm2: r.peak_unit_density_w_mm2,
+        })
+        .collect();
+    args.emit_manifest(&[("benchmark", "bzip2".to_owned())], &json_rows);
+    if args.quiet() {
+        return;
+    }
+
     let mut table = TextTable::new(vec![
         "node",
         "core power [W]",
@@ -27,6 +52,12 @@ fn main() {
     println!("{}", table.render());
     let d14 = rows[0].core_density_w_mm2;
     let d7 = rows[2].core_density_w_mm2;
-    println!("density growth 14nm -> 7nm: {:.2}x (Dennard would be 1.0x)", d7 / d14);
-    println!("7nm core density > 8 W/mm2: {}", rows[2].core_density_w_mm2 > 8.0);
+    println!(
+        "density growth 14nm -> 7nm: {:.2}x (Dennard would be 1.0x)",
+        d7 / d14
+    );
+    println!(
+        "7nm core density > 8 W/mm2: {}",
+        rows[2].core_density_w_mm2 > 8.0
+    );
 }

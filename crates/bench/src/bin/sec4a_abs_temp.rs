@@ -38,7 +38,10 @@ fn main() {
         times.push((t_mean, t_90));
     }
     if let (Some(a), Some(b)) = (times[0].0, times[1].0) {
-        println!("mean-heating speedup 7nm vs 14nm: {:.1}x  (paper: ~5x)", a / b);
+        println!(
+            "mean-heating speedup 7nm vs 14nm: {:.1}x  (paper: ~5x)",
+            a / b
+        );
     }
     if let (Some(a), Some(b)) = (times[0].1, times[1].1) {
         println!("max>90C speedup 7nm vs 14nm: {:.1}x  (paper: ~3x)", a / b);

@@ -4,30 +4,81 @@
 //! Paper: the required area increase is between +75 % and +150 % depending
 //! on the benchmark — static mitigation has a very large hurdle.
 
-use hotgauge_core::experiments::{sec5b_ic_scaling, Fidelity};
+use hotgauge_bench::cli::{sweep_ticker, BinArgs};
+use hotgauge_core::experiments::{sec5b_ic_scaling_with, Fidelity};
 use hotgauge_core::report::TextTable;
 
+#[derive(serde::Serialize)]
+struct IcRow {
+    benchmark: String,
+    rms_14nm: f64,
+    rms_7nm_by_factor: Vec<(f64, f64)>,
+    required_factor: Option<f64>,
+}
+
 fn main() {
+    let args = BinArgs::parse("sec5b_ic_scaling");
     let fid = Fidelity::from_env();
     let horizon = fid.max_time_s.min(0.02);
     let benches = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
-        vec!["gcc", "bzip2", "hmmer", "povray", "milc", "gobmk", "namd", "sphinx3"]
+        vec![
+            "gcc", "bzip2", "hmmer", "povray", "milc", "gobmk", "namd", "sphinx3",
+        ]
     } else {
         vec!["gcc", "hmmer", "povray", "gobmk"]
     };
     let factors = [1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0];
-    let rows = sec5b_ic_scaling(&fid, &benches, &factors, horizon);
+    let printer = args.sweep_progress((benches.len() * (factors.len() + 1)) as u64);
+    let on_done = sweep_ticker(&printer);
+    let rows = sec5b_ic_scaling_with(&fid, &benches, &factors, horizon, Some(&on_done));
+
+    let json_rows: Vec<IcRow> = rows
+        .iter()
+        .map(|(bench, target, sweep, required)| IcRow {
+            benchmark: bench.clone(),
+            rms_14nm: *target,
+            rms_7nm_by_factor: sweep.clone(),
+            required_factor: *required,
+        })
+        .collect();
+    args.emit_manifest(
+        &[
+            ("factors", "1.25..3.0".to_owned()),
+            ("horizon_s", horizon.to_string()),
+        ],
+        &json_rows,
+    );
+    if args.quiet() {
+        return;
+    }
+
     println!("Sec. V-B: 7nm IC area factor needed to match 14nm RMS severity\n");
-    let mut table = TextTable::new(vec!["benchmark", "14nm RMS", "7nm RMS", "needed area", "extra area"]);
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "14nm RMS",
+        "7nm RMS",
+        "needed area",
+        "extra area",
+    ]);
     for (bench, target, sweep, required) in &rows {
         let (needed, extra) = match required {
             Some(f) => (format!("{f:.2}x"), format!("+{:.0}%", (f - 1.0) * 100.0)),
-            None => (format!(">{:.2}x", factors.last().unwrap()), "insufficient".to_owned()),
+            None => (
+                format!(">{:.2}x", factors.last().unwrap()),
+                "insufficient".to_owned(),
+            ),
         };
         table.row(vec![
             bench.clone(),
             format!("{target:.3}"),
-            format!("{:.3}", sweep.iter().find(|(f, _)| *f == 1.25).map(|(_, r)| *r).unwrap_or(0.0)),
+            format!(
+                "{:.3}",
+                sweep
+                    .iter()
+                    .find(|(f, _)| *f == 1.25)
+                    .map(|(_, r)| *r)
+                    .unwrap_or(0.0)
+            ),
             needed,
             extra,
         ]);

@@ -3,14 +3,47 @@
 //! Paper: model vs measured silicon (i5-10310U @14 nm, i7-1165G7 @10 nm);
 //! average |error| 11 % at 14 nm and 20 % at 10 nm.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::table3_rows;
 use hotgauge_core::report::TextTable;
 use hotgauge_floorplan::tech::TechNode;
 use hotgauge_power::validation::mean_abs_percent_error;
 
+#[derive(serde::Serialize)]
+struct CdynRow {
+    benchmark: String,
+    node: String,
+    silicon_nf: f64,
+    model_nf: f64,
+    percent_error: f64,
+}
+
 fn main() {
+    let args = BinArgs::parse("table3_cdyn");
     let rows = table3_rows();
-    let mut table = TextTable::new(vec!["benchmark", "node", "silicon [nF]", "model [nF]", "error"]);
+
+    let json_rows: Vec<CdynRow> = rows
+        .iter()
+        .map(|r| CdynRow {
+            benchmark: r.benchmark.clone(),
+            node: r.node.label().to_owned(),
+            silicon_nf: r.silicon_nf,
+            model_nf: r.model_nf,
+            percent_error: r.percent_error(),
+        })
+        .collect();
+    args.emit_manifest(&[("validation_set", "SPEC".to_owned())], &json_rows);
+    if args.quiet() {
+        return;
+    }
+
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "node",
+        "silicon [nF]",
+        "model [nF]",
+        "error",
+    ]);
     for r in &rows {
         table.row(vec![
             r.benchmark.clone(),

@@ -3,16 +3,45 @@
 //! Paper: Ψ = 0.96 / 1.13 / 1.40 °C/W and TDP = 63 / 53 / 43 W at
 //! 14 / 10 / 7 nm with a 60 °C thermal budget.
 
+use hotgauge_bench::cli::BinArgs;
 use hotgauge_core::experiments::table4_rows;
 use hotgauge_core::report::TextTable;
 
+#[derive(serde::Serialize)]
+struct PsiTdpRow {
+    node: String,
+    psi_c_per_w: f64,
+    tdp_w: f64,
+    paper_psi_c_per_w: f64,
+    paper_tdp_w: f64,
+}
+
 fn main() {
+    let args = BinArgs::parse("table4_psi_tdp");
     let cell_um: f64 = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
         100.0
     } else {
         200.0
     };
     let rows = table4_rows(cell_um);
+    let paper = [(0.96, 63.0), (1.13, 53.0), (1.40, 43.0)];
+
+    let json_rows: Vec<PsiTdpRow> = rows
+        .iter()
+        .zip(paper)
+        .map(|((node, r), (pp, pt))| PsiTdpRow {
+            node: node.label().to_owned(),
+            psi_c_per_w: r.psi_c_per_w,
+            tdp_w: r.tdp_w,
+            paper_psi_c_per_w: pp,
+            paper_tdp_w: pt,
+        })
+        .collect();
+    args.emit_manifest(&[("cell_um", cell_um.to_string())], &json_rows);
+    if args.quiet() {
+        return;
+    }
+
     let mut table = TextTable::new(vec![
         "node",
         "Psi [C/W]",
@@ -20,14 +49,13 @@ fn main() {
         "TDP [W]",
         "paper TDP",
     ]);
-    let paper = [(0.96, 63.0), (1.13, 53.0), (1.40, 43.0)];
-    for ((node, r), (pp, pt)) in rows.iter().zip(paper) {
+    for r in &json_rows {
         table.row(vec![
-            node.label().to_owned(),
+            r.node.clone(),
             format!("{:.2}", r.psi_c_per_w),
-            format!("{pp:.2}"),
+            format!("{:.2}", r.paper_psi_c_per_w),
             format!("{:.0}", r.tdp_w),
-            format!("{pt:.0}"),
+            format!("{:.0}", r.paper_tdp_w),
         ]);
     }
     println!("Table IV: junction-to-ambient resistance and TDP (60C budget)\n");

@@ -1,0 +1,127 @@
+//! Shared command-line plumbing for the figure/table regeneration binaries.
+//!
+//! Every bin accepts the same observability flags:
+//!
+//! * `--json PATH` — write a schema-versioned [`RunManifest`] (results plus,
+//!   under `--features telemetry`, per-stage timing and solver counters)
+//!   atomically to PATH; `-` prints it to stdout.
+//! * `--quiet` — suppress the human-readable tables (useful with `--json`).
+//! * `--help` — print the shared usage text.
+//!
+//! Unknown arguments exit with status 2 instead of panicking.
+
+use hotgauge_core::pipeline::SweepProgress;
+use hotgauge_telemetry::manifest::{write_json_atomic, RunManifest};
+use hotgauge_telemetry::progress::ProgressPrinter;
+use hotgauge_telemetry::TelemetryReport;
+use serde::Serialize;
+
+/// Observability flags shared by all figure/table bins.
+///
+/// Holds the [`TelemetryReport`] guard, so keep the value alive until the end
+/// of `main`: the per-label timing table (telemetry builds only) prints when
+/// it drops.
+pub struct BinArgs {
+    tool: &'static str,
+    json_path: Option<String>,
+    quiet: bool,
+    _report: TelemetryReport,
+}
+
+impl BinArgs {
+    /// Parses the shared flags from the process arguments.
+    ///
+    /// `tool` names the bin in `--help` output and in the manifest.
+    pub fn parse(tool: &'static str) -> Self {
+        let mut json_path = None;
+        let mut quiet = false;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--help" | "-h" => {
+                    println!(
+                        "usage: {tool} [--json PATH] [--quiet]\n\
+                         \x20 --json PATH  write the run manifest to PATH (`-` for stdout)\n\
+                         \x20 --quiet      suppress the human-readable tables"
+                    );
+                    std::process::exit(0);
+                }
+                "--json" => {
+                    i += 1;
+                    match args.get(i) {
+                        Some(p) => json_path = Some(p.clone()),
+                        None => {
+                            eprintln!("error: --json needs a value");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--quiet" => quiet = true,
+                other => {
+                    eprintln!("error: unknown argument {other} (see {tool} --help)");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        let _report = TelemetryReport::new(tool).quiet(quiet);
+        Self {
+            tool,
+            json_path,
+            quiet,
+            _report,
+        }
+    }
+
+    /// Whether stdout tables should be suppressed.
+    pub fn quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// A throttled stderr reporter for a sweep of `total` runs, pre-labelled
+    /// with the bin name. Quiet runs get a silent printer.
+    pub fn sweep_progress(&self, total: u64) -> ProgressPrinter {
+        ProgressPrinter::new("run", total).quiet(self.quiet)
+    }
+
+    /// Builds the manifest for this bin and honours `--json`.
+    ///
+    /// `config` pairs describe the sweep parameters, `results` is the bin's
+    /// natural row data. Metrics are captured from the telemetry recorder
+    /// (empty unless built with `--features telemetry`). Exits with status 1
+    /// if the manifest cannot be written.
+    pub fn emit_manifest<T: Serialize>(&self, config: &[(&str, String)], results: &T) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        let mut manifest = RunManifest::new(self.tool);
+        for (key, value) in config {
+            manifest = manifest.with_config(key, value);
+        }
+        manifest.set_results(results);
+        manifest.capture_metrics();
+        if path == "-" {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&manifest).expect("manifest serializes")
+            );
+        } else if let Err(e) = write_json_atomic(std::path::Path::new(path), &manifest) {
+            eprintln!("error: failed to write manifest to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Adapts a [`ProgressPrinter`] into the `SweepProgress` callback shape used
+/// by `run_many_with` / the `*_with` experiment drivers.
+pub fn sweep_ticker(printer: &ProgressPrinter) -> impl Fn(SweepProgress) + Sync + '_ {
+    move |p: SweepProgress| {
+        printer.tick(&format!(
+            "{} @core{} ({})",
+            p.benchmark,
+            p.target_core,
+            p.node.label()
+        ));
+    }
+}

@@ -1,1 +1,3 @@
 //! Benchmark harness for the HotGauge reproduction (see the `bin/` targets).
+
+pub mod cli;

@@ -157,16 +157,27 @@ mod tests {
     #[test]
     fn cool_die_has_no_hotspots() {
         let f = frame_from(40, 40, gaussian_bump(20.0, 20.0, 10.0, 4.0)); // peak 60 °C
-        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        let hs = detect_hotspots(
+            &f,
+            &HotspotParams::paper_default(),
+            &SeverityParams::cpu_default(),
+        );
         assert!(hs.is_empty());
     }
 
     #[test]
     fn sharp_hot_bump_is_detected_at_its_peak() {
         let f = frame_from(40, 40, gaussian_bump(20.0, 20.0, 45.0, 3.0)); // peak 95 °C
-        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        let hs = detect_hotspots(
+            &f,
+            &HotspotParams::paper_default(),
+            &SeverityParams::cpu_default(),
+        );
         assert!(!hs.is_empty());
-        let top = hs.iter().max_by(|a, b| a.temp_c.total_cmp(&b.temp_c)).unwrap();
+        let top = hs
+            .iter()
+            .max_by(|a, b| a.temp_c.total_cmp(&b.temp_c))
+            .unwrap();
         assert_eq!((top.ix, top.iy), (20, 20));
         assert!(top.mltd_c > 25.0);
         assert!(top.severity > 0.5);
@@ -176,7 +187,11 @@ mod tests {
     fn hot_but_uniform_die_is_not_a_hotspot() {
         // 95 °C everywhere: high temperature but no localized differential.
         let f = frame_from(30, 30, |_, _| 95.0);
-        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        let hs = detect_hotspots(
+            &f,
+            &HotspotParams::paper_default(),
+            &SeverityParams::cpu_default(),
+        );
         assert!(hs.is_empty(), "uniform heat is not a (localized) hotspot");
         let naive = detect_hotspots_naive(
             &f,
@@ -190,8 +205,15 @@ mod tests {
     fn wide_warm_bump_fails_mltd_within_radius() {
         // A bump so wide that within 1 mm (10 cells) the drop is < 25 °C.
         let f = frame_from(80, 80, gaussian_bump(40.0, 40.0, 45.0, 25.0));
-        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
-        assert!(hs.is_empty(), "gradual warmth should not trip the MLTD test");
+        let hs = detect_hotspots(
+            &f,
+            &HotspotParams::paper_default(),
+            &SeverityParams::cpu_default(),
+        );
+        assert!(
+            hs.is_empty(),
+            "gradual warmth should not trip the MLTD test"
+        );
     }
 
     #[test]
@@ -227,10 +249,15 @@ mod tests {
             let b = gaussian_bump(45.0, 45.0, 42.0, 3.0)(x, y);
             a.max(b)
         });
-        let hs = detect_hotspots(&f, &HotspotParams::paper_default(), &SeverityParams::cpu_default());
+        let hs = detect_hotspots(
+            &f,
+            &HotspotParams::paper_default(),
+            &SeverityParams::cpu_default(),
+        );
         let near = |hx: usize, hy: usize| {
-            hs.iter()
-                .any(|h| (h.ix as isize - hx as isize).abs() <= 1 && (h.iy as isize - hy as isize).abs() <= 1)
+            hs.iter().any(|h| {
+                (h.ix as isize - hx as isize).abs() <= 1 && (h.iy as isize - hy as isize).abs() <= 1
+            })
         };
         assert!(near(15, 15), "first bump missed");
         assert!(near(45, 45), "second bump missed");

@@ -18,7 +18,7 @@ use hotgauge_thermal::warmup::Warmup;
 use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::spec2006;
 
-use crate::pipeline::{run_many, HistSpec, RunResult, SimConfig};
+use crate::pipeline::{run_many, run_many_with, HistSpec, RunResult, SimConfig, SweepProgress};
 use crate::series::TimeSeries;
 
 /// Global knobs controlling the cost of the experiment sweeps.
@@ -236,11 +236,21 @@ pub fn tuh_sweep(
     benchmarks: &[&str],
     cores: &[usize],
 ) -> Vec<RunResult> {
+    tuh_sweep_with(fid, node, warmup, benchmarks, cores, None)
+}
+
+/// [`tuh_sweep`] with a per-run completion callback for sweep liveness.
+pub fn tuh_sweep_with(
+    fid: &Fidelity,
+    node: TechNode,
+    warmup: Warmup,
+    benchmarks: &[&str],
+    cores: &[usize],
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<RunResult> {
     let cfgs: Vec<SimConfig> = benchmarks
         .iter()
-        .flat_map(|&b| {
-            cores.iter().map(move |&c| (b, c)).collect::<Vec<_>>()
-        })
+        .flat_map(|&b| cores.iter().map(move |&c| (b, c)).collect::<Vec<_>>())
         .map(|(b, c)| {
             let mut cfg = fid.apply(SimConfig::new(node, b));
             cfg.target_core = c;
@@ -249,7 +259,7 @@ pub fn tuh_sweep(
             cfg
         })
         .collect();
-    run_many(cfgs, fid.threads)
+    run_many_with(cfgs, fid.threads, on_done)
 }
 
 /// Fig. 10: TUH samples (one per benchmark × core) for each node after idle
@@ -276,7 +286,19 @@ pub fn fig11_tuh_per_benchmark(
     benchmarks: &[&str],
     cores: &[usize],
 ) -> Vec<(String, Vec<Option<f64>>)> {
-    let results = tuh_sweep(fid, TechNode::N7, warmup, benchmarks, cores);
+    fig11_tuh_per_benchmark_with(fid, warmup, benchmarks, cores, None)
+}
+
+/// [`fig11_tuh_per_benchmark`] with a per-run completion callback, so the
+/// benchmark × core sweep (dozens of runs) reports liveness.
+pub fn fig11_tuh_per_benchmark_with(
+    fid: &Fidelity,
+    warmup: Warmup,
+    benchmarks: &[&str],
+    cores: &[usize],
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<(String, Vec<Option<f64>>)> {
+    let results = tuh_sweep_with(fid, TechNode::N7, warmup, benchmarks, cores, on_done);
     benchmarks
         .iter()
         .enumerate()
@@ -433,7 +455,11 @@ pub struct RatScalingRow {
 }
 
 /// Fig. 14: the RAT-scaling study over the given benchmarks.
-pub fn fig14_rat_scaling(fid: &Fidelity, benchmarks: &[&str], horizon_s: f64) -> Vec<RatScalingRow> {
+pub fn fig14_rat_scaling(
+    fid: &Fidelity,
+    benchmarks: &[&str],
+    horizon_s: f64,
+) -> Vec<RatScalingRow> {
     let mut cfgs = Vec::new();
     for &b in benchmarks {
         let mut c = fid.apply(SimConfig::new(TechNode::N14, b));
@@ -473,6 +499,18 @@ pub fn sec5b_ic_scaling(
     factors: &[f64],
     horizon_s: f64,
 ) -> Vec<IcScalingRow> {
+    sec5b_ic_scaling_with(fid, benchmarks, factors, horizon_s, None)
+}
+
+/// [`sec5b_ic_scaling`] with a per-run completion callback, so the
+/// benchmark × IC-factor sweep reports liveness.
+pub fn sec5b_ic_scaling_with(
+    fid: &Fidelity,
+    benchmarks: &[&str],
+    factors: &[f64],
+    horizon_s: f64,
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<IcScalingRow> {
     let mut cfgs = Vec::new();
     for &b in benchmarks {
         let mut c = fid.apply(SimConfig::new(TechNode::N14, b));
@@ -485,7 +523,7 @@ pub fn sec5b_ic_scaling(
             cfgs.push(c);
         }
     }
-    let results = run_many(cfgs, fid.threads);
+    let results = run_many_with(cfgs, fid.threads, on_done);
     let stride = 1 + factors.len();
     benchmarks
         .iter()
@@ -618,7 +656,10 @@ mod tests {
     fn sec2a_density_rises_while_power_falls() {
         let rows = sec2a_power_density();
         assert_eq!(rows.len(), 3);
-        assert!(rows[0].core_power_w > rows[2].core_power_w, "power should fall");
+        assert!(
+            rows[0].core_power_w > rows[2].core_power_w,
+            "power should fall"
+        );
         assert!(
             rows[2].core_density_w_mm2 > 2.0 * rows[0].core_density_w_mm2,
             "density should grow: {} -> {}",

@@ -49,11 +49,7 @@ impl HotspotCensus {
 
     /// Counts sorted descending, as `(label, count)`.
     pub fn ranked(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, c)| (k.clone(), *c))
-            .collect();
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(k, c)| (k.clone(), *c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -75,8 +71,18 @@ mod tests {
             "t",
             Rect::new(0.0, 0.0, 2.0, 1.0),
             vec![
-                FloorplanUnit::new("a.cALU", UnitKind::CAlu, Some(0), Rect::new(0.0, 0.0, 1.0, 1.0)),
-                FloorplanUnit::new("a.ROB", UnitKind::Rob, Some(0), Rect::new(1.0, 0.0, 1.0, 1.0)),
+                FloorplanUnit::new(
+                    "a.cALU",
+                    UnitKind::CAlu,
+                    Some(0),
+                    Rect::new(0.0, 0.0, 1.0, 1.0),
+                ),
+                FloorplanUnit::new(
+                    "a.ROB",
+                    UnitKind::Rob,
+                    Some(0),
+                    Rect::new(1.0, 0.0, 1.0, 1.0),
+                ),
             ],
         );
         let grid = FloorplanGrid::rasterize(&fp, 100.0);
@@ -97,7 +103,11 @@ mod tests {
     fn counts_attribute_to_owning_unit() {
         let (fp, grid) = setup();
         let mut c = HotspotCensus::new();
-        c.record(&[hotspot_at(2, 5), hotspot_at(3, 5), hotspot_at(15, 5)], &grid, &fp);
+        c.record(
+            &[hotspot_at(2, 5), hotspot_at(3, 5), hotspot_at(15, 5)],
+            &grid,
+            &fp,
+        );
         assert_eq!(c.count("cALU"), 2);
         assert_eq!(c.count("ROB"), 1);
         assert_eq!(c.total(), 3);
@@ -107,7 +117,11 @@ mod tests {
     fn ranked_sorts_descending() {
         let (fp, grid) = setup();
         let mut c = HotspotCensus::new();
-        c.record(&[hotspot_at(2, 5), hotspot_at(3, 5), hotspot_at(15, 5)], &grid, &fp);
+        c.record(
+            &[hotspot_at(2, 5), hotspot_at(3, 5), hotspot_at(15, 5)],
+            &grid,
+            &fp,
+        );
         let r = c.ranked();
         assert_eq!(r[0].0, "cALU");
         assert_eq!(r[0].1, 2);

@@ -120,9 +120,7 @@ fn rows_window_min(temps: &[f64], nx: usize, ny: usize, w: isize) -> Vec<f64> {
 
 /// Maximum MLTD over the frame.
 pub fn max_mltd(frame: &ThermalFrame, radius_m: f64) -> f64 {
-    mltd_field(frame, radius_m)
-        .into_iter()
-        .fold(0.0, f64::max)
+    mltd_field(frame, radius_m).into_iter().fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -170,7 +168,10 @@ mod tests {
         });
         let m = mltd_field(&f, 1e-3); // radius = 10 cells < plateau radius 20
         assert!(m[30 * 61 + 30].abs() < 1e-12, "center sees only hot cells");
-        assert!((m[30 * 61 + 12] - 40.0).abs() < 1e-12, "edge sees cold cells");
+        assert!(
+            (m[30 * 61 + 12] - 40.0).abs() < 1e-12,
+            "edge sees cold cells"
+        );
     }
 
     #[test]
@@ -230,8 +231,8 @@ mod tests {
         // Gradient field: corner cell compares against in-bounds cells only.
         let f = frame_from(12, 12, |x, y| (x + y) as f64);
         let m = mltd_field(&f, 3e-4); // 3-cell radius
-        // Corner (11,11) = 22 sees min at (8, 11)/(11, 8) = 19 -> MLTD 3... but
-        // the disc includes (9,9)=18? dx=-2,dy=-2: 8 > 9 -> allowed (4+4=8<=9).
+                                      // Corner (11,11) = 22 sees min at (8, 11)/(11, 8) = 19 -> MLTD 3... but
+                                      // the disc includes (9,9)=18? dx=-2,dy=-2: 8 > 9 -> allowed (4+4=8<=9).
         assert!((m[11 * 12 + 11] - 4.0).abs() < 1e-12);
         assert_eq!(m[0], 0.0); // global minimum has zero MLTD
     }

@@ -16,6 +16,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use hotgauge_telemetry::{counter, span};
+
 use hotgauge_floorplan::floorplan::Floorplan;
 use hotgauge_floorplan::grid::FloorplanGrid;
 use hotgauge_floorplan::skylake::SkylakeProxy;
@@ -222,12 +224,53 @@ pub fn run_sim(cfg: SimConfig) -> RunResult {
     CoSimulation::new(cfg).run()
 }
 
+/// Liveness report for one finished run of a sweep (`done` of `total`).
+#[derive(Debug, Clone)]
+pub struct SweepProgress {
+    /// Runs finished so far (including this one).
+    pub done: usize,
+    /// Total runs in the sweep.
+    pub total: usize,
+    /// Benchmark of the finished run.
+    pub benchmark: String,
+    /// Technology node of the finished run.
+    pub node: TechNode,
+    /// Target core of the finished run.
+    pub target_core: usize,
+}
+
+/// Per-window liveness report of one co-simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowProgress {
+    /// Perf/power/thermal windows completed.
+    pub windows: u64,
+    /// Simulated time so far, seconds.
+    pub time_s: f64,
+    /// Instructions represented so far.
+    pub instructions: u64,
+    /// The run's instruction budget.
+    pub max_instructions: u64,
+    /// The run's simulated-time cap, seconds.
+    pub max_time_s: f64,
+}
+
 /// Runs many configurations on a thread pool; results keep input order.
 pub fn run_many(cfgs: Vec<SimConfig>, threads: usize) -> Vec<RunResult> {
+    run_many_with(cfgs, threads, None)
+}
+
+/// [`run_many`] with an optional completion callback, invoked from worker
+/// threads as each run finishes (sweep liveness for long experiments).
+pub fn run_many_with(
+    cfgs: Vec<SimConfig>,
+    threads: usize,
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<RunResult> {
     assert!(threads >= 1);
     let n = cfgs.len();
     let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let completed = std::sync::atomic::AtomicUsize::new(0);
     let cfgs_ref = &cfgs;
     let results_mutex = parking_lot::Mutex::new(&mut results);
     std::thread::scope(|scope| {
@@ -239,6 +282,16 @@ pub fn run_many(cfgs: Vec<SimConfig>, threads: usize) -> Vec<RunResult> {
                 }
                 let r = run_sim(cfgs_ref[i].clone());
                 results_mutex.lock()[i] = Some(r);
+                let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if let Some(cb) = on_done {
+                    cb(SweepProgress {
+                        done,
+                        total: n,
+                        benchmark: cfgs_ref[i].benchmark.clone(),
+                        node: cfgs_ref[i].node,
+                        target_core: cfgs_ref[i].target_core,
+                    });
+                }
             });
         }
     });
@@ -306,7 +359,9 @@ impl CoSimulation {
             spec2006::profile(&cfg.benchmark)
                 .unwrap_or_else(|| panic!("unknown benchmark {}", cfg.benchmark))
         };
-        let seed = cfg.seed ^ (cfg.target_core as u64) << 32 ^ (cfg.node.generations_from_14() as u64) << 40;
+        let seed = cfg.seed
+            ^ (cfg.target_core as u64) << 32
+            ^ (cfg.node.generations_from_14() as u64) << 40;
         let mut gen = WorkloadGen::new(profile, seed);
         let mut core = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
         core.warm_up(&mut gen, 2_000_000);
@@ -370,7 +425,13 @@ impl CoSimulation {
     }
 
     /// Runs the simulation to completion.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_with_progress(None)
+    }
+
+    /// [`CoSimulation::run`] with a per-window liveness callback, so long
+    /// runs can report progress while they execute.
+    pub fn run_with_progress(mut self, on_window: Option<&dyn Fn(WindowProgress)>) -> RunResult {
         let window_s = self.cfg.window_seconds();
         let dt_sub = window_s / self.cfg.substeps as f64;
         let track_idx: Vec<usize> = self
@@ -395,50 +456,79 @@ impl CoSimulation {
             .delta_histogram
             .map(|h| (edges(&h), vec![0usize; h.bins]));
 
+        let mut windows: u64 = 0;
         'outer: while instructions < self.cfg.max_instructions && time_s < self.cfg.max_time_s {
             // 1. Performance window (sampled).
-            let window = self
-                .core
-                .run_instructions(&mut self.gen, self.cfg.sample_instrs);
+            let window = {
+                let _stage = span!("perf");
+                self.core
+                    .run_instructions(&mut self.gen, self.cfg.sample_instrs)
+            };
             let ipc = window.ipc();
             instructions += (ipc * CoreConfig::TIME_STEP_CYCLES as f64) as u64;
 
             // 2. Power from activity + temperature.
             let frame_before = self.thermal.die_frame();
-            let temps = unit_temperatures(&self.fp, &self.grid, &frame_before);
-            let mut cores: Vec<CoreWindow<'_>> = (0..7)
-                .map(|_| {
-                    if self.cfg.background_idle {
-                        CoreWindow::Active {
-                            activity: &self.idle_act,
-                            duty: IDLE_DUTY_CYCLE,
+            let breakdown = {
+                let _stage = span!("power");
+                let temps = unit_temperatures(&self.fp, &self.grid, &frame_before);
+                let mut cores: Vec<CoreWindow<'_>> = (0..7)
+                    .map(|_| {
+                        if self.cfg.background_idle {
+                            CoreWindow::Active {
+                                activity: &self.idle_act,
+                                duty: IDLE_DUTY_CYCLE,
+                            }
+                        } else {
+                            CoreWindow::Parked
                         }
-                    } else {
-                        CoreWindow::Parked
-                    }
-                })
-                .collect();
-            cores[self.cfg.target_core] = CoreWindow::Active {
-                activity: &window,
-                duty: 1.0,
+                    })
+                    .collect();
+                cores[self.cfg.target_core] = CoreWindow::Active {
+                    activity: &window,
+                    duty: 1.0,
+                };
+                self.power.evaluate(&cores, &temps)
             };
-            let breakdown = self.power.evaluate(&cores, &temps);
-            let mut power_map = self.grid.power_map(&breakdown.unit_watts_smooth);
-            self.grid_peaked
-                .accumulate_power_map(&breakdown.unit_watts_peaked, &mut power_map);
+            let power_map = {
+                let _stage = span!("rasterize");
+                let mut map = self.grid.power_map(&breakdown.unit_watts_smooth);
+                self.grid_peaked
+                    .accumulate_power_map(&breakdown.unit_watts_peaked, &mut map);
+                map
+            };
 
             // 3./4. Thermal substeps + metrics.
+            counter!("pipeline.substeps", self.cfg.substeps);
             for _ in 0..self.cfg.substeps {
-                self.thermal.step(&power_map, dt_sub);
+                {
+                    let _stage = span!("thermal");
+                    self.thermal.step(&power_map, dt_sub);
+                }
                 time_s += dt_sub;
                 let frame = self.thermal.die_frame();
 
+                let _stage = span!("detect");
                 let mltd = mltd_field(&frame, self.cfg.detect.radius_m);
                 let hotspots = detect_hotspots(&frame, &self.cfg.detect, &self.cfg.severity);
                 census.record(&hotspots, &self.grid, &self.fp);
                 if tuh.is_none() && !hotspots.is_empty() {
                     tuh = Some(time_s);
                 }
+
+                // Candidate cells clear the temperature threshold before the
+                // MLTD/severity filters; only counted when telemetry is on.
+                #[cfg(feature = "telemetry")]
+                {
+                    let candidates = frame
+                        .temps
+                        .iter()
+                        .filter(|&&t| t >= self.cfg.detect.t_threshold_c)
+                        .count();
+                    counter!("detect.candidates", candidates);
+                }
+                counter!("detect.hotspots", hotspots.len());
+                counter!("detect.severity_evals", frame.temps.len());
 
                 let peak_sev = frame
                     .temps
@@ -461,12 +551,8 @@ impl CoSimulation {
                     .collect();
 
                 let temp_hist = self.cfg.temp_histogram.map(|h| {
-                    let (_, counts) = hotgauge_thermal::frame::histogram(
-                        &frame.temps,
-                        h.lo,
-                        h.hi,
-                        h.bins,
-                    );
+                    let (_, counts) =
+                        hotgauge_thermal::frame::histogram(&frame.temps, h.lo, h.hi, h.bins);
                     counts
                 });
 
@@ -502,6 +588,17 @@ impl CoSimulation {
                     counts[bin as usize] += 1;
                 }
                 let _ = e;
+            }
+
+            windows += 1;
+            if let Some(cb) = on_window {
+                cb(WindowProgress {
+                    windows,
+                    time_s,
+                    instructions,
+                    max_instructions: self.cfg.max_instructions,
+                    max_time_s: self.cfg.max_time_s,
+                });
             }
         }
 
@@ -546,9 +643,7 @@ fn warmup_state_cached(
         IDLE_WARMUP_DURATION_S,
         25e-3,
     );
-    cache
-        .lock()
-        .insert(key, Arc::new(state.clone()));
+    cache.lock().insert(key, Arc::new(state.clone()));
     state
 }
 
@@ -694,7 +789,7 @@ mod tests {
         // each unit, while utilization-driven switching concentrates in the
         // unit's hot structures (see `rasterize_with_concentration`).
         let grid = FloorplanGrid::rasterize(&fp, cfg.cell_um);
-        let grid_peaked = FloorplanGrid::rasterize_with_concentration(
+        let _grid_peaked = FloorplanGrid::rasterize_with_concentration(
             &fp,
             cfg.cell_um,
             Some(UNIT_POWER_CONCENTRATION),

@@ -104,7 +104,10 @@ impl TimeSeries {
 
     /// Maximum value.
     pub fn max(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// First time at which the value reaches `threshold`, if ever.

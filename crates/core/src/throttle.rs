@@ -84,8 +84,11 @@ pub struct ThrottledRunResult {
 pub fn run_throttled(cfg: &SimConfig, policy: Option<ThrottlePolicy>) -> ThrottledRunResult {
     let fp = build_floorplan(cfg);
     let grid = FloorplanGrid::rasterize(&fp, cfg.cell_um);
-    let grid_peaked =
-        FloorplanGrid::rasterize_with_concentration(&fp, cfg.cell_um, Some(UNIT_POWER_CONCENTRATION));
+    let grid_peaked = FloorplanGrid::rasterize_with_concentration(
+        &fp,
+        cfg.cell_um,
+        Some(UNIT_POWER_CONCENTRATION),
+    );
     let baseline = SkylakeProxy::new(cfg.node).build();
     let nominal = PowerParams::default();
     let power_nominal = PowerModel::new(&baseline, cfg.node, nominal);

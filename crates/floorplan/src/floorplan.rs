@@ -29,7 +29,8 @@ impl Floorplan {
             die,
             units,
         };
-        fp.validate().unwrap_or_else(|e| panic!("invalid floorplan: {e}"));
+        fp.validate()
+            .unwrap_or_else(|e| panic!("invalid floorplan: {e}"));
         fp
     }
 

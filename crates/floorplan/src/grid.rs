@@ -57,7 +57,10 @@ impl FloorplanGrid {
         cell_um: f64,
         concentration: Option<(f64, f64)>,
     ) -> Self {
-        assert!(cell_um.is_finite() && cell_um > 0.0, "cell size must be positive");
+        assert!(
+            cell_um.is_finite() && cell_um > 0.0,
+            "cell size must be positive"
+        );
         if let Some((af, pf)) = concentration {
             assert!(
                 (0.0..1.0).contains(&af) && (0.0..=1.0).contains(&pf) && af > 0.0,
@@ -244,10 +247,10 @@ mod tests {
         let g = FloorplanGrid::rasterize(&simple_plan(), 100.0);
         let map = g.power_map(&[1.0, 0.0]);
         // All power in the left half.
-        for idx in 0..g.cell_count() {
+        for (idx, &p) in map.iter().enumerate() {
             let (x, _) = g.cell_center(idx);
             if x > 0.5 {
-                assert_eq!(map[idx], 0.0);
+                assert_eq!(p, 0.0);
             }
         }
     }
@@ -278,7 +281,9 @@ mod tests {
         let total_out: f64 = map.iter().sum();
         assert!((total_in - total_out).abs() < 1e-6 * total_in.max(1.0));
         // Essentially every cell should have an owner (die fully tiled).
-        let orphans = (0..g.cell_count()).filter(|&i| g.owner(i).is_none()).count();
+        let orphans = (0..g.cell_count())
+            .filter(|&i| g.owner(i).is_none())
+            .count();
         assert!(
             (orphans as f64) < 0.02 * g.cell_count() as f64,
             "too many orphan cells: {orphans}/{}",

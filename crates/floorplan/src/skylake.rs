@@ -367,11 +367,17 @@ mod tests {
         let die_mid = fp.die.center().x;
         for c in [0, 2, 5] {
             let bbox = fp.core_bbox(c).unwrap();
-            assert!(bbox.center().x < die_mid, "core {c} should be left of center");
+            assert!(
+                bbox.center().x < die_mid,
+                "core {c} should be left of center"
+            );
         }
         for c in [1, 4, 6] {
             let bbox = fp.core_bbox(c).unwrap();
-            assert!(bbox.center().x > die_mid, "core {c} should be right of center");
+            assert!(
+                bbox.center().x > die_mid,
+                "core {c} should be right of center"
+            );
         }
         let c3 = fp.core_bbox(3).unwrap();
         assert!((c3.center().x - die_mid).abs() < c3.w / 2.0);
@@ -387,7 +393,11 @@ mod tests {
         let a1 = scaled.unit_by_name("core0.fpIWin").unwrap().area();
         // The unit's share of the core grew 10x; the core itself also grew, so
         // the absolute area ratio exceeds 10x relative share but must be >5x.
-        assert!(a1 / a0 > 5.0, "fpIWin should grow substantially: {}", a1 / a0);
+        assert!(
+            a1 / a0 > 5.0,
+            "fpIWin should grow substantially: {}",
+            a1 / a0
+        );
         assert!(scaled.die_area() > base.die_area());
         assert!(scaled.validate().is_ok());
     }

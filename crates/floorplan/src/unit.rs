@@ -213,7 +213,16 @@ mod tests {
     #[test]
     fn paper_hot_units_present() {
         // Fig. 12 of the paper names these as the dominant hotspot locations.
-        for label in ["cALU", "fpIWin", "intRAT", "fpRAT", "intRF", "fpRF", "core_other", "ROB"] {
+        for label in [
+            "cALU",
+            "fpIWin",
+            "intRAT",
+            "fpRAT",
+            "intRF",
+            "fpRF",
+            "core_other",
+            "ROB",
+        ] {
             assert!(
                 UnitKind::CORE_KINDS.iter().any(|k| k.label() == label),
                 "missing paper unit {label}"

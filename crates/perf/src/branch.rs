@@ -32,7 +32,11 @@ impl BimodalPredictor {
     pub fn update(&mut self, pc: u64, taken: bool) {
         let idx = self.index(pc);
         let c = self.table[idx];
-        self.table[idx] = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+        self.table[idx] = if taken {
+            (c + 1).min(3)
+        } else {
+            c.saturating_sub(1)
+        };
     }
 }
 
@@ -82,7 +86,11 @@ impl TournamentPredictor {
         let g_ok = g_pred == taken;
         if b_ok != g_ok {
             let c = self.chooser[ci];
-            self.chooser[ci] = if g_ok { (c + 1).min(3) } else { c.saturating_sub(1) };
+            self.chooser[ci] = if g_ok {
+                (c + 1).min(3)
+            } else {
+                c.saturating_sub(1)
+            };
         }
         self.bimodal.update(pc, taken);
         self.gshare.update(pc, taken);
@@ -239,7 +247,9 @@ mod tests {
         // Deterministic pseudo-random outcomes.
         let mut x = 0x12345678u64;
         for i in 0..20_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             p.predict_and_update(0x400 + (i % 64) * 4, (x >> 62) & 1 == 1);
         }
         assert!(p.mispredict_rate() > 0.3, "{}", p.mispredict_rate());

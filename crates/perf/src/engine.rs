@@ -69,6 +69,8 @@ impl CoreSim {
     pub fn run_cycles<S: InstrSource>(&mut self, src: &mut S, cycles: u64) -> ActivityCounters {
         let mut out = ActivityCounters::default();
         self.execute(src, WindowLimit::Cycles(cycles), &mut out);
+        hotgauge_telemetry::counter!("perf.instructions", out.instructions);
+        hotgauge_telemetry::counter!("perf.cycles", out.cycles);
         out
     }
 
@@ -80,6 +82,8 @@ impl CoreSim {
     ) -> ActivityCounters {
         let mut out = ActivityCounters::default();
         self.execute(src, WindowLimit::Instructions(instructions), &mut out);
+        hotgauge_telemetry::counter!("perf.instructions", out.instructions);
+        hotgauge_telemetry::counter!("perf.cycles", out.cycles);
         out
     }
 
@@ -219,9 +223,8 @@ impl CoreSim {
                             out.l2_misses += 1;
                             out.l3_accesses += 1;
                             if ins.class == InstrClass::Load {
-                                penalty_cycles += self.charge_long_miss(
-                                    self.mem.config().l3.latency_cycles / 3,
-                                );
+                                penalty_cycles +=
+                                    self.charge_long_miss(self.mem.config().l3.latency_cycles / 3);
                             }
                         }
                         HitLevel::Memory => {
@@ -297,7 +300,7 @@ mod tests {
     impl InstrSource for StreamSource {
         fn next_instr(&mut self) -> Instr {
             self.i += 1;
-            if self.i % 4 == 0 {
+            if self.i.is_multiple_of(4) {
                 self.addr = self.addr.wrapping_add(64 * 1024); // new line, new set far away
                 Instr::load(0x400, self.addr)
             } else {
@@ -329,7 +332,11 @@ mod tests {
             i: 0,
         };
         let a = core.run_instructions(&mut src, 200_000);
-        assert!(a.ipc() < 2.5, "streaming loads should cut IPC, got {}", a.ipc());
+        assert!(
+            a.ipc() < 2.5,
+            "streaming loads should cut IPC, got {}",
+            a.ipc()
+        );
         assert!(a.dram_accesses > 0);
         assert!(a.l1d_mpki() > 100.0);
     }
@@ -340,7 +347,11 @@ mod tests {
         let mut src = ComputeSource { pc: 0 };
         let a = core.run_cycles(&mut src, 10_000);
         assert!(a.cycles >= 10_000);
-        assert!(a.cycles < 10_100, "should not badly overshoot: {}", a.cycles);
+        assert!(
+            a.cycles < 10_100,
+            "should not badly overshoot: {}",
+            a.cycles
+        );
     }
 
     #[test]
@@ -367,7 +378,11 @@ mod tests {
         let mut src = RandomBranches { x: 42, pc: 0 };
         let a = core.run_instructions(&mut src, 100_000);
         assert!(a.bpu_mispredicts > 0);
-        assert!(a.ipc() < 3.0, "random branches must hurt IPC, got {}", a.ipc());
+        assert!(
+            a.ipc() < 3.0,
+            "random branches must hurt IPC, got {}",
+            a.ipc()
+        );
     }
 
     #[test]

@@ -193,7 +193,11 @@ impl PowerModel {
     /// `unit_temps.len()` from the unit count.
     pub fn evaluate(&self, cores: &[CoreWindow<'_>], unit_temps: &[f64]) -> PowerBreakdown {
         assert_eq!(cores.len(), self.core_count, "one window per core");
-        assert_eq!(unit_temps.len(), self.units.len(), "one temperature per unit");
+        assert_eq!(
+            unit_temps.len(),
+            self.units.len(),
+            "one temperature per unit"
+        );
 
         let v2f = self.params.vdd * self.params.vdd * self.params.freq_ghz * 1e9;
 
@@ -249,8 +253,7 @@ impl PowerModel {
                         let util = unit_utilization(u.kind, activity);
                         let d = duty.clamp(0.0, 1.0);
                         let clock = u.cdyn_max_nf * 1e-9 * CLOCK_FLOOR * v2f * d;
-                        let data =
-                            u.cdyn_max_nf * 1e-9 * (1.0 - CLOCK_FLOOR) * util * v2f * d;
+                        let data = u.cdyn_max_nf * 1e-9 * (1.0 - CLOCK_FLOOR) * util * v2f * d;
                         core_clock_w[c] += clock;
                         peaked += data;
                         clock + data
@@ -282,10 +285,9 @@ impl PowerModel {
         for (i, u) in self.units.iter().enumerate() {
             if let Some(c) = u.core {
                 if core_clock_area[c] > 0.0 {
-                    unit_watts_smooth[i] += core_clock_w[c]
-                        * u.nominal_area_mm2
-                        * clock_density_factor(u.kind)
-                        / core_clock_area[c];
+                    unit_watts_smooth[i] +=
+                        core_clock_w[c] * u.nominal_area_mm2 * clock_density_factor(u.kind)
+                            / core_clock_area[c];
                 }
             }
         }
@@ -507,7 +509,7 @@ mod tests {
         let leak_free = |name: &str| -> f64 {
             let i = fp.unit_index_by_name(name).unwrap();
             // Smooth = leak + clock share; subtract leak via a parked run.
-            let parked = m.evaluate(&vec![CoreWindow::Parked; 7], &vec![60.0; n]);
+            let parked = m.evaluate(&[CoreWindow::Parked; 7], &vec![60.0; n]);
             (b.unit_watts_smooth[i] - parked.unit_watts_smooth[i]) / fp.units[i].area()
         };
         let d_rf = leak_free("core0.intRF");

@@ -167,8 +167,6 @@ mod tests {
             fpu_ops: 900,
             ..Default::default()
         };
-        assert!(
-            unit_utilization(UnitKind::Fpu, &hi) > unit_utilization(UnitKind::Fpu, &lo)
-        );
+        assert!(unit_utilization(UnitKind::Fpu, &hi) > unit_utilization(UnitKind::Fpu, &lo));
     }
 }

@@ -148,6 +148,9 @@ mod tests {
             })
             .collect();
         let mape = mean_abs_percent_error(&rows);
-        assert!((mape - 11.0).abs() < 1.5, "14nm MAPE {mape}, paper says 11%");
+        assert!(
+            (mape - 11.0).abs() < 1.5,
+            "14nm MAPE {mape}, paper says 11%"
+        );
     }
 }

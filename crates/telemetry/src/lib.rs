@@ -1,0 +1,607 @@
+//! Observability for the HotGauge co-simulation: timing spans, domain
+//! counters, run manifests, and progress reporting.
+//!
+//! # Spans and counters
+//!
+//! Instrumentation sites use [`span!`] and [`counter!`]:
+//!
+//! ```
+//! # use hotgauge_telemetry::{span, counter};
+//! {
+//!     let _span = span!("thermal.step");
+//!     // ... timed work ...
+//!     counter!("thermal.cg_iterations", 42u64);
+//! }
+//! ```
+//!
+//! With the `telemetry` cargo feature enabled, each site pushes an event onto
+//! a bounded channel drained by a background aggregator thread; the hot path
+//! never blocks (a full channel increments a drop counter instead). Without
+//! the feature both macros compile to no-ops: no timer reads, no thread, no
+//! allocation — simulation results are byte-identical.
+//!
+//! [`snapshot`] flushes the aggregator and returns per-label statistics
+//! (calls, total, min, max, and derived average / share-of-total).
+//!
+//! # Run manifests
+//!
+//! [`manifest::RunManifest`] is the schema-versioned JSON document the CLI
+//! and experiment binaries emit under `--json <path>`; it is written
+//! atomically (temp file + rename) by [`manifest::write_json_atomic`].
+//! Field order is deterministic: struct fields serialize in declaration
+//! order and config maps are sorted by key.
+//!
+//! # Progress
+//!
+//! [`progress::ProgressPrinter`] is a throttled stderr reporter used by the
+//! long-running sweep binaries for liveness.
+
+pub mod manifest;
+pub mod progress;
+
+use std::collections::BTreeMap;
+
+/// Aggregated timing statistics for one span label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// The `span!` label.
+    pub label: String,
+    /// How many spans closed under this label.
+    pub calls: u64,
+    /// Summed wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single span in nanoseconds.
+    pub min_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean nanoseconds per call.
+    pub fn avg_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Aggregated statistics for one counter label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterStats {
+    /// The `counter!` label.
+    pub label: String,
+    /// How many values were recorded.
+    pub calls: u64,
+    /// Sum of recorded values.
+    pub total: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl CounterStats {
+    /// Mean recorded value.
+    pub fn avg(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total / self.calls as f64
+        }
+    }
+}
+
+/// A consistent view of everything recorded so far (labels sorted).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Per-label span timings.
+    pub spans: Vec<SpanStats>,
+    /// Per-label counter statistics.
+    pub counters: Vec<CounterStats>,
+    /// Events discarded because the channel was full.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Sum of all span time, the denominator for [`Snapshot::span_share`].
+    pub fn total_span_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.total_ns).sum()
+    }
+
+    /// Fraction of all recorded span time spent under `label` (0 when
+    /// nothing has been recorded).
+    pub fn span_share(&self, label: &str) -> f64 {
+        let denom = self.total_span_ns();
+        if denom == 0 {
+            return 0.0;
+        }
+        self.spans
+            .iter()
+            .find(|s| s.label == label)
+            .map_or(0.0, |s| s.total_ns as f64 / denom as f64)
+    }
+
+    /// The counter stats recorded under `label`, if any.
+    pub fn counter(&self, label: &str) -> Option<&CounterStats> {
+        self.counters.iter().find(|c| c.label == label)
+    }
+
+    /// The span stats recorded under `label`, if any.
+    pub fn span(&self, label: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.label == label)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod recorder {
+    use super::{CounterStats, Snapshot, SpanStats};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    /// Bounded queue depth between instrumentation sites and the aggregator.
+    const CHANNEL_DEPTH: usize = 65_536;
+
+    pub(crate) enum Event {
+        Span {
+            label: &'static str,
+            nanos: u64,
+        },
+        Counter {
+            label: &'static str,
+            value: f64,
+        },
+        /// Drain request: reply with the aggregate built so far.
+        Flush(SyncSender<Snapshot>),
+        /// Clear all aggregates (used between measurement phases).
+        Reset,
+    }
+
+    pub(crate) struct Recorder {
+        tx: SyncSender<Event>,
+        dropped: AtomicU64,
+    }
+
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+
+    pub(crate) fn global() -> &'static Recorder {
+        RECORDER.get_or_init(|| {
+            let (tx, rx) = sync_channel(CHANNEL_DEPTH);
+            std::thread::Builder::new()
+                .name("hotgauge-telemetry".into())
+                .spawn(move || aggregate(rx))
+                .expect("failed to spawn telemetry aggregator thread");
+            Recorder {
+                tx,
+                dropped: AtomicU64::new(0),
+            }
+        })
+    }
+
+    impl Recorder {
+        /// Never blocks: a full channel drops the event and counts the drop.
+        pub(crate) fn send(&self, event: Event) {
+            if self.tx.try_send(event).is_err() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        pub(crate) fn snapshot(&self) -> Snapshot {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            // Flush must not be droppable or the reply would never come;
+            // block here (off the hot path) until there is room.
+            if self.tx.send(Event::Flush(reply_tx)).is_err() {
+                return Snapshot::default();
+            }
+            let mut snap = reply_rx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap_or_default();
+            snap.dropped_events = self.dropped.load(Ordering::Relaxed);
+            snap
+        }
+    }
+
+    #[derive(Default)]
+    struct Agg {
+        calls: u64,
+        total: f64,
+        min: f64,
+        max: f64,
+    }
+
+    impl Agg {
+        fn record(&mut self, v: f64) {
+            if self.calls == 0 {
+                self.min = v;
+                self.max = v;
+            } else {
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+            self.calls += 1;
+            self.total += v;
+        }
+    }
+
+    fn aggregate(rx: Receiver<Event>) {
+        let mut spans: BTreeMap<&'static str, Agg> = BTreeMap::new();
+        let mut counters: BTreeMap<&'static str, Agg> = BTreeMap::new();
+        while let Ok(event) = rx.recv() {
+            match event {
+                Event::Span { label, nanos } => {
+                    spans.entry(label).or_default().record(nanos as f64)
+                }
+                Event::Counter { label, value } => counters.entry(label).or_default().record(value),
+                Event::Flush(reply) => {
+                    let snap = Snapshot {
+                        spans: spans
+                            .iter()
+                            .map(|(label, a)| SpanStats {
+                                label: (*label).to_string(),
+                                calls: a.calls,
+                                total_ns: a.total as u64,
+                                min_ns: a.min as u64,
+                                max_ns: a.max as u64,
+                            })
+                            .collect(),
+                        counters: counters
+                            .iter()
+                            .map(|(label, a)| CounterStats {
+                                label: (*label).to_string(),
+                                calls: a.calls,
+                                total: a.total,
+                                min: a.min,
+                                max: a.max,
+                            })
+                            .collect(),
+                        dropped_events: 0,
+                    };
+                    let _ = reply.send(snap);
+                }
+                Event::Reset => {
+                    spans.clear();
+                    counters.clear();
+                }
+            }
+        }
+    }
+}
+
+/// RAII timer recording a span on drop. Construct through [`span!`].
+#[cfg(feature = "telemetry")]
+#[must_use = "a span measures the time until it is dropped"]
+pub struct SpanGuard {
+    label: &'static str,
+    start: std::time::Instant,
+}
+
+#[cfg(feature = "telemetry")]
+impl SpanGuard {
+    /// Starts a monotonic timer for `label`.
+    #[inline]
+    pub fn enter(label: &'static str) -> Self {
+        Self {
+            label,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        recorder::global().send(recorder::Event::Span {
+            label: self.label,
+            nanos,
+        });
+    }
+}
+
+/// No-op stand-in when the `telemetry` feature is disabled.
+#[cfg(not(feature = "telemetry"))]
+#[must_use = "a span measures the time until it is dropped"]
+pub struct SpanGuard;
+
+#[cfg(not(feature = "telemetry"))]
+impl SpanGuard {
+    /// Does nothing; compiles away entirely.
+    #[inline(always)]
+    pub fn enter(_label: &'static str) -> Self {
+        SpanGuard
+    }
+}
+
+/// Records one counter observation. Prefer the [`counter!`] macro.
+#[cfg(feature = "telemetry")]
+#[inline]
+pub fn record_counter(label: &'static str, value: f64) {
+    recorder::global().send(recorder::Event::Counter { label, value });
+}
+
+/// No-op stand-in when the `telemetry` feature is disabled.
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+pub fn record_counter(_label: &'static str, _value: f64) {}
+
+/// Flushes the aggregator and returns everything recorded so far.
+///
+/// Without the `telemetry` feature this returns an empty [`Snapshot`].
+#[cfg(feature = "telemetry")]
+pub fn snapshot() -> Snapshot {
+    recorder::global().snapshot()
+}
+
+/// Flushes the aggregator and returns everything recorded so far.
+///
+/// Without the `telemetry` feature this returns an empty [`Snapshot`].
+#[cfg(not(feature = "telemetry"))]
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// Clears all aggregated spans and counters (measurement-phase boundary).
+#[cfg(feature = "telemetry")]
+pub fn reset() {
+    recorder::global().send(recorder::Event::Reset);
+}
+
+/// Clears all aggregated spans and counters (measurement-phase boundary).
+#[cfg(not(feature = "telemetry"))]
+pub fn reset() {}
+
+/// Times the enclosing scope under a static label.
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::SpanGuard::enter($label)
+    };
+}
+
+/// Records a numeric observation under a static label.
+#[macro_export]
+macro_rules! counter {
+    ($label:expr, $value:expr) => {
+        $crate::record_counter($label, ($value) as f64)
+    };
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a [`Snapshot`] as the human-readable timing/counter table.
+pub fn render_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        let denom = snap.total_span_ns().max(1) as f64;
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
+            "span", "calls", "total", "avg", "min", "max", "share"
+        ));
+        for s in &snap.spans {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>10} {:>10} {:>10} {:>10} {:>6.1}%\n",
+                s.label,
+                s.calls,
+                fmt_ns(s.total_ns as f64),
+                fmt_ns(s.avg_ns()),
+                fmt_ns(s.min_ns as f64),
+                fmt_ns(s.max_ns as f64),
+                100.0 * s.total_ns as f64 / denom,
+            ));
+        }
+    }
+    if !snap.counters.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+            "counter", "calls", "total", "avg", "min", "max"
+        ));
+        for c in &snap.counters {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+                c.label,
+                c.calls,
+                fmt_count(c.total),
+                fmt_count(c.avg()),
+                fmt_count(c.min),
+                fmt_count(c.max),
+            ));
+        }
+    }
+    if snap.dropped_events > 0 {
+        out.push_str(&format!(
+            "({} events dropped: channel was full)\n",
+            snap.dropped_events
+        ));
+    }
+    out
+}
+
+/// Prints the telemetry table to stderr when dropped (typically at the end
+/// of `main`). Does nothing when nothing was recorded or when quieted.
+pub struct TelemetryReport {
+    title: String,
+    quiet: bool,
+}
+
+impl TelemetryReport {
+    /// A report labelled `title`, printed at drop.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            quiet: false,
+        }
+    }
+
+    /// Suppresses the printed table (the snapshot stays available).
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+}
+
+impl Drop for TelemetryReport {
+    fn drop(&mut self) {
+        if self.quiet {
+            return;
+        }
+        let snap = snapshot();
+        if snap.is_empty() {
+            return;
+        }
+        eprintln!("\n== telemetry: {} ==", self.title);
+        eprint!("{}", render_table(&snap));
+    }
+}
+
+/// Key-sorted string map used for manifest config blocks.
+pub type ConfigMap = BTreeMap<String, String>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanStats {
+                    label: "perf".into(),
+                    calls: 10,
+                    total_ns: 3_000,
+                    min_ns: 100,
+                    max_ns: 500,
+                },
+                SpanStats {
+                    label: "thermal".into(),
+                    calls: 10,
+                    total_ns: 7_000,
+                    min_ns: 400,
+                    max_ns: 900,
+                },
+            ],
+            counters: vec![CounterStats {
+                label: "thermal.cg_iterations".into(),
+                calls: 4,
+                total: 100.0,
+                min: 10.0,
+                max: 40.0,
+            }],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn share_of_total_partitions_unity() {
+        let snap = sample_snapshot();
+        assert!((snap.span_share("perf") - 0.3).abs() < 1e-12);
+        assert!((snap.span_share("thermal") - 0.7).abs() < 1e-12);
+        let sum: f64 = snap.spans.iter().map(|s| snap.span_share(&s.label)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(snap.span_share("missing"), 0.0);
+        assert_eq!(Snapshot::default().span_share("perf"), 0.0);
+    }
+
+    #[test]
+    fn stats_derive_avg() {
+        let snap = sample_snapshot();
+        assert!((snap.span("perf").unwrap().avg_ns() - 300.0).abs() < 1e-12);
+        let c = snap.counter("thermal.cg_iterations").unwrap();
+        assert!((c.avg() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_labels() {
+        let table = render_table(&sample_snapshot());
+        assert!(table.contains("perf"));
+        assert!(table.contains("thermal"));
+        assert!(table.contains("thermal.cg_iterations"));
+        assert!(table.contains("30.0%"));
+        assert!(table.contains("70.0%"));
+        assert!(render_table(&Snapshot::default()).is_empty());
+    }
+
+    // Exercises the real channel + aggregator thread path.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn concurrent_spans_are_all_counted() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 200;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for i in 0..PER_THREAD {
+                        let _g = span!("test.concurrent");
+                        counter!("test.concurrent_counter", i);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        let span = snap.span("test.concurrent").expect("span recorded");
+        assert_eq!(span.calls, THREADS * PER_THREAD);
+        assert!(span.min_ns <= span.max_ns);
+        assert!(span.total_ns >= span.max_ns);
+        let c = snap.counter("test.concurrent_counter").expect("counter");
+        assert_eq!(c.calls, THREADS * PER_THREAD);
+        assert_eq!(c.min, 0.0);
+        assert_eq!(c.max, (PER_THREAD - 1) as f64);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn counter_aggregates_min_max_total() {
+        counter!("test.minmax", 5u64);
+        counter!("test.minmax", 1u64);
+        counter!("test.minmax", 9u64);
+        let c = snapshot();
+        let c = c.counter("test.minmax").expect("counter");
+        assert_eq!(c.calls, 3);
+        assert_eq!(c.total, 15.0);
+        assert_eq!(c.min, 1.0);
+        assert_eq!(c.max, 9.0);
+    }
+
+    // With the feature disabled the macros must still compile and record
+    // nothing; this is the no-op path used by default builds.
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_feature_is_a_noop() {
+        {
+            let _g = span!("test.noop");
+            counter!("test.noop_counter", 123u64);
+        }
+        let snap = snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.dropped_events, 0);
+        reset(); // also a no-op
+    }
+}

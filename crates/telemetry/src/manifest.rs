@@ -1,0 +1,275 @@
+//! The schema-versioned JSON run manifest emitted under `--json <path>`.
+//!
+//! A [`RunManifest`] records what was run (tool, arguments, configuration)
+//! and what came out of it (a tool-specific `results` tree plus, when the
+//! `telemetry` feature is enabled, aggregated [`RunMetrics`]). Serialization
+//! is deterministic: struct fields appear in declaration order and the
+//! config map is sorted by key. [`write_json_atomic`] writes through a
+//! sibling temp file and rename so readers never observe a partial file.
+
+use crate::{ConfigMap, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Version stamped into every manifest; bump on breaking schema changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Top-level document written by the CLI and experiment binaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Emitting binary (e.g. `hotgauge`, `fig11_tuh_percore`).
+    pub tool: String,
+    /// Command-line arguments after the binary name.
+    pub args: Vec<String>,
+    /// Key-sorted run configuration (node, benchmark, fidelity, ...).
+    pub config: ConfigMap,
+    /// Tool-specific result summary.
+    pub results: serde_json::Value,
+    /// Aggregated timing/counter statistics; `None` without telemetry.
+    pub metrics: Option<RunMetrics>,
+}
+
+impl RunManifest {
+    /// An empty manifest for `tool`, capturing the process arguments.
+    pub fn new(tool: &str) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            tool: tool.to_string(),
+            args: std::env::args().skip(1).collect(),
+            config: ConfigMap::new(),
+            results: serde_json::Value::Null,
+            metrics: None,
+        }
+    }
+
+    /// Adds one config entry (builder-style).
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets the tool-specific results tree from any serializable value.
+    pub fn set_results<T: Serialize>(&mut self, results: &T) {
+        self.results = serde_json::to_value(results);
+    }
+
+    /// Captures the current telemetry [`Snapshot`] as [`RunMetrics`].
+    ///
+    /// Leaves `metrics` as `None` when nothing was recorded (the default
+    /// build, where telemetry compiles to no-ops).
+    pub fn capture_metrics(&mut self) {
+        let snap = crate::snapshot();
+        if !snap.is_empty() {
+            self.metrics = Some(RunMetrics::from_snapshot(&snap));
+        }
+    }
+}
+
+/// Aggregated per-stage timings and domain counters for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-span timing statistics, sorted by label.
+    pub stages: Vec<StageMetrics>,
+    /// Per-counter statistics, sorted by label.
+    pub counters: Vec<CounterMetrics>,
+    /// Telemetry events lost to backpressure (0 in a healthy run).
+    pub dropped_events: u64,
+}
+
+impl RunMetrics {
+    /// Converts an aggregator snapshot into the manifest schema.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let denom = snap.total_span_ns().max(1) as f64;
+        Self {
+            stages: snap
+                .spans
+                .iter()
+                .map(|s| StageMetrics {
+                    label: s.label.clone(),
+                    calls: s.calls,
+                    total_s: s.total_ns as f64 * 1e-9,
+                    avg_s: s.avg_ns() * 1e-9,
+                    min_s: s.min_ns as f64 * 1e-9,
+                    max_s: s.max_ns as f64 * 1e-9,
+                    share: s.total_ns as f64 / denom,
+                })
+                .collect(),
+            counters: snap
+                .counters
+                .iter()
+                .map(|c| CounterMetrics {
+                    label: c.label.clone(),
+                    calls: c.calls,
+                    total: c.total,
+                    avg: c.avg(),
+                    min: c.min,
+                    max: c.max,
+                })
+                .collect(),
+            dropped_events: snap.dropped_events,
+        }
+    }
+
+    /// The stage entry for `label`, if recorded.
+    pub fn stage(&self, label: &str) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.label == label)
+    }
+
+    /// The counter entry for `label`, if recorded.
+    pub fn counter(&self, label: &str) -> Option<&CounterMetrics> {
+        self.counters.iter().find(|c| c.label == label)
+    }
+}
+
+/// Timing statistics for one pipeline stage (span label), in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Span label (e.g. `thermal`, `detect`).
+    pub label: String,
+    /// Number of spans recorded.
+    pub calls: u64,
+    /// Summed wall time.
+    pub total_s: f64,
+    /// Mean wall time per call.
+    pub avg_s: f64,
+    /// Shortest call.
+    pub min_s: f64,
+    /// Longest call.
+    pub max_s: f64,
+    /// Fraction of all recorded span time spent in this stage.
+    pub share: f64,
+}
+
+/// Statistics for one domain counter (iterations, instruction counts, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterMetrics {
+    /// Counter label (e.g. `thermal.cg_iterations`).
+    pub label: String,
+    /// Number of recorded observations.
+    pub calls: u64,
+    /// Sum of observations.
+    pub total: f64,
+    /// Mean observation.
+    pub avg: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Serializes `value` as pretty JSON and writes it atomically to `path`
+/// (sibling temp file, then rename), so a crash or concurrent reader never
+/// sees a truncated document.
+pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let mut json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    json.push('\n');
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{file_name}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterStats, SpanStats};
+
+    fn sample_manifest() -> RunManifest {
+        let mut m = RunManifest {
+            schema_version: SCHEMA_VERSION,
+            tool: "hotgauge".into(),
+            args: vec!["--benchmark".into(), "gcc".into()],
+            config: ConfigMap::new(),
+            results: serde_json::Value::Null,
+            metrics: None,
+        };
+        m = m.with_config("node", "7nm").with_config("benchmark", "gcc");
+        m.set_results(&vec![1u64, 2, 3]);
+        m.metrics = Some(RunMetrics::from_snapshot(&Snapshot {
+            spans: vec![SpanStats {
+                label: "thermal".into(),
+                calls: 5,
+                total_ns: 5_000_000,
+                min_ns: 900_000,
+                max_ns: 1_100_000,
+            }],
+            counters: vec![CounterStats {
+                label: "thermal.cg_iterations".into(),
+                calls: 5,
+                total: 250.0,
+                min: 40.0,
+                max: 60.0,
+            }],
+            dropped_events: 0,
+        }));
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = sample_manifest();
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn field_order_is_deterministic() {
+        let m = sample_manifest();
+        let a = serde_json::to_string(&m).unwrap();
+        let b = serde_json::to_string(&m.clone()).unwrap();
+        assert_eq!(a, b);
+        // schema_version leads, and sorted config keys follow declaration order.
+        assert!(a.starts_with("{\"schema_version\":1,\"tool\":\"hotgauge\""));
+        let bench = a.find("\"benchmark\":\"gcc\"").unwrap();
+        let node = a.find("\"node\":\"7nm\"").unwrap();
+        assert!(bench < node, "config keys must be sorted");
+    }
+
+    #[test]
+    fn metrics_preserve_share_and_counters() {
+        let m = sample_manifest();
+        let metrics = m.metrics.as_ref().unwrap();
+        let stage = metrics.stage("thermal").unwrap();
+        assert_eq!(stage.calls, 5);
+        assert!((stage.share - 1.0).abs() < 1e-12);
+        assert!((stage.total_s - 5e-3).abs() < 1e-15);
+        let c = metrics.counter("thermal.cg_iterations").unwrap();
+        assert_eq!(c.total, 250.0);
+        assert_eq!(c.avg, 50.0);
+    }
+
+    #[test]
+    fn atomic_write_creates_parseable_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "hotgauge_manifest_test_{}.json",
+            std::process::id()
+        ));
+        let m = sample_manifest();
+        write_json_atomic(&path, &m).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.tool, "hotgauge");
+        // No temp file left behind.
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(&stem))
+            .count();
+        assert_eq!(leftovers, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,109 @@
+//! Throttled liveness reporting for long-running sweeps.
+//!
+//! Worker threads call [`ProgressPrinter::tick`] as units of work finish;
+//! lines go to stderr at most every `interval` (plus always the final one),
+//! so a multi-hour sweep stays observable without flooding the terminal.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Thread-safe `[label done/total] detail` reporter.
+pub struct ProgressPrinter {
+    label: String,
+    total: u64,
+    quiet: bool,
+    interval: Duration,
+    state: Mutex<State>,
+}
+
+struct State {
+    done: u64,
+    last_print: Option<Instant>,
+    started: Instant,
+}
+
+impl ProgressPrinter {
+    /// A reporter for `total` units of work under `label`.
+    pub fn new(label: impl Into<String>, total: u64) -> Self {
+        Self {
+            label: label.into(),
+            total,
+            quiet: false,
+            interval: Duration::from_millis(250),
+            state: Mutex::new(State {
+                done: 0,
+                last_print: None,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Suppresses all output (ticks are still counted).
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Sets the minimum spacing between printed lines.
+    pub fn interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Marks one unit done; prints if the throttle allows or this was the
+    /// last unit. Safe to call from multiple threads.
+    pub fn tick(&self, detail: &str) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.done += 1;
+        if self.quiet {
+            return;
+        }
+        let now = Instant::now();
+        let due = state.done >= self.total
+            || state
+                .last_print
+                .is_none_or(|last| now.duration_since(last) >= self.interval);
+        if due {
+            let elapsed = now.duration_since(state.started).as_secs_f64();
+            eprintln!(
+                "[{} {}/{}] {:.1}s {}",
+                self.label, state.done, self.total, elapsed, detail
+            );
+            state.last_print = Some(now);
+        }
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_count_across_threads() {
+        let p = ProgressPrinter::new("test", 40).quiet(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        p.tick("unit");
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 40);
+    }
+
+    #[test]
+    fn builder_settings_apply() {
+        let p = ProgressPrinter::new("x", 2)
+            .quiet(true)
+            .interval(Duration::from_secs(1));
+        p.tick("a");
+        assert_eq!(p.done(), 1);
+    }
+}

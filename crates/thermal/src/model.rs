@@ -199,8 +199,8 @@ impl ThermalModel {
     /// domain). Uses the ambient from the stack description.
     pub fn steady_state(&self, die_power: &[f64], cg: &CgConfig) -> (Vec<f64>, SolveStats) {
         let mut rhs = self.inject_die_power(die_power);
-        for i in 0..rhs.len() {
-            rhs[i] += self.conv[i] * self.stack.ambient_c;
+        for (i, r) in rhs.iter_mut().enumerate() {
+            *r += self.conv[i] * self.stack.ambient_c;
         }
         let mut t = vec![self.stack.ambient_c; self.node_count()];
         let stats = solve_cg(&self.g, &rhs, &mut t, cg);
@@ -294,10 +294,13 @@ impl ThermalSim {
 
         let mut rhs = self.model.inject_die_power(die_power);
         let amb = self.model.stack.ambient_c;
-        for i in 0..rhs.len() {
-            rhs[i] += self.model.cap[i] / dt * self.t[i] + self.model.conv[i] * amb;
+        for (i, r) in rhs.iter_mut().enumerate() {
+            *r += self.model.cap[i] / dt * self.t[i] + self.model.conv[i] * amb;
         }
-        solve_cg(m, &rhs, &mut self.t, &self.cg)
+        let stats = solve_cg(m, &rhs, &mut self.t, &self.cg);
+        hotgauge_telemetry::counter!("thermal.cg_iterations", stats.iterations);
+        hotgauge_telemetry::counter!("thermal.cg_residual", stats.relative_residual);
+        stats
     }
 
     /// Advances by `dt` split into `substeps` equal backward-Euler steps
@@ -486,7 +489,13 @@ mod tests {
                 p[iy * 12 + ix] = 0.02 * (6.0 - d);
             }
         }
-        let (t, _) = model.steady_state(&p, &CgConfig { tolerance: 1e-11, max_iterations: 50_000 });
+        let (t, _) = model.steady_state(
+            &p,
+            &CgConfig {
+                tolerance: 1e-11,
+                max_iterations: 50_000,
+            },
+        );
         let f = model.die_frame_of(&t);
         for iy in 0..12 {
             for ix in 0..6 {

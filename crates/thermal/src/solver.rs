@@ -167,7 +167,9 @@ mod tests {
     fn solves_larger_system() {
         let n = 2000;
         let a = poisson(n);
-        let x_true: Vec<f64> = (0..n).map(|i| ((i * 37 % 100) as f64) / 10.0 - 5.0).collect();
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 100) as f64) / 10.0 - 5.0)
+            .collect();
         let b = a.mul_vec_alloc(&x_true);
         let mut x = vec![0.0; n];
         let stats = solve_cg(
@@ -209,7 +211,7 @@ mod tests {
     fn zero_rhs_gives_zero_solution() {
         let a = poisson(10);
         let mut x = vec![3.0; 10];
-        let stats = solve_cg(&a, &vec![0.0; 10], &mut x, &CgConfig::default());
+        let stats = solve_cg(&a, &[0.0; 10], &mut x, &CgConfig::default());
         assert!(stats.converged);
         assert!(x.iter().all(|&v| v == 0.0));
     }

@@ -27,10 +27,10 @@ impl CsrMatrix {
     /// The diagonal entries (0 where a row has no stored diagonal).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, di) in d.iter_mut().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 if self.col_idx[k] == i {
-                    d[i] = self.values[k];
+                    *di = self.values[k];
                 }
             }
         }
@@ -45,12 +45,12 @@ impl CsrMatrix {
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -76,11 +76,11 @@ impl CsrMatrix {
     /// explicit diagonals).
     pub fn add_to_diagonal(&mut self, v: &[f64]) {
         assert_eq!(v.len(), self.n);
-        for i in 0..self.n {
+        for (i, &vi) in v.iter().enumerate() {
             let mut found = false;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 if self.col_idx[k] == i {
-                    self.values[k] += v[i];
+                    self.values[k] += vi;
                     found = true;
                     break;
                 }

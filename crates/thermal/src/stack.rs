@@ -207,9 +207,17 @@ mod tests {
         assert!((si - 380e-6).abs() < 1e-12);
         let tim = s.layers.iter().find(|l| l.name == "solder TIM").unwrap();
         assert!((tim.thickness - 200e-6).abs() < 1e-12);
-        let cu = s.layers.iter().find(|l| l.name == "copper spreader").unwrap();
+        let cu = s
+            .layers
+            .iter()
+            .find(|l| l.name == "copper spreader")
+            .unwrap();
         assert!((cu.thickness - 3e-3).abs() < 1e-12);
-        let grease = s.layers.iter().find(|l| l.name == "thermal grease").unwrap();
+        let grease = s
+            .layers
+            .iter()
+            .find(|l| l.name == "thermal grease")
+            .unwrap();
         assert!((grease.thickness - 30e-6).abs() < 1e-12);
     }
 

@@ -187,37 +187,28 @@ impl InstrSource for WorkloadGen {
 
         let pc = self.next_pc();
         let r: f64 = self.class_roll(pc);
-        let mut acc = mix.loads;
-        let mut ins = if r < acc {
+        // Walk the cumulative class distribution: each call advances the
+        // running total and reports whether the roll lands in that class.
+        let mut acc = 0.0;
+        let mut falls_in = |weight: f64| {
+            acc += weight;
+            r < acc
+        };
+        let mut ins = if falls_in(mix.loads) {
             Instr::load(pc, self.data_address(phase.mem_scale))
-        } else if {
-            acc += mix.stores;
-            r < acc
-        } {
+        } else if falls_in(mix.stores) {
             Instr::store(pc, self.data_address(phase.mem_scale))
-        } else if {
-            acc += mix.branches;
-            r < acc
-        } {
+        } else if falls_in(mix.branches) {
             let taken = self.branch_outcome(pc);
             Instr::branch(pc, taken)
-        } else if {
-            acc += int_simple;
-            r < acc
-        } {
+        } else if falls_in(int_simple) {
             Instr::compute(InstrClass::IntSimple, pc)
-        } else if {
-            acc += mix.int_complex;
-            r < acc
-        } {
+        } else if falls_in(mix.int_complex) {
             let mut i = Instr::compute(InstrClass::IntComplex, pc);
             // Complex ops (mul/div) carry real latency.
             i.extra_latency = 2;
             i
-        } else if {
-            acc += fp;
-            r < acc
-        } {
+        } else if falls_in(fp) {
             Instr::compute(InstrClass::FpScalar, pc)
         } else {
             Instr::compute(InstrClass::Avx512, pc)
@@ -330,10 +321,7 @@ mod tests {
         }];
         let mut g = WorkloadGen::new(p, 5);
         let n = 50_000;
-        let fp = (0..n)
-            .filter(|_| g.next_instr().class.is_fp())
-            .count() as f64
-            / n as f64;
+        let fp = (0..n).filter(|_| g.next_instr().class.is_fp()).count() as f64 / n as f64;
         assert!(fp > 0.3, "fp share under 5x scale: {fp}");
     }
 

@@ -61,6 +61,6 @@ mod tests {
 
     #[test]
     fn duty_cycle_is_small() {
-        assert!(IDLE_DUTY_CYCLE > 0.0 && IDLE_DUTY_CYCLE < 0.25);
+        const { assert!(IDLE_DUTY_CYCLE > 0.0 && IDLE_DUTY_CYCLE < 0.25) }
     }
 }

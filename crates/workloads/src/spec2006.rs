@@ -7,6 +7,10 @@
 //! predictability, ILP, code footprint, and phase structure. They are what
 //! stands in for tracing the real binaries with a Pin-based simulator.
 
+// The cache-size tables below keep `1 * MIB`-style entries aligned with
+// their neighbours.
+#![allow(clippy::identity_op)]
+
 use crate::profile::{BranchBehavior, InstMix, MemoryBehavior, Phase, WorkloadProfile};
 
 const KIB: u64 = 1024;
@@ -111,12 +115,15 @@ pub fn profile(name: &str) -> Option<WorkloadProfile> {
             2048,
             0.18,
             400 * KIB,
-            vec![Phase::neutral(4_000_000), Phase {
-                length_instrs: 1_000_000,
-                serial_scale: 0.6,
-                mem_scale: 1.5,
-                fp_scale: 1.0,
-            }],
+            vec![
+                Phase::neutral(4_000_000),
+                Phase {
+                    length_instrs: 1_000_000,
+                    serial_scale: 0.6,
+                    mem_scale: 1.5,
+                    fp_scale: 1.0,
+                },
+            ],
         ),
         "bzip2" => mk(
             "bzip2",
@@ -131,12 +138,15 @@ pub fn profile(name: &str) -> Option<WorkloadProfile> {
             512,
             0.10,
             64 * KIB,
-            vec![Phase::neutral(3_000_000), Phase {
-                length_instrs: 2_000_000,
-                serial_scale: 0.5,
-                mem_scale: 0.5,
-                fp_scale: 1.0,
-            }],
+            vec![
+                Phase::neutral(3_000_000),
+                Phase {
+                    length_instrs: 2_000_000,
+                    serial_scale: 0.5,
+                    mem_scale: 0.5,
+                    fp_scale: 1.0,
+                },
+            ],
         ),
         "gcc" => mk(
             "gcc",
@@ -286,12 +296,15 @@ pub fn profile(name: &str) -> Option<WorkloadProfile> {
             1024,
             0.10,
             512 * KIB,
-            vec![Phase::neutral(2_000_000), Phase {
-                length_instrs: 1_000_000,
-                serial_scale: 0.5,
-                mem_scale: 0.8,
-                fp_scale: 1.8,
-            }],
+            vec![
+                Phase::neutral(2_000_000),
+                Phase {
+                    length_instrs: 1_000_000,
+                    serial_scale: 0.5,
+                    mem_scale: 0.8,
+                    fp_scale: 1.8,
+                },
+            ],
         ),
         "omnetpp" => mk(
             "omnetpp",
@@ -354,12 +367,15 @@ pub fn profile(name: &str) -> Option<WorkloadProfile> {
             128,
             0.18,
             64 * KIB,
-            vec![Phase::neutral(3_000_000), Phase {
-                length_instrs: 1_500_000,
-                serial_scale: 0.7,
-                mem_scale: 1.6,
-                fp_scale: 1.2,
-            }],
+            vec![
+                Phase::neutral(3_000_000),
+                Phase {
+                    length_instrs: 1_500_000,
+                    serial_scale: 0.7,
+                    mem_scale: 1.6,
+                    fp_scale: 1.2,
+                },
+            ],
         ),
         "namd" => mk(
             "namd",
@@ -468,12 +484,15 @@ pub fn profile(name: &str) -> Option<WorkloadProfile> {
             512,
             0.12,
             256 * KIB,
-            vec![Phase::neutral(2_500_000), Phase {
-                length_instrs: 1_000_000,
-                serial_scale: 0.7,
-                mem_scale: 1.4,
-                fp_scale: 1.3,
-            }],
+            vec![
+                Phase::neutral(2_500_000),
+                Phase {
+                    length_instrs: 1_000_000,
+                    serial_scale: 0.7,
+                    mem_scale: 1.4,
+                    fp_scale: 1.3,
+                },
+            ],
         ),
         _ => return None,
     };

@@ -98,7 +98,7 @@ impl Trace {
         if data.get_u64_le() != MAGIC {
             return Err("bad trace magic".into());
         }
-        if data.remaining() % 18 != 0 {
+        if !data.remaining().is_multiple_of(18) {
             return Err(format!("truncated trace body ({} bytes)", data.remaining()));
         }
         let mut instrs = Vec::with_capacity(data.remaining() / 18);

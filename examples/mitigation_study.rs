@@ -11,6 +11,9 @@ use hotgauge_floorplan::tech::TechNode;
 use hotgauge_floorplan::unit::UnitKind;
 use hotgauge_thermal::warmup::Warmup;
 
+/// Label, per-unit area scales, and whole-IC area factor of one variant.
+type Variant = (String, Vec<(UnitKind, f64)>, f64);
+
 fn main() {
     let bench = "povray";
     let horizon = 0.015;
@@ -27,8 +30,13 @@ fn main() {
     );
 
     // §V-A: scale the hottest units at 7 nm.
-    let mut table = TextTable::new(vec!["7nm floorplan", "peak sev", "RMS sev", "die area [mm2]"]);
-    let variants: Vec<(String, Vec<(UnitKind, f64)>, f64)> = vec![
+    let mut table = TextTable::new(vec![
+        "7nm floorplan",
+        "peak sev",
+        "RMS sev",
+        "die area [mm2]",
+    ]);
+    let variants: Vec<Variant> = vec![
         ("baseline".into(), vec![], 1.0),
         ("fpRF x4".into(), vec![(UnitKind::FpRf, 4.0)], 1.0),
         ("fpRF x10".into(), vec![(UnitKind::FpRf, 10.0)], 1.0),

@@ -23,7 +23,10 @@ fn main() {
         "TUH",
     ]);
 
-    println!("sweeping technology nodes for {bench} (idle warmup, {} ms)...", horizon * 1e3);
+    println!(
+        "sweeping technology nodes for {bench} (idle warmup, {} ms)...",
+        horizon * 1e3
+    );
     for node in TechNode::ALL {
         let mut cfg = SimConfig::new(node, &bench);
         cfg.warmup = Warmup::Idle;

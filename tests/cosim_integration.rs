@@ -173,5 +173,8 @@ fn different_cores_give_different_thermal_outcomes() {
     // Core 0 (die corner) vs core 3 (die center) must not be identical.
     let ta = ra.records.last().unwrap().max_temp_c;
     let tb = rb.records.last().unwrap().max_temp_c;
-    assert!((ta - tb).abs() > 0.05, "core placement should matter: {ta} vs {tb}");
+    assert!(
+        (ta - tb).abs() > 0.05,
+        "core placement should matter: {ta} vs {tb}"
+    );
 }

@@ -119,8 +119,18 @@ fn census_attributes_hotspots_to_hot_units() {
     }
     let ranked = r.census.ranked();
     let paper_hot = [
-        "cALU", "fpIWin", "intRAT", "fpRAT", "intRF", "fpRF", "core_other", "ROB", "intIWin",
-        "sALU", "FPU", "AVX512",
+        "cALU",
+        "fpIWin",
+        "intRAT",
+        "fpRAT",
+        "intRF",
+        "fpRF",
+        "core_other",
+        "ROB",
+        "intIWin",
+        "sALU",
+        "FPU",
+        "AVX512",
     ];
     // At this very coarse test grid (300 µm) a peak cell can be owned by a
     // neighboring cache block, so require an execution-stack unit among the

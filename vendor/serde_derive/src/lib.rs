@@ -1,0 +1,342 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the vendored `serde` shim's `Serialize` /
+//! `Deserialize` traits (which render through an ordered `Value` tree).
+//! Supported shapes — the ones this workspace uses:
+//!
+//! * structs with named fields (lifetime generics allowed for `Serialize`),
+//! * enums whose variants are all unit variants.
+//!
+//! No `#[serde(...)]` attributes are interpreted. Parsing walks the raw
+//! token stream (no `syn`/`quote`: the build container has no registry
+//! access), and the generated impl is assembled as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derives the shim's `Serialize` for named-field structs and unit enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives the shim's `Deserialize` for named-field structs and unit enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+struct Item {
+    is_struct: bool,
+    name: String,
+    /// Raw generics text including the angle brackets, e.g. `<'a>`.
+    generics: String,
+    /// Field names (structs) or variant names (enums).
+    parts: Vec<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    if mode == Mode::De && !item.generics.is_empty() {
+        return error("cannot derive Deserialize for generic types in the serde shim");
+    }
+    let src = match (item.is_struct, mode) {
+        (true, Mode::Ser) => struct_serialize(&item),
+        (true, Mode::De) => struct_deserialize(&item),
+        (false, Mode::Ser) => enum_serialize(&item),
+        (false, Mode::De) => enum_deserialize(&item),
+    };
+    src.parse().expect("generated impl parses")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+fn struct_serialize(item: &Item) -> String {
+    let fields: String = item
+        .parts
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let (name, g) = (&item.name, &item.generics);
+    format!(
+        "impl {g} ::serde::Serialize for {name} {g} {{
+            fn to_value(&self) -> ::serde::Value {{
+                ::serde::Value::Map(::std::vec![{fields}])
+            }}
+        }}"
+    )
+}
+
+fn struct_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let fields: String = item
+        .parts
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(map, {f:?}, {name:?})?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value)
+                -> ::std::result::Result<Self, ::serde::Error>
+            {{
+                let map = v.as_map().ok_or_else(|| ::serde::Error::custom(
+                    ::std::concat!(\"expected object for \", {name:?})))?;
+                ::std::result::Result::Ok(Self {{ {fields} }})
+            }}
+        }}"
+    )
+}
+
+fn enum_serialize(item: &Item) -> String {
+    let arms: String = item
+        .parts
+        .iter()
+        .map(|v| format!("Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"))
+        .collect();
+    let (name, g) = (&item.name, &item.generics);
+    format!(
+        "impl {g} ::serde::Serialize for {name} {g} {{
+            fn to_value(&self) -> ::serde::Value {{
+                match self {{ {arms} }}
+            }}
+        }}"
+    )
+}
+
+fn enum_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let arms: String = item
+        .parts
+        .iter()
+        .map(|v| format!("{v:?} => ::std::result::Result::Ok(Self::{v}),"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value)
+                -> ::std::result::Result<Self, ::serde::Error>
+            {{
+                let s = v.as_str().ok_or_else(|| ::serde::Error::custom(
+                    ::std::concat!(\"expected variant string for \", {name:?})))?;
+                match s {{
+                    {arms}
+                    other => ::std::result::Result::Err(::serde::Error::custom(
+                        ::std::format!(\"unknown {name} variant `{{other}}`\"))),
+                }}
+            }}
+        }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let is_struct = match ident_at(&tokens, i).as_deref() {
+        Some("struct") => true,
+        Some("enum") => false,
+        _ => return Err("serde shim derive supports only structs and enums".into()),
+    };
+    i += 1;
+
+    let name = ident_at(&tokens, i).ok_or("expected type name")?;
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(_) => {
+            // `where` clauses and unit/tuple structs are unsupported.
+            return Err(format!(
+                "serde shim derive: unsupported item shape for `{name}` \
+                 (expected a braced body)"
+            ));
+        }
+        None => return Err(format!("missing body for `{name}`")),
+    };
+
+    let parts = if is_struct {
+        parse_named_fields(body)?
+    } else {
+        parse_unit_variants(body, &name)?
+    };
+
+    Ok(Item {
+        is_struct,
+        name,
+        generics,
+        parts,
+    })
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Collects `<...>` generics (if present) as raw text, handling nesting.
+/// The collected tokens are re-rendered through `TokenStream`'s lossless
+/// `Display` so lifetimes like `'a` keep their exact spelling.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(String::new()),
+    }
+    let mut depth = 0usize;
+    let mut collected: Vec<TokenTree> = Vec::new();
+    loop {
+        let tok = tokens
+            .get(*i)
+            .ok_or("unterminated generics in derive input")?;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        collected.push(tok.clone());
+        *i += 1;
+        if depth == 0 {
+            return Ok(TokenStream::from_iter(collected).to_string());
+        }
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: expected field name, found `{other}`"
+                ))
+            }
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}` \
+                     (tuple structs are unsupported)"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0isize;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, requiring unit variants.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: expected variant name in `{enum_name}`, found `{other}`"
+                ))
+            }
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                i += 1;
+                loop {
+                    match tokens.get(i) {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+            }
+            Some(_) => {
+                return Err(format!(
+                    "serde shim derive: enum `{enum_name}` variant `{name}` carries data; \
+                     only unit variants are supported"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
