@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! hotgauge [--benchmark] <benchmark> [--node 14|10|7|5[nm]] [--core N]
-//!          [--cold] [--ms HORIZON] [--cell UM] [--scale UNIT FACTOR]
-//!          [--ic-area FACTOR] [--json PATH] [--quiet] [--progress]
+//!          [--cold] [--ms HORIZON] [--cell UM] [--solver direct|cg]
+//!          [--scale UNIT FACTOR] [--ic-area FACTOR] [--json PATH]
+//!          [--quiet] [--progress]
 //! ```
 //!
 //! `--json PATH` writes a schema-versioned run manifest (results plus, when
@@ -30,6 +31,8 @@ options:
   --cold             start from ambient instead of the idle-warm state
   --ms HORIZON       simulated horizon in milliseconds
   --cell UM          thermal grid cell size in micrometers
+  --solver WHICH     thermal solver: direct (factor-once Cholesky, falls
+                     back to CG past the profile budget) or cg; default direct
   --scale UNIT F     scale one unit kind's area by F (repeatable)
   --ic-area F        uniform IC area factor
   --json PATH        write the run manifest to PATH (`-` for stdout)
@@ -120,6 +123,10 @@ fn parse_args(args: &[String]) -> Cli {
                 cfg.cell_um = v
                     .parse()
                     .unwrap_or_else(|_| fail(format!("invalid cell size {v}")));
+            }
+            "--solver" => {
+                let v = flag_value(args, &mut i, "--solver");
+                cfg.solver = v.parse().unwrap_or_else(|e| fail(e));
             }
             "--scale" => {
                 let unit_label = flag_value(args, &mut i, "--scale").to_owned();
@@ -222,6 +229,7 @@ fn main() {
             .with_config("core", r.config.target_core)
             .with_config("warmup", r.config.warmup.label())
             .with_config("cell_um", r.config.cell_um)
+            .with_config("solver", r.config.solver.as_str())
             .with_config("max_time_s", r.config.max_time_s)
             .with_config("ic_area_factor", r.config.ic_area_factor);
         manifest.set_results(&summary);

@@ -52,21 +52,28 @@ pub fn mltd_field(frame: &ThermalFrame, radius_m: f64) -> Vec<f64> {
     let (nx, ny) = (frame.nx, frame.ny);
 
     // Precompute the horizontal half-width of the disc at each |dy|.
-    let half_w: Vec<isize> = (0..=r_cells)
-        .map(|dy| (((r_cells * r_cells - dy * dy) as f64).sqrt()).floor() as isize)
-        .collect();
+    let half_w = chord_half_widths(r_cells);
 
-    // For each distinct half-width, the sliding-window minimum of every row.
-    // Collect which |dy| use which width to avoid recomputation.
-    let mut width_rows: Vec<Vec<f64>> = Vec::with_capacity(half_w.len());
-    for &w in &half_w {
-        width_rows.push(rows_window_min(&frame.temps, nx, ny, w));
-    }
+    // One sliding-window-minimum pass per *distinct* half-width: adjacent
+    // |dy| chords often share a width (a 10-cell radius has 11 chords but
+    // only ~7 widths), so `width_rows[|dy|]` indexes into a deduplicated
+    // pass table instead of recomputing per chord.
+    let mut passes: Vec<(isize, Vec<f64>)> = Vec::with_capacity(half_w.len());
+    let width_rows: Vec<usize> = half_w
+        .iter()
+        .map(|&w| match passes.iter().position(|&(pw, _)| pw == w) {
+            Some(i) => i,
+            None => {
+                passes.push((w, rows_window_min(&frame.temps, nx, ny, w)));
+                passes.len() - 1
+            }
+        })
+        .collect();
 
     let mut out = vec![f64::INFINITY; nx * ny];
     for dy in -r_cells..=r_cells {
         let w_idx = dy.unsigned_abs();
-        let mins = &width_rows[w_idx];
+        let mins = &passes[width_rows[w_idx]].1;
         for iy in 0..ny as isize {
             let sy = iy + dy;
             if sy < 0 || sy >= ny as isize {
@@ -85,6 +92,13 @@ pub fn mltd_field(frame: &ThermalFrame, radius_m: f64) -> Vec<f64> {
     out.iter()
         .zip(&frame.temps)
         .map(|(&min, &t)| t - min)
+        .collect()
+}
+
+/// Horizontal half-width of the radius-`r_cells` disc at each `|dy|`.
+fn chord_half_widths(r_cells: isize) -> Vec<isize> {
+    (0..=r_cells)
+        .map(|dy| (((r_cells * r_cells - dy * dy) as f64).sqrt()).floor() as isize)
         .collect()
 }
 
@@ -197,6 +211,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shared_chord_widths_collapse_to_distinct_passes() {
+        // The paper's 1 mm radius on a 100 µm grid: 11 chords, 7 widths.
+        let widths = chord_half_widths(10);
+        assert_eq!(widths, vec![10, 9, 9, 9, 9, 8, 8, 7, 6, 4, 0]);
+        let mut distinct = widths.clone();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 7);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use hotgauge_perf::config::{CoreConfig, MemoryConfig};
 use hotgauge_perf::engine::CoreSim;
 use hotgauge_power::model::{CoreWindow, PowerModel, PowerParams};
 use hotgauge_thermal::frame::ThermalFrame;
-use hotgauge_thermal::model::{ThermalModel, ThermalSim};
+use hotgauge_thermal::model::{SolverStrategy, ThermalModel, ThermalSim};
 use hotgauge_thermal::stack::StackDescription;
 use hotgauge_thermal::warmup::Warmup;
 use hotgauge_workloads::generator::WorkloadGen;
@@ -75,6 +75,10 @@ pub struct SimConfig {
     pub border_mm: f64,
     /// Thermal substeps per 1 M-cycle window (4 ⇒ 50 µs TUH resolution).
     pub substeps: usize,
+    /// Linear solver for the backward-Euler steps. `DirectCholesky` factors
+    /// once per run and falls back to CG when the matrix is too large for
+    /// the factorization budget.
+    pub solver: SolverStrategy,
     /// Instructions sampled by the interval core per window; the sampled
     /// rates represent the whole window (Sniper-style sampling).
     pub sample_instrs: u64,
@@ -117,6 +121,7 @@ impl SimConfig {
             cell_um: 200.0,
             border_mm: 4.0,
             substeps: 2,
+            solver: SolverStrategy::default(),
             sample_instrs: 30_000,
             max_instructions: 200_000_000,
             max_time_s: 0.05,
@@ -301,7 +306,11 @@ pub fn run_many_with(
         .collect()
 }
 
-/// The assembled co-simulation state.
+/// The assembled co-simulation state. `Clone` so construction (floorplan,
+/// power model, warm-up, solver factorization) can be paid once and the
+/// stepping loop repeated from the same initial state — benches and sweeps
+/// over per-run knobs rely on this.
+#[derive(Clone)]
 pub struct CoSimulation {
     cfg: SimConfig,
     fp: Floorplan,
@@ -379,10 +388,14 @@ impl CoSimulation {
         // below per-step temperature changes; tighter tolerances cost CG
         // iterations without changing any metric.
         thermal.cg.tolerance = 1e-6;
+        thermal.set_strategy(cfg.solver);
         if cfg.warmup == Warmup::Idle {
             let state = warmup_state_cached(&cfg, &fp, &grid, &power, &thermal, &idle_act);
             thermal.set_state(state);
         }
+        // Prepare the solver for the run's substep size now, so the one-time
+        // factorization cost lands in construction rather than the first step.
+        thermal.prepare(cfg.window_seconds() / cfg.substeps as f64);
 
         Self {
             cfg,
@@ -400,6 +413,17 @@ impl CoSimulation {
     /// The floorplan being simulated.
     pub fn floorplan(&self) -> &Floorplan {
         &self.fp
+    }
+
+    /// The transient thermal simulation.
+    pub fn thermal(&self) -> &ThermalSim {
+        &self.thermal
+    }
+
+    /// Mutable access to the thermal simulation, e.g. to tighten the CG
+    /// tolerance for solver cross-validation runs.
+    pub fn thermal_mut(&mut self) -> &mut ThermalSim {
+        &mut self.thermal
     }
 
     fn idle_power_map(
@@ -768,6 +792,73 @@ mod tests {
         let (e, counts) = r.delta_hist.expect("delta hist requested");
         assert_eq!(e.len(), 41);
         assert_eq!(counts.iter().sum::<usize>(), cells * r.records.len());
+    }
+
+    #[test]
+    fn default_direct_solver_falls_back_at_production_resolution() {
+        // The 300 µm test grid's RCM envelope is ~280 entries/row — far
+        // past the ~48/row crossover where two triangular sweeps stop
+        // beating warm-started CG — so the default DirectCholesky strategy
+        // must transparently prepare CG instead.
+        let cfg = quick_cfg();
+        assert_eq!(cfg.solver, SolverStrategy::DirectCholesky);
+        let sim = CoSimulation::new(cfg);
+        assert_eq!(sim.thermal().active_solver(), Some(SolverStrategy::Cg));
+    }
+
+    #[test]
+    fn direct_and_cg_cosim_fields_agree_to_microkelvin() {
+        // A coarse grid small enough to factor quickly in debug builds.
+        let mut cfg = quick_cfg();
+        cfg.cell_um = 400.0;
+        cfg.border_mm = 2.0;
+        cfg.max_time_s = 1e-3; // 5 windows
+        let dt = cfg.window_seconds() / cfg.substeps as f64;
+
+        let mut direct = CoSimulation::new(cfg.clone());
+        // Lift the profile budget so the direct path genuinely factors
+        // (the default crossover would fall back to CG here).
+        direct.thermal_mut().chol = hotgauge_thermal::chol::CholOptions::unbounded();
+        direct
+            .thermal_mut()
+            .set_strategy(SolverStrategy::DirectCholesky);
+        direct.thermal_mut().prepare(dt);
+        assert_eq!(
+            direct.thermal().active_solver(),
+            Some(SolverStrategy::DirectCholesky)
+        );
+        let rd = direct.run();
+
+        cfg.solver = SolverStrategy::Cg;
+        let mut cg = CoSimulation::new(cfg);
+        // The production CG tolerance (1e-6 relative residual) leaves
+        // ~1e-4 °C of solver error; tighten it so this comparison measures
+        // the direct solver against a near-exact reference.
+        cg.thermal_mut().cg.tolerance = 1e-12;
+        let rc = cg.run();
+
+        assert_eq!(rd.records.len(), rc.records.len());
+        for (a, b) in rd.final_frame.temps.iter().zip(&rc.final_frame.temps) {
+            assert!((a - b).abs() < 1e-6, "direct {a} vs cg {b}");
+        }
+        for (a, b) in rd.records.iter().zip(&rc.records) {
+            assert!((a.max_temp_c - b.max_temp_c).abs() < 1e-6);
+            assert!((a.mean_temp_c - b.mean_temp_c).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cloned_cosim_replays_identically() {
+        let mut cfg = quick_cfg();
+        cfg.max_time_s = 6e-4;
+        let sim = CoSimulation::new(cfg);
+        let a = sim.clone().run();
+        let b = sim.run();
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.max_temp_c, rb.max_temp_c);
+            assert_eq!(ra.ipc, rb.ipc);
+        }
     }
 
     #[test]

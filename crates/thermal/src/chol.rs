@@ -1,0 +1,579 @@
+//! Factor-once sparse Cholesky for the constant backward-Euler system.
+//!
+//! The transient thermal step solves `(C/Δt + G) T' = rhs` with a matrix
+//! that never changes during a run (constant `Δt`, constant geometry), so
+//! the expensive part — the factorization — can be paid once per
+//! configuration and each time step reduces to two triangular sweeps.
+//!
+//! The factorization is a profile (skyline) Cholesky after a reverse
+//! Cuthill–McKee reordering: RCM clusters the RC network's neighbors so the
+//! lower-triangular factor fits in a contiguous envelope per row, which
+//! makes both the factorization inner loops and the triangular sweeps
+//! straight runs over contiguous memory. For the thin 3-D grids produced by
+//! [`crate::model::ThermalModel`] the envelope is dense enough that a
+//! skyline beats a general sparse factor with its index-chasing.
+//!
+//! The factor deliberately *rejects* matrices whose envelope would be too
+//! wide ([`CholOptions::max_profile_per_node`]) or too large in absolute
+//! terms ([`CholOptions::max_profile_entries`]): on big fine-resolution
+//! grids the triangular sweeps stream more memory per solve than a handful
+//! of warm-started CG iterations touch, so the caller
+//! ([`crate::model::ThermalSim`]) falls back to CG above the budget. See
+//! DESIGN.md ("Solver strategy") for the crossover measurements.
+
+use crate::sparse::CsrMatrix;
+
+/// Why a matrix could not be factorized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// The RCM envelope would exceed [`CholOptions::max_profile_entries`].
+    /// Direct solves beyond this size stream more memory per step than CG.
+    ProfileTooLarge {
+        /// Envelope entries the factor would need.
+        required: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A pivot was not strictly positive: the matrix is not numerically
+    /// positive definite (up to the `1e-12`-scaled tolerance used).
+    NotPositiveDefinite {
+        /// Row (in the reordered numbering) where factorization broke down.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::ProfileTooLarge { required, budget } => write!(
+                f,
+                "factor envelope needs {required} entries, over the budget of {budget}"
+            ),
+            FactorError::NotPositiveDefinite { row } => {
+                write!(f, "matrix is not positive definite (pivot at row {row})")
+            }
+        }
+    }
+}
+
+/// Tunables for [`CholeskyFactor::factor`].
+#[derive(Debug, Clone, Copy)]
+pub struct CholOptions {
+    /// Absolute envelope budget in stored entries (8 bytes each); bounds the
+    /// factor's memory footprint. Default 4 M entries (32 MB).
+    pub max_profile_entries: usize,
+    /// Relative envelope budget: entries per matrix row. This is the
+    /// direct-vs-CG *performance* crossover — each direct solve streams the
+    /// whole envelope twice, while a warm-started CG step touches roughly
+    /// `iterations × (nnz + 6n)` values, about 90 per row on the RC networks
+    /// this crate builds (≈7 iterations × 13 entries — see DESIGN.md,
+    /// "Solver strategy"). The default of 48 accepts the factorization only
+    /// where two sweeps cost less than that; wide-envelope grids are
+    /// rejected so the caller falls back to CG.
+    pub max_profile_per_node: usize,
+}
+
+impl Default for CholOptions {
+    fn default() -> Self {
+        Self {
+            max_profile_entries: 4_000_000,
+            max_profile_per_node: 48,
+        }
+    }
+}
+
+impl CholOptions {
+    /// Options with no profile limits: factor anything positive definite
+    /// (validation and tests; production callers should keep the budgets).
+    pub fn unbounded() -> Self {
+        Self {
+            max_profile_entries: usize::MAX,
+            max_profile_per_node: usize::MAX,
+        }
+    }
+
+    /// The effective entry budget for an `n`-row matrix.
+    pub fn budget_for(&self, n: usize) -> usize {
+        self.max_profile_entries
+            .min(self.max_profile_per_node.saturating_mul(n))
+    }
+}
+
+/// A Cholesky factorization `P A Pᵀ = L Lᵀ` in skyline storage.
+///
+/// Row `i` of `L` stores the contiguous run `first[i] ..= i`; solving
+/// `A x = b` is a forward and a backward sweep over that envelope.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    n: usize,
+    /// `perm[new] = old` — the RCM ordering.
+    perm: Vec<u32>,
+    /// First stored column of each skyline row.
+    first: Vec<u32>,
+    /// Offset of row `i`'s first entry in `vals`; the diagonal entry is at
+    /// `row_start[i + 1] - 1`.
+    row_start: Vec<usize>,
+    /// Envelope values of `L`, row-major.
+    vals: Vec<f64>,
+    /// `1 / L[i][i]`, so the sweeps multiply instead of divide.
+    inv_diag: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// Factors a symmetric positive-definite CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::ProfileTooLarge`] when the post-RCM envelope exceeds
+    /// the budget, [`FactorError::NotPositiveDefinite`] when a pivot fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty.
+    pub fn factor(a: &CsrMatrix, opts: &CholOptions) -> Result<Self, FactorError> {
+        let n = a.n();
+        assert!(n > 0, "cannot factor an empty matrix");
+        let _span = hotgauge_telemetry::span!("thermal.factor");
+        let perm = rcm_order(a);
+        let mut iperm = vec![0u32; n];
+        for (new, &old) in perm.iter().enumerate() {
+            iperm[old as usize] = new as u32;
+        }
+
+        // Envelope extents in the new ordering: row i spans from its
+        // leftmost (reordered) neighbor to the diagonal.
+        let mut first: Vec<u32> = (0..n as u32).collect();
+        for old in 0..n {
+            let ni = iperm[old] as usize;
+            let (cols, _) = a.row(old);
+            for &j in cols {
+                let nj = iperm[j];
+                if nj < first[ni] {
+                    first[ni] = nj;
+                }
+                // Symmetry: the transposed entry widens row nj when ni < nj.
+                let nj = nj as usize;
+                if (ni as u32) < first[nj] {
+                    first[nj] = ni as u32;
+                }
+            }
+        }
+
+        let mut row_start = Vec::with_capacity(n + 1);
+        row_start.push(0usize);
+        for i in 0..n {
+            let width = i + 1 - first[i] as usize;
+            row_start.push(row_start[i] + width);
+        }
+        let required = row_start[n];
+        let budget = opts.budget_for(n);
+        if required > budget {
+            return Err(FactorError::ProfileTooLarge { required, budget });
+        }
+
+        // Scatter the (permuted) lower triangle of A into the envelope.
+        let mut vals = vec![0.0f64; required];
+        for old in 0..n {
+            let ni = iperm[old] as usize;
+            let (cols, avals) = a.row(old);
+            for (&j, &v) in cols.iter().zip(avals) {
+                let nj = iperm[j] as usize;
+                if nj <= ni {
+                    vals[row_start[ni] + nj - first[ni] as usize] = v;
+                } else {
+                    vals[row_start[nj] + ni - first[nj] as usize] = v;
+                }
+            }
+        }
+
+        // In-place skyline factorization. For each row i and column j < i:
+        //   L[i][j] = (A[i][j] − Σₖ L[i][k]·L[j][k]) / L[j][j]
+        // with k ranging over the overlap of the two envelopes — a dot of
+        // two contiguous slices, which the compiler vectorizes.
+        let mut inv_diag = vec![0.0f64; n];
+        let scale = max_diag(a);
+        for i in 0..n {
+            let fi = first[i] as usize;
+            let (done, row_i) = vals.split_at_mut(row_start[i]);
+            let row_i = &mut row_i[..i + 1 - fi];
+            for j in fi..i {
+                let fj = first[j] as usize;
+                let lo = fi.max(fj);
+                let row_j = &done[row_start[j]..row_start[j + 1]];
+                let s: f64 = row_i[lo - fi..j - fi]
+                    .iter()
+                    .zip(&row_j[lo - fj..j - fj])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                row_i[j - fi] = (row_i[j - fi] - s) * inv_diag[j];
+            }
+            let sq: f64 = row_i[..i - fi].iter().map(|v| v * v).sum();
+            let d = row_i[i - fi] - sq;
+            // NaN-safe pivot guard: reject non-finite as well as tiny pivots.
+            if d.is_nan() || d <= scale * 1e-12 {
+                return Err(FactorError::NotPositiveDefinite { row: i });
+            }
+            let l = d.sqrt();
+            row_i[i - fi] = l;
+            inv_diag[i] = 1.0 / l;
+        }
+
+        Ok(Self {
+            n,
+            perm,
+            first,
+            row_start,
+            vals,
+            inv_diag,
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored envelope entries (the per-solve memory footprint in 8-byte
+    /// units).
+    pub fn profile_entries(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Solves `A x = b` via the two triangular sweeps. `work` is caller
+    /// scratch of length `n` so repeated solves allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn solve(&self, b: &[f64], x: &mut [f64], work: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        assert_eq!(work.len(), n);
+        let _span = hotgauge_telemetry::span!("thermal.direct_solve");
+
+        // Permute b into the RCM ordering.
+        for (i, w) in work.iter_mut().enumerate() {
+            *w = b[self.perm[i] as usize];
+        }
+        // Forward sweep: L y = Pb. Each row is a contiguous dot.
+        for i in 0..n {
+            let fi = self.first[i] as usize;
+            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+            let s: f64 = row[..i - fi]
+                .iter()
+                .zip(&work[fi..i])
+                .map(|(l, w)| l * w)
+                .sum();
+            work[i] = (work[i] - s) * self.inv_diag[i];
+        }
+        // Backward sweep: Lᵀ z = y, as per-row axpy updates.
+        for i in (0..n).rev() {
+            let fi = self.first[i] as usize;
+            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+            let zi = work[i] * self.inv_diag[i];
+            work[i] = zi;
+            for (w, &l) in work[fi..i].iter_mut().zip(row) {
+                *w -= l * zi;
+            }
+        }
+        // Un-permute into x.
+        for (i, &w) in work.iter().enumerate() {
+            x[self.perm[i] as usize] = w;
+        }
+    }
+
+    /// [`CholeskyFactor::solve`] allocating its own scratch (convenience
+    /// for one-off solves and tests).
+    pub fn solve_alloc(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        let mut work = vec![0.0; self.n];
+        self.solve(b, &mut x, &mut work);
+        x
+    }
+}
+
+/// Largest diagonal entry, used to scale the positive-pivot tolerance.
+fn max_diag(a: &CsrMatrix) -> f64 {
+    a.diagonal().into_iter().fold(0.0f64, f64::max)
+}
+
+/// Reverse Cuthill–McKee ordering: BFS from a pseudo-peripheral vertex,
+/// visiting neighbors by increasing degree, then reversed. Returns
+/// `perm[new] = old`.
+fn rcm_order(a: &CsrMatrix) -> Vec<u32> {
+    let n = a.n();
+    let degree = |i: usize| a.row(i).0.len();
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut neighbors: Vec<u32> = Vec::new();
+
+    // The graph is connected for real thermal stacks, but handle multiple
+    // components (e.g. test matrices) by restarting the BFS.
+    for seed in 0..n {
+        if visited[seed] {
+            continue;
+        }
+        let root = pseudo_peripheral(a, seed);
+        let level_start = order.len();
+        visited[root] = true;
+        order.push(root as u32);
+        let mut head = level_start;
+        while head < order.len() {
+            let v = order[head] as usize;
+            head += 1;
+            neighbors.clear();
+            for &j in a.row(v).0 {
+                if j != v && !visited[j] {
+                    visited[j] = true;
+                    neighbors.push(j as u32);
+                }
+            }
+            neighbors.sort_unstable_by_key(|&j| degree(j as usize));
+            order.extend_from_slice(&neighbors);
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// George–Liu pseudo-peripheral vertex: repeat BFS from the far end of the
+/// previous sweep while the eccentricity keeps growing.
+fn pseudo_peripheral(a: &CsrMatrix, seed: usize) -> usize {
+    let n = a.n();
+    let mut root = seed;
+    let mut depth_prev = 0usize;
+    let mut level = vec![u32::MAX; n];
+    let mut queue: Vec<u32> = Vec::new();
+    for _ in 0..8 {
+        level.iter_mut().for_each(|l| *l = u32::MAX);
+        queue.clear();
+        queue.push(root as u32);
+        level[root] = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            for &j in a.row(v).0 {
+                if j != v && level[j] == u32::MAX {
+                    level[j] = level[v] + 1;
+                    queue.push(j as u32);
+                }
+            }
+        }
+        let depth = level[*queue.last().unwrap() as usize] as usize;
+        if depth <= depth_prev {
+            break;
+        }
+        depth_prev = depth;
+        // Smallest-degree vertex of the deepest level.
+        root = queue
+            .iter()
+            .rev()
+            .take_while(|&&v| level[v as usize] as usize == depth)
+            .map(|&v| v as usize)
+            .min_by_key(|&v| a.row(v).0.len())
+            .unwrap_or(root);
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_conductance(i, i + 1, 1.0);
+        }
+        b.add_grounded_conductance(0, 1.0);
+        b.add_grounded_conductance(n - 1, 1.0);
+        b.build()
+    }
+
+    /// A 3-D grid Laplacian like the thermal model's, with a grounded top.
+    fn grid3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+        let node = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+        let mut b = TripletBuilder::new(nx * ny * nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = node(x, y, z);
+                    if x + 1 < nx {
+                        b.add_conductance(i, node(x + 1, y, z), 1.0 + (i % 5) as f64 * 0.1);
+                    }
+                    if y + 1 < ny {
+                        b.add_conductance(i, node(x, y + 1, z), 1.5);
+                    }
+                    if z + 1 < nz {
+                        b.add_conductance(i, node(x, y, z + 1), 4.0);
+                    } else {
+                        b.add_grounded_conductance(i, 2.0);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn factors_and_solves_poisson_exactly() {
+        let a = poisson(50);
+        let f = CholeskyFactor::factor(&a, &CholOptions::default()).unwrap();
+        let x_true: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).cos() * 3.0).collect();
+        let b = a.mul_vec_alloc(&x_true);
+        let x = f.solve_alloc(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solves_grid_system_to_machine_precision() {
+        let a = grid3d(9, 7, 4);
+        let n = a.n();
+        let f = CholeskyFactor::factor(&a, &CholOptions::unbounded()).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+        let b = a.mul_vec_alloc(&x_true);
+        let x = f.solve_alloc(&b);
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-9, "error {err}");
+    }
+
+    #[test]
+    fn solve_is_reusable_across_rhs() {
+        let a = grid3d(6, 6, 3);
+        let f = CholeskyFactor::factor(&a, &CholOptions::default()).unwrap();
+        let mut work = vec![0.0; a.n()];
+        let mut x = vec![0.0; a.n()];
+        for seed in 0..4u64 {
+            let b: Vec<f64> = (0..a.n())
+                .map(|i| ((i as u64).wrapping_mul(seed + 1) % 13) as f64)
+                .collect();
+            f.solve(&b, &mut x, &mut work);
+            let r = a.mul_vec_alloc(&x);
+            for (ri, bi) in r.iter().zip(&b) {
+                assert!((ri - bi).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        // A pure Laplacian without grounding is only semi-definite.
+        let mut b = TripletBuilder::new(4);
+        for i in 0..3 {
+            b.add_conductance(i, i + 1, 1.0);
+        }
+        let a = b.build();
+        match CholeskyFactor::factor(&a, &CholOptions::default()) {
+            Err(FactorError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected indefinite rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_profile() {
+        let a = grid3d(12, 12, 4);
+        let opts = CholOptions {
+            max_profile_entries: 100,
+            max_profile_per_node: usize::MAX,
+        };
+        match CholeskyFactor::factor(&a, &opts) {
+            Err(FactorError::ProfileTooLarge { required, budget }) => {
+                assert!(required > budget);
+                assert_eq!(budget, 100);
+            }
+            other => panic!("expected profile rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_node_budget_rejects_wide_envelopes() {
+        // A 3-D grid whose RCM envelope is far wider than 2 entries/row.
+        let a = grid3d(12, 12, 4);
+        let opts = CholOptions {
+            max_profile_entries: usize::MAX,
+            max_profile_per_node: 2,
+        };
+        match CholeskyFactor::factor(&a, &opts) {
+            Err(FactorError::ProfileTooLarge { required, budget }) => {
+                assert_eq!(budget, 2 * a.n());
+                assert!(required > budget);
+            }
+            other => panic!("expected profile rejection, got {other:?}"),
+        }
+        // A tridiagonal chain fits in 2 entries/row even after RCM.
+        let p = poisson(64);
+        assert!(CholeskyFactor::factor(&p, &opts).is_ok());
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_and_shrinks_the_profile() {
+        let a = grid3d(10, 8, 5);
+        let perm = rcm_order(&a);
+        let mut seen = vec![false; a.n()];
+        for &p in &perm {
+            assert!(!seen[p as usize], "duplicate {p}");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // The RCM envelope must not exceed the worst natural-order
+        // bandwidth times n (it is far smaller for this grid).
+        let f = CholeskyFactor::factor(&a, &CholOptions::unbounded()).unwrap();
+        assert!(f.profile_entries() < a.n() * 10 * 8);
+    }
+
+    #[test]
+    fn handles_disconnected_components() {
+        let mut b = TripletBuilder::new(6);
+        b.add_conductance(0, 1, 1.0);
+        b.add_grounded_conductance(0, 1.0);
+        b.add_conductance(3, 4, 2.0);
+        b.add_grounded_conductance(3, 1.0);
+        b.add_grounded_conductance(2, 5.0);
+        b.add_grounded_conductance(5, 5.0);
+        b.add_grounded_conductance(1, 0.5);
+        b.add_grounded_conductance(4, 0.5);
+        let a = b.build();
+        let f = CholeskyFactor::factor(&a, &CholOptions::default()).unwrap();
+        let x_true = vec![1.0, -1.0, 2.0, 0.5, 3.0, -2.0];
+        let b = a.mul_vec_alloc(&x_true);
+        let x = f.solve_alloc(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_cg_on_backward_euler_system() {
+        use crate::solver::{solve_cg, CgConfig};
+        let mut a = grid3d(8, 8, 4);
+        let cdt: Vec<f64> = (0..a.n()).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+        a.add_to_diagonal(&cdt);
+        let b: Vec<f64> = (0..a.n()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let f = CholeskyFactor::factor(&a, &CholOptions::unbounded()).unwrap();
+        let direct = f.solve_alloc(&b);
+        let mut cg = vec![0.0; a.n()];
+        let stats = solve_cg(
+            &a,
+            &b,
+            &mut cg,
+            &CgConfig {
+                tolerance: 1e-12,
+                max_iterations: 50_000,
+            },
+        );
+        assert!(stats.converged);
+        for (d, c) in direct.iter().zip(&cg) {
+            assert!((d - c).abs() < 1e-7, "{d} vs {c}");
+        }
+    }
+}

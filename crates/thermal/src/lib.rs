@@ -9,9 +9,12 @@
 //!
 //! * [`materials`] — thermal properties (Table II values);
 //! * [`stack`] — layer stack and domain description (Fig. 4);
-//! * [`sparse`] / [`solver`] — CSR matrices and preconditioned CG;
+//! * [`sparse`] / [`solver`] / [`chol`] — CSR matrices, preconditioned CG,
+//!   and the factor-once skyline Cholesky for the constant backward-Euler
+//!   system;
 //! * [`model`] — RC-network assembly, [`model::ThermalModel`] (steady) and
-//!   [`model::ThermalSim`] (transient, backward Euler);
+//!   [`model::ThermalSim`] (transient, backward Euler, solver selected by
+//!   [`model::SolverStrategy`]);
 //! * [`frame`] — active-layer temperature snapshots consumed by the hotspot
 //!   metrics;
 //! * [`analysis`] — Ψ_j,a and TDP (Table IV);
@@ -38,6 +41,7 @@
 //! ```
 
 pub mod analysis;
+pub mod chol;
 pub mod export;
 pub mod frame;
 pub mod materials;
@@ -48,21 +52,23 @@ pub mod stack;
 pub mod warmup;
 
 pub use crate::analysis::{psi_tdp, PsiTdp, PAPER_THERMAL_BUDGET_C};
+pub use crate::chol::{CholOptions, CholeskyFactor, FactorError};
 pub use crate::export::{frame_to_csv, frame_to_ppm, write_ppm, ColorMap};
 pub use crate::frame::ThermalFrame;
 pub use crate::materials::Material;
-pub use crate::model::{ThermalModel, ThermalSim};
-pub use crate::solver::{solve_cg, CgConfig, SolveStats};
+pub use crate::model::{SolverStrategy, ThermalModel, ThermalSim};
+pub use crate::solver::{solve_cg, solve_cg_with, CgConfig, CgWorkspace, SolveStats};
 pub use crate::stack::{Layer, StackDescription, DEFAULT_BORDER_M, HS483_FILM_COEFF};
 pub use crate::warmup::{initial_state, Warmup};
 
 /// Convenient glob import of the most used types.
 pub mod prelude {
     pub use crate::analysis::{psi_tdp, PsiTdp, PAPER_THERMAL_BUDGET_C};
+    pub use crate::chol::{CholOptions, CholeskyFactor};
     pub use crate::frame::ThermalFrame;
     pub use crate::materials::Material;
-    pub use crate::model::{ThermalModel, ThermalSim};
-    pub use crate::solver::{CgConfig, SolveStats};
+    pub use crate::model::{SolverStrategy, ThermalModel, ThermalSim};
+    pub use crate::solver::{CgConfig, CgWorkspace, SolveStats};
     pub use crate::stack::{Layer, StackDescription};
     pub use crate::warmup::{initial_state, Warmup};
 }

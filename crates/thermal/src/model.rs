@@ -13,13 +13,63 @@
 //! * every other boundary is adiabatic (as in 3D-ICE's default).
 //!
 //! The transient problem `C dT/dt = −G T + q` is integrated with backward
-//! Euler, giving the SPD system `(C/Δt + G) T' = C/Δt·T + q`, solved with
-//! warm-started preconditioned CG.
+//! Euler, giving the SPD system `(C/Δt + G) T' = C/Δt·T + q`. Because the
+//! system matrix is constant for a fixed `Δt`, the solve is dispatched
+//! through a [`SolverStrategy`]: a factor-once sparse Cholesky
+//! ([`crate::chol`]) that reduces each step to two triangular sweeps, or
+//! warm-started preconditioned CG ([`crate::solver`]). The direct path
+//! automatically falls back to CG when the factorization rejects the matrix
+//! (envelope over budget — see DESIGN.md, "Solver strategy").
 
+use std::sync::Arc;
+
+use crate::chol::{CholOptions, CholeskyFactor};
 use crate::frame::ThermalFrame;
-use crate::solver::{solve_cg, CgConfig, SolveStats};
+use crate::solver::{solve_cg, solve_cg_with, CgConfig, CgWorkspace, SolveStats};
 use crate::sparse::{CsrMatrix, TripletBuilder};
 use crate::stack::StackDescription;
+use serde::{Deserialize, Serialize};
+
+/// Which linear solver [`ThermalSim::step`] uses for the constant
+/// backward-Euler system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverStrategy {
+    /// Factor `C/Δt + G` once (RCM + skyline Cholesky), then two triangular
+    /// sweeps per step. Falls back to [`SolverStrategy::Cg`] when the
+    /// factorization rejects the matrix (profile over budget / not SPD).
+    #[default]
+    DirectCholesky,
+    /// Warm-started Jacobi-preconditioned conjugate gradients.
+    Cg,
+}
+
+impl SolverStrategy {
+    /// The CLI spelling of this strategy (`direct` / `cg`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolverStrategy::DirectCholesky => "direct",
+            SolverStrategy::Cg => "cg",
+        }
+    }
+}
+
+impl std::fmt::Display for SolverStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SolverStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "direct" => Ok(SolverStrategy::DirectCholesky),
+            "cg" => Ok(SolverStrategy::Cg),
+            other => Err(format!("unknown solver '{other}' (expected direct|cg)")),
+        }
+    }
+}
 
 /// Assembled thermal RC network for a [`StackDescription`].
 #[derive(Debug, Clone)]
@@ -222,32 +272,91 @@ impl ThermalModel {
     }
 }
 
+/// The solver state cached alongside the backward-Euler matrix: either a
+/// Cholesky factor plus sweep scratch, or a CG workspace.
+#[derive(Debug, Clone)]
+enum SysSolver {
+    Direct {
+        factor: Arc<CholeskyFactor>,
+        work: Vec<f64>,
+    },
+    Cg(CgWorkspace),
+}
+
+/// Per-`Δt` cache: the assembled system matrix and its prepared solver.
+#[derive(Debug, Clone)]
+struct SysCache {
+    dt: f64,
+    m: CsrMatrix,
+    solver: SysSolver,
+}
+
 /// A transient thermal simulation: a [`ThermalModel`] plus the evolving
-/// temperature state and a cached backward-Euler system matrix.
+/// temperature state and a cached backward-Euler system matrix with its
+/// prepared solver (factorization or CG workspace).
 #[derive(Debug, Clone)]
 pub struct ThermalSim {
     model: ThermalModel,
     /// Current temperatures, °C, full domain.
     t: Vec<f64>,
-    /// Cached `(Δt, C/Δt + G)`.
-    sys: Option<(f64, CsrMatrix)>,
-    /// CG configuration used for the implicit solves.
+    /// State one step ago, for the CG path's linear-extrapolation warm
+    /// start (valid only when `have_prev`).
+    prev: Vec<f64>,
+    have_prev: bool,
+    /// Cached system for the last `Δt` seen.
+    sys: Option<SysCache>,
+    strategy: SolverStrategy,
+    /// CG configuration used for the implicit solves (and steady states).
     pub cg: CgConfig,
+    /// Factorization budget for the direct strategy.
+    pub chol: CholOptions,
 }
 
 impl ThermalSim {
     /// Creates a simulation with all nodes at `init_c` °C.
+    ///
+    /// Uses [`SolverStrategy::Cg`] by default for backward compatibility;
+    /// the co-sim pipeline opts into the direct solver through
+    /// [`ThermalSim::set_strategy`].
     pub fn new(model: ThermalModel, init_c: f64) -> Self {
         let n = model.node_count();
         Self {
             model,
             t: vec![init_c; n],
+            prev: vec![init_c; n],
+            have_prev: false,
             sys: None,
+            strategy: SolverStrategy::Cg,
             cg: CgConfig {
                 tolerance: 1e-7,
                 max_iterations: 20_000,
             },
+            chol: CholOptions::default(),
         }
+    }
+
+    /// The configured solver strategy (what was requested, not necessarily
+    /// what runs — see [`ThermalSim::active_solver`]).
+    pub fn strategy(&self) -> SolverStrategy {
+        self.strategy
+    }
+
+    /// Selects the solver strategy, invalidating any prepared system.
+    /// Also useful after changing [`ThermalSim::chol`] budgets to force
+    /// re-preparation with the new options.
+    pub fn set_strategy(&mut self, strategy: SolverStrategy) {
+        self.strategy = strategy;
+        self.sys = None;
+    }
+
+    /// The solver actually in use for the prepared system, after any
+    /// direct-to-CG fallback. `None` until [`ThermalSim::prepare`] or the
+    /// first [`ThermalSim::step`].
+    pub fn active_solver(&self) -> Option<SolverStrategy> {
+        self.sys.as_ref().map(|c| match c.solver {
+            SysSolver::Direct { .. } => SolverStrategy::DirectCholesky,
+            SysSolver::Cg(_) => SolverStrategy::Cg,
+        })
     }
 
     /// The underlying model.
@@ -269,38 +378,96 @@ impl ThermalSim {
     pub fn set_state(&mut self, state: Vec<f64>) {
         assert_eq!(state.len(), self.model.node_count());
         self.t = state;
+        self.have_prev = false;
     }
 
     /// Sets every node to `t_c` °C.
     pub fn set_uniform(&mut self, t_c: f64) {
         self.t.fill(t_c);
+        self.have_prev = false;
+    }
+
+    /// Ensures the backward-Euler system for `dt` is assembled and its
+    /// solver prepared (Cholesky factorization or CG workspace). Called
+    /// implicitly by [`ThermalSim::step`]; call it eagerly to move the
+    /// one-time factorization cost out of the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt` is finite and positive.
+    pub fn prepare(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be positive");
+        if let Some(c) = &self.sys {
+            if (c.dt - dt).abs() <= 1e-15 * dt {
+                return;
+            }
+        }
+        let mut m = self.model.g.clone();
+        let cdt: Vec<f64> = self.model.cap.iter().map(|c| c / dt).collect();
+        m.add_to_diagonal(&cdt);
+        let solver = match self.strategy {
+            SolverStrategy::Cg => SysSolver::Cg(CgWorkspace::new(&m)),
+            SolverStrategy::DirectCholesky => match CholeskyFactor::factor(&m, &self.chol) {
+                Ok(f) => SysSolver::Direct {
+                    factor: Arc::new(f),
+                    work: vec![0.0; m.n()],
+                },
+                Err(_) => {
+                    // Envelope over budget (or numerically not SPD): the
+                    // crossover where triangular sweeps stream more memory
+                    // than warm-started CG touches. Fall back.
+                    hotgauge_telemetry::counter!("thermal.direct_fallbacks", 1);
+                    SysSolver::Cg(CgWorkspace::new(&m))
+                }
+            },
+        };
+        self.sys = Some(SysCache { dt, m, solver });
     }
 
     /// Advances the simulation by `dt` seconds with the given die-region
     /// active-layer power map (watts per cell), using backward Euler.
+    ///
+    /// Direct solves are exact (to rounding) and report zero iterations and
+    /// zero residual in the returned stats.
     pub fn step(&mut self, die_power: &[f64], dt: f64) -> SolveStats {
-        assert!(dt.is_finite() && dt > 0.0, "dt must be positive");
-        let rebuild = match &self.sys {
-            Some((cached_dt, _)) => (cached_dt - dt).abs() > 1e-15 * dt,
-            None => true,
-        };
-        if rebuild {
-            let mut m = self.model.g.clone();
-            let cdt: Vec<f64> = self.model.cap.iter().map(|c| c / dt).collect();
-            m.add_to_diagonal(&cdt);
-            self.sys = Some((dt, m));
-        }
-        let (_, m) = self.sys.as_ref().expect("system just built");
+        self.prepare(dt);
 
         let mut rhs = self.model.inject_die_power(die_power);
         let amb = self.model.stack.ambient_c;
         for (i, r) in rhs.iter_mut().enumerate() {
             *r += self.model.cap[i] / dt * self.t[i] + self.model.conv[i] * amb;
         }
-        let stats = solve_cg(m, &rhs, &mut self.t, &self.cg);
-        hotgauge_telemetry::counter!("thermal.cg_iterations", stats.iterations);
-        hotgauge_telemetry::counter!("thermal.cg_residual", stats.relative_residual);
-        stats
+        let cache = self.sys.as_mut().expect("system prepared above");
+        match &mut cache.solver {
+            SysSolver::Direct { factor, work } => {
+                self.have_prev = false;
+                factor.solve(&rhs, &mut self.t, work);
+                hotgauge_telemetry::counter!("thermal.direct_solves", 1);
+                SolveStats {
+                    iterations: 0,
+                    relative_residual: 0.0,
+                    converged: true,
+                }
+            }
+            SysSolver::Cg(ws) => {
+                // Warm start by linear extrapolation: the guess 2·Tₙ − Tₙ₋₁
+                // has O(Δt²) error against the smooth thermal trajectory
+                // (vs O(Δt) for plain Tₙ), which saves CG iterations. The
+                // previous state is saved in the same pass.
+                for (ti, pi) in self.t.iter_mut().zip(self.prev.iter_mut()) {
+                    let tn = *ti;
+                    if self.have_prev {
+                        *ti = 2.0 * tn - *pi;
+                    }
+                    *pi = tn;
+                }
+                self.have_prev = true;
+                let stats = solve_cg_with(&cache.m, &rhs, &mut self.t, &self.cg, ws);
+                hotgauge_telemetry::counter!("thermal.cg_iterations", stats.iterations);
+                hotgauge_telemetry::counter!("thermal.cg_residual", stats.relative_residual);
+                stats
+            }
+        }
     }
 
     /// Advances by `dt` split into `substeps` equal backward-Euler steps
@@ -324,6 +491,7 @@ impl ThermalSim {
     pub fn settle_to_steady(&mut self, die_power: &[f64]) -> SolveStats {
         let (t, stats) = self.model.steady_state(die_power, &self.cg);
         self.t = t;
+        self.have_prev = false;
         stats
     }
 
@@ -570,5 +738,67 @@ mod tests {
         let model = ThermalModel::new(s);
         assert!(model.node_count() > 0);
         assert!(model.conductance().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn direct_and_cg_transients_agree_to_microkelvin() {
+        let s = stack_1d(10, 10);
+        let model = ThermalModel::new(s);
+        let mut direct = ThermalSim::new(model.clone(), 40.0);
+        direct.chol = CholOptions::unbounded();
+        direct.set_strategy(SolverStrategy::DirectCholesky);
+        let mut cg = ThermalSim::new(model, 40.0);
+        cg.cg.tolerance = 1e-10;
+
+        let mut p = vec![0.0; 100];
+        for (i, pi) in p.iter_mut().enumerate() {
+            *pi = 0.01 + 0.005 * ((i % 9) as f64);
+        }
+        for _ in 0..50 {
+            direct.step(&p, 1e-3);
+            cg.step(&p, 1e-3);
+        }
+        assert_eq!(direct.active_solver(), Some(SolverStrategy::DirectCholesky));
+        for (a, b) in direct.state().iter().zip(cg.state()) {
+            assert!((a - b).abs() < 1e-6, "direct {a} vs cg {b}");
+        }
+    }
+
+    #[test]
+    fn direct_strategy_falls_back_to_cg_over_budget() {
+        let s = stack_1d(6, 6);
+        let model = ThermalModel::new(s);
+        let mut sim = ThermalSim::new(model, 40.0);
+        sim.set_strategy(SolverStrategy::DirectCholesky);
+        sim.chol.max_profile_entries = 1; // nothing fits
+        let p = vec![0.1; 36];
+        let stats = sim.step(&p, 1e-3);
+        assert_eq!(sim.active_solver(), Some(SolverStrategy::Cg));
+        assert!(stats.converged);
+        assert!(stats.iterations > 0, "fallback must actually run CG");
+    }
+
+    #[test]
+    fn set_strategy_invalidates_prepared_system() {
+        let s = stack_1d(4, 4);
+        let model = ThermalModel::new(s);
+        let mut sim = ThermalSim::new(model, 40.0);
+        sim.prepare(1e-3);
+        assert_eq!(sim.active_solver(), Some(SolverStrategy::Cg));
+        sim.chol = CholOptions::unbounded();
+        sim.set_strategy(SolverStrategy::DirectCholesky);
+        assert_eq!(sim.active_solver(), None);
+        sim.prepare(1e-3);
+        assert_eq!(sim.active_solver(), Some(SolverStrategy::DirectCholesky));
+    }
+
+    #[test]
+    fn solver_strategy_round_trips_through_strings() {
+        for s in [SolverStrategy::DirectCholesky, SolverStrategy::Cg] {
+            let parsed: SolverStrategy = s.as_str().parse().unwrap();
+            assert_eq!(parsed, s);
+        }
+        assert!("chebyshev".parse::<SolverStrategy>().is_err());
+        assert_eq!(SolverStrategy::default(), SolverStrategy::DirectCholesky);
     }
 }

@@ -1,7 +1,27 @@
 //! Jacobi-preconditioned conjugate-gradient solver for the SPD systems
 //! produced by the RC-network discretization.
+//!
+//! The transient hot path calls this once per time step with the *same*
+//! matrix, so everything reusable lives in a [`CgWorkspace`] that callers
+//! cache across solves: the inverted diagonal of the preconditioner and the
+//! four iteration vectors. A solve through [`solve_cg_with`] performs no
+//! allocations.
+//!
+//! Each iteration runs exactly three passes over memory: a fused
+//! SpMV + `p·Ap` dot ([`crate::sparse::CsrMatrix::mul_vec_dot`]), one fused
+//! update of `x`, `r`, `z` that also reduces `r·z`, and the `p` update.
+//! Convergence is checked on the preconditioned residual norm `√(r·z)` that
+//! the fused pass already produces, so no separate `‖r‖` pass is needed
+//! inside the loop; the true relative residual is computed once on exit.
+//! The O(n) passes shard across scoped threads above a crossover length,
+//! mirroring the SpMV sharding in [`crate::sparse`].
 
-use crate::sparse::CsrMatrix;
+use crate::sparse::{hardware_threads, CsrMatrix};
+
+/// Vector length below which the fused O(n) passes stay single-threaded
+/// (same reasoning as [`crate::sparse::PARALLEL_NNZ_CROSSOVER`]: a scoped
+/// spawn costs about as much as a serial pass over this many elements).
+const PARALLEL_LEN_CROSSOVER: usize = 1 << 20;
 
 /// Outcome of a CG solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,7 +37,8 @@ pub struct SolveStats {
 /// Configuration for the CG solver.
 #[derive(Debug, Clone, Copy)]
 pub struct CgConfig {
-    /// Relative residual tolerance.
+    /// Relative residual tolerance (applied to the preconditioned residual
+    /// norm `√(r·D⁻¹r) / √(b·D⁻¹b)` that the iteration tracks for free).
     pub tolerance: f64,
     /// Iteration cap.
     pub max_iterations: usize,
@@ -32,30 +53,93 @@ impl Default for CgConfig {
     }
 }
 
-/// Solves `A x = b` for SPD `A` by preconditioned conjugate gradients,
-/// starting from the initial guess already in `x` (a warm start — the
-/// previous time step's solution — typically cuts iterations several-fold).
+/// Reusable state for [`solve_cg_with`]: the Jacobi preconditioner and the
+/// iteration vectors, sized for one matrix. Building it costs one pass over
+/// the diagonal; reusing it across the thousands of solves of a transient
+/// run eliminates every per-solve allocation.
+#[derive(Debug, Clone)]
+pub struct CgWorkspace {
+    inv_diag: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// Builds a workspace for `a`, hoisting the inverted-diagonal
+    /// preconditioner out of the solve loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has a non-positive diagonal entry (not SPD).
+    pub fn new(a: &CsrMatrix) -> Self {
+        let n = a.n();
+        let inv_diag: Vec<f64> = a
+            .diagonal()
+            .into_iter()
+            .map(|d| {
+                assert!(d > 0.0, "matrix diagonal must be positive for CG");
+                1.0 / d
+            })
+            .collect();
+        Self {
+            inv_diag,
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            ap: vec![0.0; n],
+        }
+    }
+
+    /// Dimension this workspace was built for.
+    pub fn n(&self) -> usize {
+        self.inv_diag.len()
+    }
+}
+
+/// Solves `A x = b` by preconditioned conjugate gradients with a freshly
+/// built workspace. Convenience wrapper over [`solve_cg_with`] for one-off
+/// solves; hot paths should cache the [`CgWorkspace`].
 ///
 /// # Panics
 ///
 /// Panics if dimensions disagree or the matrix has a non-positive diagonal
 /// entry (not SPD).
 pub fn solve_cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: &CgConfig) -> SolveStats {
+    let mut ws = CgWorkspace::new(a);
+    solve_cg_with(a, b, x, cfg, &mut ws)
+}
+
+/// Solves `A x = b` for SPD `A`, starting from the initial guess already in
+/// `x` (a warm start — the previous time step's solution — typically cuts
+/// iterations several-fold) and reusing `ws` across calls.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `ws` was built for a different size.
+pub fn solve_cg_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &CgConfig,
+    ws: &mut CgWorkspace,
+) -> SolveStats {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
+    assert_eq!(ws.n(), n, "workspace built for a different matrix size");
+    let _span = hotgauge_telemetry::span!("thermal.cg_solve");
+    let threads = threads_for_len(n);
 
-    let diag = a.diagonal();
-    let inv_diag: Vec<f64> = diag
+    // ‖b‖² in both the reporting (2-)norm and the preconditioned norm.
+    let (nb2, nb2_prec) = b
         .iter()
-        .map(|&d| {
-            assert!(d > 0.0, "matrix diagonal must be positive for CG");
-            1.0 / d
-        })
-        .collect();
-
-    let norm_b = norm2(b);
-    if norm_b == 0.0 {
+        .zip(&ws.inv_diag)
+        .fold((0.0f64, 0.0f64), |(s2, sp), (&bi, &di)| {
+            (s2 + bi * bi, sp + bi * bi * di)
+        });
+    if nb2 == 0.0 {
         x.fill(0.0);
         return SolveStats {
             iterations: 0,
@@ -64,66 +148,142 @@ pub fn solve_cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: &CgConfig) -> Solv
         };
     }
 
-    // r = b - A x
-    let mut r = vec![0.0; n];
-    a.mul_vec(x, &mut r);
-    for i in 0..n {
-        r[i] = b[i] - r[i];
+    // r = b − A x, z = D⁻¹ r, p = z, rz = r·z — one SpMV plus one fused pass.
+    a.mul_vec(x, &mut ws.r);
+    let mut rz = 0.0f64;
+    for (((&bi, &di), (r, z)), p) in b
+        .iter()
+        .zip(&ws.inv_diag)
+        .zip(ws.r.iter_mut().zip(&mut ws.z))
+        .zip(&mut ws.p)
+    {
+        let ri = bi - *r;
+        let zi = ri * di;
+        *r = ri;
+        *z = zi;
+        *p = zi;
+        rz += ri * zi;
     }
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
 
-    let mut res = norm2(&r) / norm_b;
-    if res <= cfg.tolerance {
-        return SolveStats {
-            iterations: 0,
-            relative_residual: res,
-            converged: true,
-        };
+    let finish = |r: &[f64], iterations: usize, converged: bool| SolveStats {
+        iterations,
+        relative_residual: norm2(r) / nb2.sqrt(),
+        converged,
+    };
+
+    if rz <= cfg.tolerance * cfg.tolerance * nb2_prec {
+        return finish(&ws.r, 0, true);
     }
 
     for it in 1..=cfg.max_iterations {
-        a.mul_vec(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        let pap = a.mul_vec_dot(&ws.p, &mut ws.ap);
         if pap <= 0.0 {
             // Should not happen for SPD systems; bail out conservatively.
-            return SolveStats {
-                iterations: it,
-                relative_residual: res,
-                converged: false,
-            };
+            return finish(&ws.r, it, false);
         }
         let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
+        let rz_new = fused_axpy_precond(
+            x,
+            &mut ws.r,
+            &mut ws.z,
+            &ws.p,
+            &ws.ap,
+            &ws.inv_diag,
+            alpha,
+            threads,
+        );
+        if rz_new <= cfg.tolerance * cfg.tolerance * nb2_prec {
+            return finish(&ws.r, it, true);
         }
-        res = norm2(&r) / norm_b;
-        if res <= cfg.tolerance {
-            return SolveStats {
-                iterations: it,
-                relative_residual: res,
-                converged: true,
-            };
-        }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
-        let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        fused_p_update(&mut ws.p, &ws.z, beta, threads);
     }
 
-    SolveStats {
-        iterations: cfg.max_iterations,
-        relative_residual: res,
-        converged: false,
+    finish(&ws.r, cfg.max_iterations, false)
+}
+
+fn threads_for_len(n: usize) -> usize {
+    if n < PARALLEL_LEN_CROSSOVER {
+        1
+    } else {
+        hardware_threads().min(n / PARALLEL_LEN_CROSSOVER + 1)
     }
+}
+
+/// The fused CG update: `x += α p`, `r −= α ap`, `z = D⁻¹ r`; returns the
+/// new `r·z`. One pass over six streams instead of four separate loops.
+#[allow(clippy::too_many_arguments)]
+fn fused_axpy_precond(
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    inv_diag: &[f64],
+    alpha: f64,
+    threads: usize,
+) -> f64 {
+    if threads <= 1 {
+        return fused_axpy_precond_serial(x, r, z, p, ap, inv_diag, alpha);
+    }
+    let chunk = x.len().div_ceil(threads);
+    let mut partials = vec![0.0f64; x.chunks(chunk).len()];
+    std::thread::scope(|scope| {
+        let iter = x
+            .chunks_mut(chunk)
+            .zip(r.chunks_mut(chunk))
+            .zip(z.chunks_mut(chunk))
+            .zip(p.chunks(chunk))
+            .zip(ap.chunks(chunk))
+            .zip(inv_diag.chunks(chunk))
+            .zip(partials.iter_mut());
+        for ((((((xc, rc), zc), pc), apc), dc), out) in iter {
+            scope.spawn(move || *out = fused_axpy_precond_serial(xc, rc, zc, pc, apc, dc, alpha));
+        }
+    });
+    partials.iter().sum()
+}
+
+fn fused_axpy_precond_serial(
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    inv_diag: &[f64],
+    alpha: f64,
+) -> f64 {
+    let mut rz = 0.0;
+    for i in 0..x.len() {
+        x[i] += alpha * p[i];
+        let ri = r[i] - alpha * ap[i];
+        let zi = ri * inv_diag[i];
+        r[i] = ri;
+        z[i] = zi;
+        rz += ri * zi;
+    }
+    rz
+}
+
+/// `p = z + β p`, sharded like the other kernels.
+fn fused_p_update(p: &mut [f64], z: &[f64], beta: f64, threads: usize) {
+    if threads <= 1 {
+        for (pi, &zi) in p.iter_mut().zip(z) {
+            *pi = zi + beta * *pi;
+        }
+        return;
+    }
+    let chunk = p.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (pc, zc) in p.chunks_mut(chunk).zip(z.chunks(chunk)) {
+            scope.spawn(move || {
+                for (pi, &zi) in pc.iter_mut().zip(zc) {
+                    *pi = zi + beta * *pi;
+                }
+            });
+        }
+    });
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -242,5 +402,79 @@ mod tests {
         let a = b.build(); // all-zero diagonal
         let mut x = vec![0.0; 2];
         let _ = solve_cg(&a, &[1.0, 1.0], &mut x, &CgConfig::default());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        let a = poisson(300);
+        let mut ws = CgWorkspace::new(&a);
+        for seed in 0..3u64 {
+            let b: Vec<f64> = (0..300)
+                .map(|i| (((i as u64 + 1) * (seed + 3)) % 17) as f64 - 8.0)
+                .collect();
+            let mut x_fresh = vec![0.0; 300];
+            let fresh = solve_cg(&a, &b, &mut x_fresh, &CgConfig::default());
+            let mut x_reused = vec![0.0; 300];
+            let reused = solve_cg_with(&a, &b, &mut x_reused, &CgConfig::default(), &mut ws);
+            assert_eq!(fresh.iterations, reused.iterations);
+            assert_eq!(x_fresh, x_reused);
+        }
+    }
+
+    #[test]
+    fn final_residual_is_a_true_two_norm_residual() {
+        let a = poisson(120);
+        let b: Vec<f64> = (0..120).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut x = vec![0.0; 120];
+        let stats = solve_cg(
+            &a,
+            &b,
+            &mut x,
+            &CgConfig {
+                tolerance: 1e-10,
+                max_iterations: 10_000,
+            },
+        );
+        assert!(stats.converged);
+        let mut r = a.mul_vec_alloc(&x);
+        for (ri, bi) in r.iter_mut().zip(&b) {
+            *ri = bi - *ri;
+        }
+        let true_res = norm2(&r) / norm2(&b);
+        assert!(
+            (stats.relative_residual - true_res).abs() < 1e-12 + true_res,
+            "reported {} vs recomputed {}",
+            stats.relative_residual,
+            true_res
+        );
+    }
+
+    #[test]
+    fn fused_kernels_match_separate_passes_across_thread_counts() {
+        let n = 1537;
+        let mut x1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut r1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+        let mut z1 = vec![0.0; n];
+        let p: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let ap: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let d: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + (i % 5) as f64)).collect();
+        let alpha = 0.37;
+        let rz1 = fused_axpy_precond_serial(&mut x1, &mut r1, &mut z1, &p, &ap, &d, alpha);
+        for threads in [2, 3, 5] {
+            let mut x2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+            let mut r2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+            let mut z2 = vec![0.0; n];
+            let rz2 = fused_axpy_precond(&mut x2, &mut r2, &mut z2, &p, &ap, &d, alpha, threads);
+            assert_eq!(x1, x2, "threads={threads}");
+            assert_eq!(r1, r2);
+            assert_eq!(z1, z2);
+            assert!((rz1 - rz2).abs() < 1e-9 * rz1.abs().max(1.0));
+
+            let mut p1 = p.clone();
+            fused_p_update(&mut p1, &z1, 0.25, 1);
+            let mut p2 = p.clone();
+            fused_p_update(&mut p2, &z2, 0.25, threads);
+            assert_eq!(p1, p2);
+        }
     }
 }

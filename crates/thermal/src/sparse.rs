@@ -1,8 +1,41 @@
 //! Minimal sparse linear algebra: CSR matrices built from triplets.
 //!
 //! The thermal RC network produces symmetric positive-definite systems with
-//! ~7 nonzeros per row; CSR + conjugate gradients (see [`crate::solver`]) is
-//! all that is needed.
+//! ~7 nonzeros per row; CSR plus either conjugate gradients
+//! (see [`crate::solver`]) or a factor-once direct solver
+//! (see [`crate::chol`]) is all that is needed.
+//!
+//! The matrix-vector kernels shard across `std::thread::scope` row chunks
+//! once a matrix is large enough to amortize thread spawning; below
+//! [`PARALLEL_NNZ_CROSSOVER`] they stay serial so the small matrices used by
+//! tests and coarse grids never pay the spawn cost.
+
+/// Nonzeros below which `mul_vec` stays single-threaded. Spawning a scoped
+/// thread costs tens of microseconds; a serial SpMV pass over this many
+/// nonzeros costs about the same, so parallelism only pays above it.
+pub const PARALLEL_NNZ_CROSSOVER: usize = 1 << 20;
+
+/// Detected hardware parallelism, cached after the first query.
+pub fn hardware_threads() -> usize {
+    use std::sync::OnceLock;
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Threads worth using for `work` units of row-chunk work: 1 below the
+/// crossover, then one more thread per crossover's worth of nonzeros up to
+/// the hardware limit.
+fn threads_for(work: usize) -> usize {
+    if work < PARALLEL_NNZ_CROSSOVER {
+        1
+    } else {
+        hardware_threads().min(work / PARALLEL_NNZ_CROSSOVER + 1)
+    }
+}
 
 /// A compressed-sparse-row matrix.
 #[derive(Debug, Clone)]
@@ -24,6 +57,13 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The stored entries of row `i` as `(column indices, values)`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
     /// The diagonal entries (0 where a row has no stored diagonal).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
@@ -37,15 +77,62 @@ impl CsrMatrix {
         d
     }
 
-    /// `y = A x`.
+    /// `y = A x`, sharded across row chunks when the matrix is large enough
+    /// (see [`PARALLEL_NNZ_CROSSOVER`]).
     ///
     /// # Panics
     ///
     /// Panics if the vector lengths do not match the matrix dimension.
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        self.mul_vec_threads(x, y, threads_for(self.nnz()));
+    }
+
+    /// `y = A x` and returns `xᵀ A x` from the same pass — the fused
+    /// SpMV + dot the CG iteration needs (`p·Ap`).
+    pub fn mul_vec_dot(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        self.mul_vec_threads(x, y, threads_for(self.nnz()));
+        // One reduction pass over two streams that are still cache-hot from
+        // the SpMV; cheaper than threading the accumulator through the
+        // sharded kernel.
+        x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// `y = A x` with an explicit worker count (1 ⇒ the serial kernel).
+    /// Exposed so equivalence tests can exercise the sharded path on any
+    /// machine regardless of its core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the matrix dimension or
+    /// `threads == 0`.
+    pub fn mul_vec_threads(&self, x: &[f64], y: &mut [f64], threads: usize) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for (i, yi) in y.iter_mut().enumerate() {
+        assert!(threads >= 1);
+        if threads == 1 || self.n < 2 {
+            self.mul_vec_rows(x, y, 0);
+            return;
+        }
+        let threads = threads.min(self.n);
+        let rows_per = self.n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            let mut row0 = 0usize;
+            while !rest.is_empty() {
+                let take = rows_per.min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(take);
+                let start = row0;
+                scope.spawn(move || self.mul_vec_rows(x, chunk, start));
+                rest = tail;
+                row0 += take;
+            }
+        });
+    }
+
+    /// Serial SpMV of rows `row0 .. row0 + y.len()` into `y`.
+    fn mul_vec_rows(&self, x: &[f64], y: &mut [f64], row0: usize) {
+        for (di, yi) in y.iter_mut().enumerate() {
+            let i = row0 + di;
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
@@ -271,5 +358,74 @@ mod tests {
         let a = b.build();
         assert_eq!(a.nnz(), 4);
         assert_eq!(a.diagonal(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn row_access_matches_get() {
+        let mut b = TripletBuilder::new(3);
+        b.add_conductance(0, 2, 2.0);
+        b.add_conductance(1, 2, 1.0);
+        let a = b.build();
+        for i in 0..3 {
+            let (cols, vals) = a.row(i);
+            assert_eq!(cols.len(), vals.len());
+            for (&j, &v) in cols.iter().zip(vals) {
+                assert_eq!(a.get(i, j), v);
+            }
+        }
+    }
+
+    /// A pseudo-random sparse SPD-patterned matrix for kernel equivalence.
+    fn random_matrix(n: usize, seed: u64) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n);
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in 0..n - 1 {
+            b.add_conductance(i, i + 1, (rnd() % 100) as f64 / 10.0);
+            let j = (rnd() as usize) % n;
+            if j != i {
+                b.add_conductance(i, j, (rnd() % 50) as f64 / 25.0);
+            }
+        }
+        b.add_grounded_conductance(0, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn sharded_mul_vec_matches_serial() {
+        for n in [1usize, 2, 3, 17, 256, 1023] {
+            let a = random_matrix(n.max(2), 0xC0FFEE + n as u64);
+            let x: Vec<f64> = (0..a.n()).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+            let mut serial = vec![0.0; a.n()];
+            a.mul_vec_threads(&x, &mut serial, 1);
+            for threads in [2, 3, 4, 7] {
+                let mut par = vec![0.0; a.n()];
+                a.mul_vec_threads(&x, &mut par, threads);
+                assert_eq!(serial, par, "n={n}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_dot_returns_quadratic_form() {
+        let a = random_matrix(64, 99);
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; 64];
+        let q = a.mul_vec_dot(&x, &mut y);
+        let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((q - expect).abs() < 1e-12);
+        assert_eq!(y, a.mul_vec_alloc(&x));
+    }
+
+    #[test]
+    fn threads_for_respects_crossover() {
+        assert_eq!(super::threads_for(0), 1);
+        assert_eq!(super::threads_for(PARALLEL_NNZ_CROSSOVER - 1), 1);
+        assert!(super::threads_for(PARALLEL_NNZ_CROSSOVER) >= 1);
     }
 }

@@ -10,7 +10,10 @@ use crate::profile::WorkloadProfile;
 /// A deterministic, infinite micro-op stream for one profile.
 ///
 /// Two generators with the same `(profile, seed)` produce identical streams,
-/// which makes every figure of the reproduction bit-reproducible.
+/// which makes every figure of the reproduction bit-reproducible. `Clone`
+/// snapshots the stream position, so a cloned co-simulation replays the
+/// identical instruction sequence.
+#[derive(Clone)]
 pub struct WorkloadGen {
     profile: WorkloadProfile,
     rng: SmallRng,
