@@ -5,8 +5,8 @@
 //! that (0.2/0.4/0.6 ms) at 7 nm; late hotspots (> 5 ms) similar across
 //! nodes.
 
-use hotgauge_bench::cli::BinArgs;
-use hotgauge_core::experiments::{fig10_tuh_by_node, Fidelity};
+use hotgauge_bench::cli::{sweep_ticker, BinArgs};
+use hotgauge_core::experiments::fig10_tuh_by_node_with;
 use hotgauge_core::report::{fmt_time, TextTable};
 use hotgauge_core::series::percentile;
 use hotgauge_floorplan::tech::TechNode;
@@ -27,14 +27,13 @@ struct NodeRow {
 
 fn main() {
     let args = BinArgs::parse("fig10_tuh_nodes");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let cores: Vec<usize> = (0..7).collect();
-    let rows = fig10_tuh_by_node(
-        &fid,
-        &[TechNode::N14, TechNode::N7],
-        &ALL_BENCHMARKS,
-        &cores,
-    );
+    let nodes = [TechNode::N14, TechNode::N7];
+    // The done/total counter restarts for each node's sweep.
+    let printer = args.sweep_progress((ALL_BENCHMARKS.len() * cores.len()) as u64);
+    let on_done = sweep_ticker(&printer);
+    let rows = fig10_tuh_by_node_with(&fid, &nodes, &ALL_BENCHMARKS, &cores, Some(&on_done));
 
     let mut json_rows = Vec::new();
     let mut table = TextTable::new(vec![

@@ -6,7 +6,7 @@
 //! benchmarks show order-of-magnitude core-to-core spread.
 
 use hotgauge_bench::cli::{sweep_ticker, BinArgs};
-use hotgauge_core::experiments::{fig11_tuh_per_benchmark_with, Fidelity};
+use hotgauge_core::experiments::fig11_tuh_per_benchmark_with;
 use hotgauge_core::report::{fmt_tuh, TextTable};
 use hotgauge_core::series::BoxStats;
 use hotgauge_thermal::warmup::Warmup;
@@ -21,7 +21,7 @@ struct TuhRow {
 
 fn main() {
     let args = BinArgs::parse("fig11_tuh_percore");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let cores: Vec<usize> = (0..7).collect();
     let mut json_rows = Vec::new();
     for warmup in [Warmup::Cold, Warmup::Idle] {

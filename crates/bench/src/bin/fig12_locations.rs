@@ -6,13 +6,13 @@
 //! reorder buffer (ROB).
 
 use hotgauge_bench::cli::BinArgs;
-use hotgauge_core::experiments::{fig12_location_census, Fidelity};
+use hotgauge_core::experiments::fig12_location_census;
 use hotgauge_core::report::TextTable;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
 fn main() {
     let args = BinArgs::parse("fig12_locations");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     // Sweep a representative set of cores; the paper aggregates all runs.
     let cores: Vec<usize> = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
         (0..7).collect()

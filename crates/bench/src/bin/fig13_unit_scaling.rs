@@ -7,7 +7,7 @@
 //! single-unit mitigation works across workloads.
 
 use hotgauge_bench::cli::BinArgs;
-use hotgauge_core::experiments::{fig13_unit_scaling, Fidelity};
+use hotgauge_core::experiments::fig13_unit_scaling;
 use hotgauge_core::report::TextTable;
 use hotgauge_floorplan::unit::UnitKind;
 
@@ -23,7 +23,7 @@ struct ScalingRow {
 
 fn main() {
     let args = BinArgs::parse("fig13_unit_scaling");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let horizon = fid.max_time_s.min(0.02);
     let scales = [2.0, 5.0, 10.0];
     let mut json_rows = Vec::new();

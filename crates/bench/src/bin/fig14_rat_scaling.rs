@@ -5,13 +5,13 @@
 //! workloads still reach severity 1.0 — single-unit scaling is not enough.
 
 use hotgauge_bench::cli::BinArgs;
-use hotgauge_core::experiments::{fig14_rat_scaling, Fidelity};
+use hotgauge_core::experiments::fig14_rat_scaling;
 use hotgauge_core::report::TextTable;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
 fn main() {
     let args = BinArgs::parse("fig14_rat_scaling");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let horizon = fid.max_time_s.min(0.02);
     let rows = fig14_rat_scaling(&fid, &ALL_BENCHMARKS, horizon);
 

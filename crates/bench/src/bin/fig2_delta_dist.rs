@@ -5,7 +5,7 @@
 //! temperature moves farther and less uniformly within a single 200 µs step.
 
 use hotgauge_bench::cli::BinArgs;
-use hotgauge_core::experiments::{fig2_delta_distributions, Fidelity};
+use hotgauge_core::experiments::fig2_delta_distributions;
 
 #[derive(serde::Serialize)]
 struct DeltaRow {
@@ -20,7 +20,7 @@ struct DeltaRow {
 
 fn main() {
     let args = BinArgs::parse("fig2_delta_dist");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let rows = fig2_delta_distributions(&fid, "bzip2", fid.max_time_s.min(0.02));
 
     let json_rows: Vec<DeltaRow> = rows

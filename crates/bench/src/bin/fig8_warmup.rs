@@ -5,7 +5,7 @@
 //! crosses 110 °C more than 4x faster than from cold.
 
 use hotgauge_bench::cli::BinArgs;
-use hotgauge_core::experiments::{fig8_warmup_runs, first_crossing_time, Fidelity};
+use hotgauge_core::experiments::{fig8_warmup_runs, first_crossing_time};
 use hotgauge_core::report::fmt_time;
 
 #[derive(serde::Serialize)]
@@ -19,7 +19,7 @@ struct WarmupRow {
 
 fn main() {
     let args = BinArgs::parse("fig8_warmup");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let runs = fig8_warmup_runs(&fid, fid.max_time_s.min(0.04));
 
     let json_rows: Vec<WarmupRow> = runs

@@ -6,7 +6,7 @@
 //! run hottest while the right column (1, 4, 6) runs coolest.
 
 use hotgauge_bench::cli::BinArgs;
-use hotgauge_core::experiments::{fig9_mltd_series, Fidelity};
+use hotgauge_core::experiments::fig9_mltd_series;
 use hotgauge_core::report::TextTable;
 use hotgauge_floorplan::tech::TechNode;
 
@@ -21,7 +21,7 @@ struct MltdRow {
 
 fn main() {
     let args = BinArgs::parse("fig9_mltd");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let horizon = 0.02_f64.min(fid.max_time_s.max(0.01));
     let cores: Vec<usize> = (0..7).collect();
     let series = fig9_mltd_series(&fid, &[TechNode::N14, TechNode::N7], &cores, horizon);

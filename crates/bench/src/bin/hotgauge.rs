@@ -33,6 +33,8 @@ options:
   --cell UM          thermal grid cell size in micrometers
   --solver WHICH     thermal solver: direct (factor-once Cholesky, falls
                      back to CG past the profile budget) or cg; default direct
+  --threads N        analysis threads (default: all hardware threads;
+                     results are bit-identical for any value)
   --scale UNIT F     scale one unit kind's area by F (repeatable)
   --ic-area F        uniform IC area factor
   --json PATH        write the run manifest to PATH (`-` for stdout)
@@ -75,6 +77,7 @@ struct Cli {
     json_path: Option<String>,
     quiet: bool,
     progress: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Cli {
@@ -84,6 +87,7 @@ fn parse_args(args: &[String]) -> Cli {
     let mut json_path = None;
     let mut quiet = false;
     let mut progress = false;
+    let mut threads = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -128,6 +132,20 @@ fn parse_args(args: &[String]) -> Cli {
                 let v = flag_value(args, &mut i, "--solver");
                 cfg.solver = v.parse().unwrap_or_else(|e| fail(e));
             }
+            "--threads" => {
+                let v = flag_value(args, &mut i, "--threads");
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        fail(format!(
+                            "invalid thread count {v} (expected an integer >= 1)"
+                        ))
+                    });
+                cfg.analysis.threads = n;
+                threads = Some(n);
+            }
             "--scale" => {
                 let unit_label = flag_value(args, &mut i, "--scale").to_owned();
                 let unit = unit_by_label(&unit_label)
@@ -171,6 +189,7 @@ fn parse_args(args: &[String]) -> Cli {
         json_path,
         quiet,
         progress,
+        threads,
     }
 }
 
@@ -232,6 +251,9 @@ fn main() {
             .with_config("solver", r.config.solver.as_str())
             .with_config("max_time_s", r.config.max_time_s)
             .with_config("ic_area_factor", r.config.ic_area_factor);
+        if let Some(n) = cli.threads {
+            manifest = manifest.with_config("threads", n);
+        }
         manifest.set_results(&summary);
         manifest.capture_metrics();
         if path == "-" {

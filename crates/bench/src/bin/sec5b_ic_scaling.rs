@@ -5,7 +5,7 @@
 //! on the benchmark — static mitigation has a very large hurdle.
 
 use hotgauge_bench::cli::{sweep_ticker, BinArgs};
-use hotgauge_core::experiments::{sec5b_ic_scaling_with, Fidelity};
+use hotgauge_core::experiments::sec5b_ic_scaling_with;
 use hotgauge_core::report::TextTable;
 
 #[derive(serde::Serialize)]
@@ -18,7 +18,7 @@ struct IcRow {
 
 fn main() {
     let args = BinArgs::parse("sec5b_ic_scaling");
-    let fid = Fidelity::from_env();
+    let fid = args.fidelity();
     let horizon = fid.max_time_s.min(0.02);
     let benches = if std::env::var("HOTGAUGE_FULL").as_deref() == Ok("1") {
         vec![

@@ -5,11 +5,14 @@
 //! * `--json PATH` — write a schema-versioned [`RunManifest`] (results plus,
 //!   under `--features telemetry`, per-stage timing and solver counters)
 //!   atomically to PATH; `-` prints it to stdout.
+//! * `--threads N` — analysis worker threads per run (default: one per
+//!   hardware thread; results are bit-identical either way).
 //! * `--quiet` — suppress the human-readable tables (useful with `--json`).
 //! * `--help` — print the shared usage text.
 //!
 //! Unknown arguments exit with status 2 instead of panicking.
 
+use hotgauge_core::experiments::Fidelity;
 use hotgauge_core::pipeline::SweepProgress;
 use hotgauge_telemetry::manifest::{write_json_atomic, RunManifest};
 use hotgauge_telemetry::progress::ProgressPrinter;
@@ -25,6 +28,7 @@ pub struct BinArgs {
     tool: &'static str,
     json_path: Option<String>,
     quiet: bool,
+    threads: Option<usize>,
     _report: TelemetryReport,
 }
 
@@ -35,14 +39,16 @@ impl BinArgs {
     pub fn parse(tool: &'static str) -> Self {
         let mut json_path = None;
         let mut quiet = false;
+        let mut threads = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--help" | "-h" => {
                     println!(
-                        "usage: {tool} [--json PATH] [--quiet]\n\
+                        "usage: {tool} [--json PATH] [--threads N] [--quiet]\n\
                          \x20 --json PATH  write the run manifest to PATH (`-` for stdout)\n\
+                         \x20 --threads N  analysis threads per run (default: all hardware threads)\n\
                          \x20 --quiet      suppress the human-readable tables"
                     );
                     std::process::exit(0);
@@ -53,6 +59,20 @@ impl BinArgs {
                         Some(p) => json_path = Some(p.clone()),
                         None => {
                             eprintln!("error: --json needs a value");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--threads" => {
+                    i += 1;
+                    let Some(v) = args.get(i) else {
+                        eprintln!("error: --threads needs a value");
+                        std::process::exit(2);
+                    };
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => threads = Some(n),
+                        _ => {
+                            eprintln!("error: invalid thread count {v} (expected an integer >= 1)");
                             std::process::exit(2);
                         }
                     }
@@ -70,6 +90,7 @@ impl BinArgs {
             tool,
             json_path,
             quiet,
+            threads,
             _report,
         }
     }
@@ -77,6 +98,16 @@ impl BinArgs {
     /// Whether stdout tables should be suppressed.
     pub fn quiet(&self) -> bool {
         self.quiet
+    }
+
+    /// The environment-selected fidelity preset with the `--threads`
+    /// override applied (0 = auto when the flag was not given).
+    pub fn fidelity(&self) -> Fidelity {
+        let mut fid = Fidelity::from_env();
+        if let Some(n) = self.threads {
+            fid.threads = n;
+        }
+        fid
     }
 
     /// A throttled stderr reporter for a sweep of `total` runs, pre-labelled
@@ -98,6 +129,9 @@ impl BinArgs {
         let mut manifest = RunManifest::new(self.tool);
         for (key, value) in config {
             manifest = manifest.with_config(key, value);
+        }
+        if let Some(n) = self.threads {
+            manifest = manifest.with_config("threads", n);
         }
         manifest.set_results(results);
         manifest.capture_metrics();

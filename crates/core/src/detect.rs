@@ -59,14 +59,30 @@ pub fn detect_hotspots(
     params: &HotspotParams,
     severity: &SeverityParams,
 ) -> Vec<Hotspot> {
-    let candidates = local_maxima(frame);
-    if candidates.is_empty() {
-        return Vec::new();
-    }
     // MLTD for the whole frame: the sliding-window computation is cheap and
     // candidate sets can be large on plateaus. (The candidate filter is what
     // bounds the expensive per-candidate work in the general algorithm.)
     let mltd = mltd_field(frame, params.radius_m);
+    detect_hotspots_with_mltd(frame, &mltd, params, severity)
+}
+
+/// Detects hotspots against an already-computed MLTD field (row-major,
+/// `frame.nx × frame.ny`), so pipeline callers that need the field anyway —
+/// for peak-MLTD records and per-unit severity — do not pay for a second
+/// sliding-window pass. Identical output to [`detect_hotspots`] when `mltd`
+/// comes from [`mltd_field`] at `params.radius_m`.
+///
+/// # Panics
+///
+/// Panics if `mltd` does not match the frame size.
+pub fn detect_hotspots_with_mltd(
+    frame: &ThermalFrame,
+    mltd: &[f64],
+    params: &HotspotParams,
+    severity: &SeverityParams,
+) -> Vec<Hotspot> {
+    assert_eq!(mltd.len(), frame.temps.len());
+    let candidates = local_maxima(frame);
     candidates
         .into_iter()
         .filter_map(|(ix, iy)| {
@@ -261,6 +277,22 @@ mod tests {
         };
         assert!(near(15, 15), "first bump missed");
         assert!(near(45, 45), "second bump missed");
+    }
+
+    #[test]
+    fn precomputed_mltd_detection_matches_self_computed() {
+        let f = frame_from(48, 40, |x, y| {
+            let a = gaussian_bump(12.0, 12.0, 45.0, 3.0)(x, y);
+            let b = gaussian_bump(36.0, 30.0, 41.0, 2.0)(x, y);
+            a.max(b)
+        });
+        let p = HotspotParams::paper_default();
+        let s = SeverityParams::cpu_default();
+        let mltd = mltd_field(&f, p.radius_m);
+        let fused = detect_hotspots_with_mltd(&f, &mltd, &p, &s);
+        let direct = detect_hotspots(&f, &p, &s);
+        assert!(!direct.is_empty());
+        assert_eq!(fused, direct);
     }
 
     #[test]

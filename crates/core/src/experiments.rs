@@ -93,13 +93,16 @@ impl Fidelity {
         }
     }
 
-    /// Applies the fidelity to a config.
+    /// Applies the fidelity to a config. The thread budget also caps the
+    /// per-run analysis sharding; sweeps launched through `run_many` drop
+    /// back to serial per-run analysis when the sweep itself is parallel.
     pub fn apply(&self, mut cfg: SimConfig) -> SimConfig {
         cfg.cell_um = self.cell_um;
         cfg.border_mm = self.border_mm;
         cfg.substeps = self.substeps;
         cfg.sample_instrs = self.sample_instrs;
         cfg.max_time_s = self.max_time_s;
+        cfg.analysis.threads = self.threads;
         cfg
     }
 }
@@ -270,10 +273,24 @@ pub fn fig10_tuh_by_node(
     benchmarks: &[&str],
     cores: &[usize],
 ) -> Vec<(TechNode, Vec<Option<f64>>)> {
+    fig10_tuh_by_node_with(fid, nodes, benchmarks, cores, None)
+}
+
+/// [`fig10_tuh_by_node`] with a per-run completion callback, forwarded to
+/// each node's sweep so the node × benchmark × core grid (dozens of runs)
+/// reports liveness like the Fig. 11 sweep does. `done`/`total` restart per
+/// node sweep.
+pub fn fig10_tuh_by_node_with(
+    fid: &Fidelity,
+    nodes: &[TechNode],
+    benchmarks: &[&str],
+    cores: &[usize],
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<(TechNode, Vec<Option<f64>>)> {
     nodes
         .iter()
         .map(|&node| {
-            let results = tuh_sweep(fid, node, Warmup::Idle, benchmarks, cores);
+            let results = tuh_sweep_with(fid, node, Warmup::Idle, benchmarks, cores, on_done);
             (node, results.iter().map(|r| r.tuh_s).collect())
         })
         .collect()

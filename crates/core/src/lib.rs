@@ -10,6 +10,9 @@
 //!   radius ([`mltd`]);
 //! * the **severity** metric built from three parameterized sigmoids
 //!   ([`severity`], Eq. 1–2, Fig. 7);
+//! * the fused, row-sharded **analysis stage** that evaluates all three per
+//!   frame with reusable buffers and a sub-threshold prefilter
+//!   ([`analysis`]);
 //! * **TUH** (time-until-hotspot) and the series statistics used by the
 //!   evaluation ([`series`]);
 //! * hotspot **location attribution** ([`locations`], Fig. 12);
@@ -36,6 +39,7 @@
 //! );
 //! ```
 
+pub mod analysis;
 pub mod detect;
 pub mod experiments;
 pub mod locations;
@@ -46,7 +50,10 @@ pub mod series;
 pub mod severity;
 pub mod throttle;
 
-pub use crate::detect::{detect_hotspots, detect_hotspots_naive, Hotspot, HotspotParams};
+pub use crate::analysis::{AnalysisConfig, FrameAnalysis, FrameAnalyzer};
+pub use crate::detect::{
+    detect_hotspots, detect_hotspots_naive, detect_hotspots_with_mltd, Hotspot, HotspotParams,
+};
 pub use crate::locations::HotspotCensus;
 pub use crate::mltd::{max_mltd, mltd_field, mltd_field_naive};
 pub use crate::pipeline::{run_many, run_sim, RunResult, SimConfig, StepRecord};
@@ -56,6 +63,7 @@ pub use crate::throttle::{run_throttled, ThrottlePolicy, ThrottledRunResult};
 
 /// Convenient glob import of the most used types.
 pub mod prelude {
+    pub use crate::analysis::{AnalysisConfig, FrameAnalyzer};
     pub use crate::detect::{detect_hotspots, Hotspot, HotspotParams};
     pub use crate::experiments::Fidelity;
     pub use crate::locations::HotspotCensus;

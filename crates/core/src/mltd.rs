@@ -96,7 +96,7 @@ pub fn mltd_field(frame: &ThermalFrame, radius_m: f64) -> Vec<f64> {
 }
 
 /// Horizontal half-width of the radius-`r_cells` disc at each `|dy|`.
-fn chord_half_widths(r_cells: isize) -> Vec<isize> {
+pub(crate) fn chord_half_widths(r_cells: isize) -> Vec<isize> {
     (0..=r_cells)
         .map(|dy| (((r_cells * r_cells - dy * dy) as f64).sqrt()).floor() as isize)
         .collect()
@@ -104,10 +104,28 @@ fn chord_half_widths(r_cells: isize) -> Vec<isize> {
 
 /// Sliding-window minimum of half-width `w` applied to every row.
 fn rows_window_min(temps: &[f64], nx: usize, ny: usize, w: isize) -> Vec<f64> {
-    let w = w.max(0) as usize;
     let mut out = vec![0.0; nx * ny];
     let mut deque: Vec<usize> = Vec::with_capacity(nx);
-    for iy in 0..ny {
+    rows_window_min_into(temps, nx, 0..ny, w, &mut out, &mut deque);
+    out
+}
+
+/// Sliding-window minimum of half-width `w` applied to rows
+/// `rows.start..rows.end` of the field, writing results into `out` (which
+/// must hold exactly `rows.len() * nx` values, `out[0]` being the first cell
+/// of row `rows.start`). `deque` is caller-provided scratch so sharded
+/// callers can reuse it across passes instead of allocating per pass.
+pub(crate) fn rows_window_min_into(
+    temps: &[f64],
+    nx: usize,
+    rows: std::ops::Range<usize>,
+    w: isize,
+    out: &mut [f64],
+    deque: &mut Vec<usize>,
+) {
+    let w = w.max(0) as usize;
+    debug_assert_eq!(out.len(), rows.len() * nx);
+    for (oy, iy) in rows.enumerate() {
         let row = &temps[iy * nx..(iy + 1) * nx];
         deque.clear();
         let mut head = 0usize;
@@ -125,11 +143,10 @@ fn rows_window_min(temps: &[f64], nx: usize, ny: usize, w: isize) -> Vec<f64> {
                 while deque.len() > head && deque[head] + w < center {
                     head += 1;
                 }
-                out[iy * nx + center] = row[deque[head]];
+                out[oy * nx + center] = row[deque[head]];
             }
         }
     }
-    out
 }
 
 /// Maximum MLTD over the frame.

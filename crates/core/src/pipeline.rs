@@ -35,9 +35,9 @@ use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::idle::{idle_profile, IDLE_DUTY_CYCLE, IDLE_WARMUP_DURATION_S};
 use hotgauge_workloads::spec2006;
 
-use crate::detect::{detect_hotspots, HotspotParams};
+use crate::analysis::{AnalysisConfig, FrameAnalyzer};
+use crate::detect::HotspotParams;
 use crate::locations::HotspotCensus;
-use crate::mltd::mltd_field;
 use crate::series::TimeSeries;
 use crate::severity::SeverityParams;
 
@@ -107,6 +107,10 @@ pub struct SimConfig {
     /// Accumulate the distribution of per-cell ΔT over each 200 µs window
     /// (Fig. 2).
     pub delta_histogram: Option<HistSpec>,
+    /// Execution strategy of the per-substep analysis stage (row sharding,
+    /// solve/analysis overlap, sub-threshold prefilter). Never changes any
+    /// result — only how fast it is computed.
+    pub analysis: AnalysisConfig,
 }
 
 impl SimConfig {
@@ -135,6 +139,7 @@ impl SimConfig {
             track_units: Vec::new(),
             temp_histogram: None,
             delta_histogram: None,
+            analysis: AnalysisConfig::default(),
         }
     }
 
@@ -285,7 +290,14 @@ pub fn run_many_with(
                 if i >= n {
                     break;
                 }
-                let r = run_sim(cfgs_ref[i].clone());
+                let mut cfg = cfgs_ref[i].clone();
+                if threads > 1 {
+                    // Sweep workers already saturate the machine; per-run
+                    // analysis threads and the overlap worker would only
+                    // oversubscribe it. Results are identical either way.
+                    cfg.analysis = cfg.analysis.serial();
+                }
+                let r = run_sim(cfg);
                 results_mutex.lock()[i] = Some(r);
                 let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                 if let Some(cb) = on_done {
@@ -455,7 +467,15 @@ impl CoSimulation {
 
     /// [`CoSimulation::run`] with a per-window liveness callback, so long
     /// runs can report progress while they execute.
-    pub fn run_with_progress(mut self, on_window: Option<&dyn Fn(WindowProgress)>) -> RunResult {
+    ///
+    /// The per-substep analysis runs through [`FrameAnalyzer`] (fused MLTD +
+    /// detection + severity with reusable buffers and optional row sharding).
+    /// With `cfg.analysis.overlap` it moves to a dedicated worker thread fed
+    /// by a bounded two-frame channel, so the analysis of substep *t*
+    /// overlaps the thermal solve of substep *t + 1*; frames are processed
+    /// in send order, so every record, census entry, and series value is
+    /// bit-identical to the serial schedule.
+    pub fn run_with_progress(self, on_window: Option<&dyn Fn(WindowProgress)>) -> RunResult {
         let window_s = self.cfg.window_seconds();
         let dt_sub = window_s / self.cfg.substeps as f64;
         let track_idx: Vec<usize> = self
@@ -469,174 +489,421 @@ impl CoSimulation {
             })
             .collect();
 
-        let mut records = Vec::new();
-        let mut sev_series = TimeSeries::default();
-        let mut census = HotspotCensus::new();
-        let mut tuh: Option<f64> = None;
+        // Split the state: the window producer mutates the models while the
+        // analysis context only reads the configuration/floorplan side.
+        let Self {
+            cfg,
+            fp,
+            grid,
+            grid_peaked,
+            power,
+            mut thermal,
+            mut core,
+            mut gen,
+            idle_act,
+        } = self;
+
+        // The prefilter records zeros for MLTD/severity on provably
+        // hotspot-free substeps, so it only engages where those fields are
+        // never consumed: stop-at-first-hotspot (TUH) runs without per-unit
+        // severity tracking. The TUH itself is exact either way — a frame
+        // whose max is at or below `T_th` cannot contain a hotspot.
+        let prefilter = cfg.analysis.prefilter && cfg.stop_at_first_hotspot && track_idx.is_empty();
+        // Overlap lets this thread run substeps past the stopping hotspot
+        // before the worker reports it. That is invisible in the result
+        // except through the Fig. 2 ΔT histogram (accumulated here per
+        // window), so that one combination stays serial.
+        let overlap =
+            cfg.analysis.overlap && !(cfg.stop_at_first_hotspot && cfg.delta_histogram.is_some());
+
+        let mut ctx = AnalysisCtx {
+            analyzer: FrameAnalyzer::new(cfg.detect, cfg.severity, cfg.analysis.threads),
+            cfg: &cfg,
+            fp: &fp,
+            grid: &grid,
+            track_idx: &track_idx,
+            prefilter,
+            records: Vec::new(),
+            sev_series: TimeSeries::default(),
+            census: HotspotCensus::new(),
+            tuh: None,
+            last_frame: None,
+            last_instructions: 0,
+        };
+
         let mut time_s = 0.0;
         let mut instructions: u64 = 0;
-        let mut delta_counts = self
-            .cfg
+        let mut delta_counts = cfg
             .delta_histogram
             .map(|h| (edges(&h), vec![0usize; h.bins]));
-
         let mut windows: u64 = 0;
-        'outer: while instructions < self.cfg.max_instructions && time_s < self.cfg.max_time_s {
-            // 1. Performance window (sampled).
-            let window = {
-                let _stage = span!("perf");
-                self.core
-                    .run_instructions(&mut self.gen, self.cfg.sample_instrs)
-            };
-            let ipc = window.ipc();
-            instructions += (ipc * CoreConfig::TIME_STEP_CYCLES as f64) as u64;
 
-            // 2. Power from activity + temperature.
-            let frame_before = self.thermal.die_frame();
-            let breakdown = {
-                let _stage = span!("power");
-                let temps = unit_temperatures(&self.fp, &self.grid, &frame_before);
-                let mut cores: Vec<CoreWindow<'_>> = (0..7)
-                    .map(|_| {
-                        if self.cfg.background_idle {
-                            CoreWindow::Active {
-                                activity: &self.idle_act,
-                                duty: IDLE_DUTY_CYCLE,
-                            }
-                        } else {
-                            CoreWindow::Parked
+        if !overlap {
+            'outer: while instructions < cfg.max_instructions && time_s < cfg.max_time_s {
+                let w = produce_window(
+                    &cfg,
+                    &fp,
+                    &grid,
+                    &grid_peaked,
+                    &power,
+                    &thermal,
+                    &mut core,
+                    &mut gen,
+                    &idle_act,
+                );
+                instructions += w.instr_delta;
+                counter!("pipeline.substeps", cfg.substeps);
+                for _ in 0..cfg.substeps {
+                    {
+                        let _stage = span!("thermal");
+                        thermal.step(&w.power_map, dt_sub);
+                    }
+                    time_s += dt_sub;
+                    let (frame, frame_max) = thermal.die_frame_with_max();
+                    let proceed = {
+                        let _stage = span!("detect");
+                        ctx.process(SubstepMsg {
+                            frame,
+                            frame_max,
+                            time_s,
+                            power_w: w.power_w,
+                            ipc: w.ipc,
+                            instructions,
+                        })
+                    };
+                    if !proceed {
+                        break 'outer;
+                    }
+                }
+                if let Some((_, ref mut counts)) = delta_counts {
+                    let h = cfg.delta_histogram.expect("spec present");
+                    accumulate_deltas(&h, counts, &w.frame_before, &thermal.die_frame());
+                }
+                windows += 1;
+                if let Some(cb) = on_window {
+                    cb(WindowProgress {
+                        windows,
+                        time_s,
+                        instructions,
+                        max_instructions: cfg.max_instructions,
+                        max_time_s: cfg.max_time_s,
+                    });
+                }
+            }
+        } else {
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                // Two in-flight frames: the worker analyzes one while this
+                // thread solves into the other (double buffering); a third
+                // send blocks, bounding memory and keeping the stages in
+                // lockstep.
+                let (tx, rx) = std::sync::mpsc::sync_channel::<SubstepMsg>(2);
+                let worker_ctx = &mut ctx;
+                let stop_flag = &stop;
+                let worker = scope.spawn(move || {
+                    let _stage = span!("analysis.worker");
+                    while let Ok(msg) = rx.recv() {
+                        let _stage = span!("detect");
+                        if !worker_ctx.process(msg) {
+                            stop_flag.store(true, std::sync::atomic::Ordering::Release);
+                            break;
                         }
-                    })
-                    .collect();
-                cores[self.cfg.target_core] = CoreWindow::Active {
-                    activity: &window,
-                    duty: 1.0,
-                };
-                self.power.evaluate(&cores, &temps)
-            };
-            let power_map = {
-                let _stage = span!("rasterize");
-                let mut map = self.grid.power_map(&breakdown.unit_watts_smooth);
-                self.grid_peaked
-                    .accumulate_power_map(&breakdown.unit_watts_peaked, &mut map);
-                map
-            };
-
-            // 3./4. Thermal substeps + metrics.
-            counter!("pipeline.substeps", self.cfg.substeps);
-            for _ in 0..self.cfg.substeps {
-                {
-                    let _stage = span!("thermal");
-                    self.thermal.step(&power_map, dt_sub);
-                }
-                time_s += dt_sub;
-                let frame = self.thermal.die_frame();
-
-                let _stage = span!("detect");
-                let mltd = mltd_field(&frame, self.cfg.detect.radius_m);
-                let hotspots = detect_hotspots(&frame, &self.cfg.detect, &self.cfg.severity);
-                census.record(&hotspots, &self.grid, &self.fp);
-                if tuh.is_none() && !hotspots.is_empty() {
-                    tuh = Some(time_s);
-                }
-
-                // Candidate cells clear the temperature threshold before the
-                // MLTD/severity filters; only counted when telemetry is on.
-                #[cfg(feature = "telemetry")]
-                {
-                    let candidates = frame
-                        .temps
-                        .iter()
-                        .filter(|&&t| t >= self.cfg.detect.t_threshold_c)
-                        .count();
-                    counter!("detect.candidates", candidates);
-                }
-                counter!("detect.hotspots", hotspots.len());
-                counter!("detect.severity_evals", frame.temps.len());
-
-                let peak_sev = frame
-                    .temps
-                    .iter()
-                    .zip(&mltd)
-                    .map(|(&t, &m)| self.cfg.severity.severity(t, m))
-                    .fold(0.0, f64::max);
-                let max_mltd = mltd.iter().cloned().fold(0.0, f64::max);
-
-                let unit_severity: Vec<f64> = track_idx
-                    .iter()
-                    .map(|&u| {
-                        self.grid.coverage[u]
-                            .iter()
-                            .map(|&(cell, _)| {
-                                self.cfg.severity.severity(frame.temps[cell], mltd[cell])
-                            })
-                            .fold(0.0, f64::max)
-                    })
-                    .collect();
-
-                let temp_hist = self.cfg.temp_histogram.map(|h| {
-                    let (_, counts) =
-                        hotgauge_thermal::frame::histogram(&frame.temps, h.lo, h.hi, h.bins);
-                    counts
+                    }
                 });
-
-                sev_series.push(time_s, peak_sev);
-                records.push(StepRecord {
-                    time_s,
-                    max_temp_c: frame.max(),
-                    mean_temp_c: frame.mean(),
-                    min_temp_c: frame.min(),
-                    max_mltd_c: max_mltd,
-                    peak_severity: peak_sev,
-                    hotspot_count: hotspots.len(),
-                    power_w: breakdown.total_w(),
-                    ipc,
-                    unit_severity,
-                    temp_hist,
-                });
-
-                if self.cfg.stop_at_first_hotspot && tuh.is_some() {
-                    break 'outer;
+                'outer: while instructions < cfg.max_instructions && time_s < cfg.max_time_s {
+                    if stop.load(std::sync::atomic::Ordering::Acquire) {
+                        break;
+                    }
+                    let w = produce_window(
+                        &cfg,
+                        &fp,
+                        &grid,
+                        &grid_peaked,
+                        &power,
+                        &thermal,
+                        &mut core,
+                        &mut gen,
+                        &idle_act,
+                    );
+                    instructions += w.instr_delta;
+                    counter!("pipeline.substeps", cfg.substeps);
+                    for _ in 0..cfg.substeps {
+                        if stop.load(std::sync::atomic::Ordering::Acquire) {
+                            break 'outer;
+                        }
+                        {
+                            let _stage = span!("thermal");
+                            thermal.step(&w.power_map, dt_sub);
+                        }
+                        time_s += dt_sub;
+                        let (frame, frame_max) = thermal.die_frame_with_max();
+                        let msg = SubstepMsg {
+                            frame,
+                            frame_max,
+                            time_s,
+                            power_w: w.power_w,
+                            ipc: w.ipc,
+                            instructions,
+                        };
+                        match tx.try_send(msg) {
+                            Ok(()) => {}
+                            Err(std::sync::mpsc::TrySendError::Full(m)) => {
+                                // The analysis is the bottleneck right now;
+                                // block until it frees a slot.
+                                counter!("analysis.overlap_stalls", 1);
+                                if tx.send(m).is_err() {
+                                    break 'outer;
+                                }
+                            }
+                            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => break 'outer,
+                        }
+                    }
+                    if let Some((_, ref mut counts)) = delta_counts {
+                        let h = cfg.delta_histogram.expect("spec present");
+                        accumulate_deltas(&h, counts, &w.frame_before, &thermal.die_frame());
+                    }
+                    windows += 1;
+                    if let Some(cb) = on_window {
+                        cb(WindowProgress {
+                            windows,
+                            time_s,
+                            instructions,
+                            max_instructions: cfg.max_instructions,
+                            max_time_s: cfg.max_time_s,
+                        });
+                    }
                 }
-            }
-
-            // Fig. 2: per-cell ΔT over the 200 µs window.
-            if let Some((ref e, ref mut counts)) = delta_counts {
-                let frame_after = self.thermal.die_frame();
-                let h = self.cfg.delta_histogram.expect("spec present");
-                let width = (h.hi - h.lo) / h.bins as f64;
-                for (a, b) in frame_after.temps.iter().zip(&frame_before.temps) {
-                    let d = a - b;
-                    let mut bin = ((d - h.lo) / width).floor() as isize;
-                    bin = bin.clamp(0, h.bins as isize - 1);
-                    counts[bin as usize] += 1;
-                }
-                let _ = e;
-            }
-
-            windows += 1;
-            if let Some(cb) = on_window {
-                cb(WindowProgress {
-                    windows,
-                    time_s,
-                    instructions,
-                    max_instructions: self.cfg.max_instructions,
-                    max_time_s: self.cfg.max_time_s,
-                });
-            }
+                drop(tx);
+                worker.join().expect("analysis worker panicked");
+            });
         }
 
-        let final_frame = self.thermal.die_frame();
+        let AnalysisCtx {
+            records,
+            sev_series,
+            census,
+            tuh,
+            mut last_frame,
+            last_instructions,
+            ..
+        } = ctx;
+
+        // In stop mode the producer may have solved past the stopping
+        // substep under overlap; the recorded state of that substep — not
+        // the thermal model's — is what the serial schedule reports.
+        let stopped = cfg.stop_at_first_hotspot && tuh.is_some();
+        let total_instructions = if stopped {
+            last_instructions
+        } else {
+            instructions
+        };
+        let final_frame = if stopped {
+            last_frame.take().expect("stopping substep has a frame")
+        } else {
+            thermal.die_frame()
+        };
         RunResult {
-            config: self.cfg,
+            config: cfg,
             records,
             tuh_s: tuh,
             census,
             delta_hist: delta_counts,
-            total_instructions: instructions,
+            total_instructions,
             final_frame,
             sev_series,
         }
+    }
+}
+
+/// One produced perf/power window, ready for thermal substepping.
+struct WindowOutput {
+    ipc: f64,
+    power_w: f64,
+    /// Instructions represented by the window (`ipc ×` window cycles).
+    instr_delta: u64,
+    power_map: Vec<f64>,
+    /// Die frame before the window's substeps (Fig. 2 ΔT histogram).
+    frame_before: ThermalFrame,
+}
+
+/// Runs one perf sample + power evaluation + rasterization — stages 1–3 of
+/// the per-window loop. Only the core/workload models are mutated; the
+/// thermal state is read for leakage feedback.
+#[allow(clippy::too_many_arguments)]
+fn produce_window(
+    cfg: &SimConfig,
+    fp: &Floorplan,
+    grid: &FloorplanGrid,
+    grid_peaked: &FloorplanGrid,
+    power: &PowerModel,
+    thermal: &ThermalSim,
+    core: &mut CoreSim,
+    gen: &mut WorkloadGen,
+    idle_act: &ActivityCounters,
+) -> WindowOutput {
+    // 1. Performance window (sampled).
+    let window = {
+        let _stage = span!("perf");
+        core.run_instructions(gen, cfg.sample_instrs)
+    };
+    let ipc = window.ipc();
+    let instr_delta = (ipc * CoreConfig::TIME_STEP_CYCLES as f64) as u64;
+
+    // 2. Power from activity + temperature.
+    let frame_before = thermal.die_frame();
+    let breakdown = {
+        let _stage = span!("power");
+        let temps = unit_temperatures(fp, grid, &frame_before);
+        let mut cores: Vec<CoreWindow<'_>> = (0..7)
+            .map(|_| {
+                if cfg.background_idle {
+                    CoreWindow::Active {
+                        activity: idle_act,
+                        duty: IDLE_DUTY_CYCLE,
+                    }
+                } else {
+                    CoreWindow::Parked
+                }
+            })
+            .collect();
+        cores[cfg.target_core] = CoreWindow::Active {
+            activity: &window,
+            duty: 1.0,
+        };
+        power.evaluate(&cores, &temps)
+    };
+    // 3. Rasterize unit watts onto the active-layer grid.
+    let power_map = {
+        let _stage = span!("rasterize");
+        let mut map = grid.power_map(&breakdown.unit_watts_smooth);
+        grid_peaked.accumulate_power_map(&breakdown.unit_watts_peaked, &mut map);
+        map
+    };
+    WindowOutput {
+        ipc,
+        power_w: breakdown.total_w(),
+        instr_delta,
+        power_map,
+        frame_before,
+    }
+}
+
+/// One analyzed substep handed from the producer to the analysis stage.
+struct SubstepMsg {
+    frame: ThermalFrame,
+    /// Frame max, tracked during extraction (drives the prefilter and the
+    /// record's `max_temp_c`).
+    frame_max: f64,
+    time_s: f64,
+    power_w: f64,
+    ipc: f64,
+    /// Producer instruction counter at this substep's window.
+    instructions: u64,
+}
+
+/// The analysis side of the pipeline: everything the per-substep metrics
+/// block reads and accumulates, so it can run inline or on the overlap
+/// worker with identical results.
+struct AnalysisCtx<'a> {
+    analyzer: FrameAnalyzer,
+    cfg: &'a SimConfig,
+    fp: &'a Floorplan,
+    grid: &'a FloorplanGrid,
+    track_idx: &'a [usize],
+    prefilter: bool,
+    records: Vec<StepRecord>,
+    sev_series: TimeSeries,
+    census: HotspotCensus,
+    tuh: Option<f64>,
+    /// The last analyzed frame (the stopping frame in TUH mode).
+    last_frame: Option<ThermalFrame>,
+    /// Producer instruction counter at the last analyzed substep.
+    last_instructions: u64,
+}
+
+impl AnalysisCtx<'_> {
+    /// Analyzes one substep and appends its record. Returns `false` when a
+    /// stop-at-first-hotspot run must end at this substep.
+    fn process(&mut self, msg: SubstepMsg) -> bool {
+        let SubstepMsg {
+            frame,
+            frame_max,
+            time_s,
+            power_w,
+            ipc,
+            instructions,
+        } = msg;
+        let analysis = self
+            .analyzer
+            .analyze_with_max(&frame, frame_max, self.prefilter);
+        self.census.record(&analysis.hotspots, self.grid, self.fp);
+        if self.tuh.is_none() && !analysis.hotspots.is_empty() {
+            self.tuh = Some(time_s);
+        }
+
+        // Candidate cells clear the temperature threshold before the
+        // MLTD/severity filters; only counted when telemetry is on.
+        #[cfg(feature = "telemetry")]
+        if !analysis.prefiltered {
+            let candidates = frame
+                .temps
+                .iter()
+                .filter(|&&t| t >= self.cfg.detect.t_threshold_c)
+                .count();
+            counter!("detect.candidates", candidates);
+        }
+        counter!("detect.hotspots", analysis.hotspots.len());
+
+        let unit_severity: Vec<f64> = self
+            .track_idx
+            .iter()
+            .map(|&u| {
+                let mltd = self.analyzer.mltd();
+                self.grid.coverage[u]
+                    .iter()
+                    .map(|&(cell, _)| self.cfg.severity.severity(frame.temps[cell], mltd[cell]))
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+
+        let temp_hist = self.cfg.temp_histogram.map(|h| {
+            let (_, counts) = hotgauge_thermal::frame::histogram(&frame.temps, h.lo, h.hi, h.bins);
+            counts
+        });
+
+        self.sev_series.push(time_s, analysis.peak_severity);
+        self.records.push(StepRecord {
+            time_s,
+            max_temp_c: frame_max,
+            mean_temp_c: frame.mean(),
+            min_temp_c: frame.min(),
+            max_mltd_c: analysis.max_mltd_c,
+            peak_severity: analysis.peak_severity,
+            hotspot_count: analysis.hotspots.len(),
+            power_w,
+            ipc,
+            unit_severity,
+            temp_hist,
+        });
+        self.last_instructions = instructions;
+        self.last_frame = Some(frame);
+        !(self.cfg.stop_at_first_hotspot && self.tuh.is_some())
+    }
+}
+
+/// Fig. 2: per-cell ΔT over one window, accumulated into clamped edge bins.
+fn accumulate_deltas(
+    h: &HistSpec,
+    counts: &mut [usize],
+    before: &ThermalFrame,
+    after: &ThermalFrame,
+) {
+    let width = (h.hi - h.lo) / h.bins as f64;
+    for (a, b) in after.temps.iter().zip(&before.temps) {
+        let d = a - b;
+        let mut bin = ((d - h.lo) / width).floor() as isize;
+        bin = bin.clamp(0, h.bins as isize - 1);
+        counts[bin as usize] += 1;
     }
 }
 
@@ -858,6 +1125,110 @@ mod tests {
         for (ra, rb) in a.records.iter().zip(&b.records) {
             assert_eq!(ra.max_temp_c, rb.max_temp_c);
             assert_eq!(ra.ipc, rb.ipc);
+        }
+    }
+
+    /// Full bitwise equality of two runs (every field `PartialEq` offers).
+    fn assert_same_result(a: &RunResult, b: &RunResult) {
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.tuh_s, b.tuh_s);
+        assert_eq!(a.census, b.census);
+        assert_eq!(a.sev_series, b.sev_series);
+        assert_eq!(a.final_frame, b.final_frame);
+        assert_eq!(a.total_instructions, b.total_instructions);
+        assert_eq!(a.delta_hist, b.delta_hist);
+    }
+
+    #[test]
+    fn overlapped_run_reproduces_serial_run_exactly() {
+        let mut serial = quick_cfg();
+        serial.track_units = vec!["core0.intRF".into()];
+        serial.temp_histogram = Some(HistSpec {
+            lo: 30.0,
+            hi: 130.0,
+            bins: 20,
+        });
+        serial.delta_histogram = Some(HistSpec {
+            lo: -2.0,
+            hi: 2.0,
+            bins: 16,
+        });
+        let mut overlapped = serial.clone();
+        serial.analysis = AnalysisConfig {
+            threads: 1,
+            overlap: false,
+            prefilter: true,
+        };
+        overlapped.analysis = AnalysisConfig {
+            threads: 2,
+            overlap: true,
+            prefilter: true,
+        };
+        assert_same_result(&run_sim(serial), &run_sim(overlapped));
+    }
+
+    #[test]
+    fn overlapped_stop_mode_matches_serial_including_early_stop() {
+        // Thresholds low enough that a hotspot fires mid-run, so the overlap
+        // worker must stop the producer and the result must still match the
+        // serial schedule bit for bit (frame, instruction count, records).
+        let mut serial = quick_cfg();
+        serial.stop_at_first_hotspot = true;
+        serial.detect.t_threshold_c = 48.0;
+        serial.detect.mltd_threshold_c = 0.05;
+        let mut overlapped = serial.clone();
+        serial.analysis = AnalysisConfig {
+            threads: 1,
+            overlap: false,
+            prefilter: true,
+        };
+        overlapped.analysis = AnalysisConfig {
+            threads: 2,
+            overlap: true,
+            prefilter: true,
+        };
+        let rs = run_sim(serial);
+        let ro = run_sim(overlapped);
+        assert!(
+            rs.tuh_s.is_some(),
+            "test premise: the lowered thresholds must trip a hotspot"
+        );
+        assert!(
+            rs.records.len() < 10,
+            "test premise: the stop must happen before the horizon"
+        );
+        assert_same_result(&rs, &ro);
+    }
+
+    #[test]
+    fn prefilter_preserves_tuh_and_skips_subthreshold_metrics() {
+        // At the paper's 80 °C threshold this short run never gets hot, so
+        // the prefiltered TUH run skips every substep's analysis; TUH,
+        // census, and the thermal trajectory are unaffected.
+        let mut on = quick_cfg();
+        on.stop_at_first_hotspot = true;
+        let mut off = on.clone();
+        on.analysis.prefilter = true;
+        off.analysis.prefilter = false;
+        off.analysis.overlap = false;
+        on.analysis.overlap = false;
+        let r_on = run_sim(on);
+        let r_off = run_sim(off);
+        assert_eq!(r_on.tuh_s, r_off.tuh_s);
+        assert_eq!(r_on.census, r_off.census);
+        assert_eq!(r_on.records.len(), r_off.records.len());
+        assert_eq!(r_on.final_frame, r_off.final_frame);
+        assert_eq!(r_on.total_instructions, r_off.total_instructions);
+        for (a, b) in r_on.records.iter().zip(&r_off.records) {
+            assert_eq!(a.max_temp_c, b.max_temp_c);
+            assert_eq!(a.mean_temp_c, b.mean_temp_c);
+            assert_eq!(a.power_w, b.power_w);
+            assert_eq!(a.ipc, b.ipc);
+            assert!(a.max_temp_c < 80.0, "premise: run stays sub-threshold");
+            assert_eq!(a.max_mltd_c, 0.0, "prefiltered substeps record zeros");
+            assert_eq!(a.peak_severity, 0.0);
+            assert_eq!(a.hotspot_count, 0);
+            assert_eq!(a.hotspot_count, b.hotspot_count);
         }
     }
 

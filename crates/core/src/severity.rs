@@ -70,6 +70,30 @@ impl SeverityParams {
         let raw = self.df.eval(t_c) + self.m.eval(mltd_c) * self.t.eval(t_c);
         raw.clamp(0.0, 1.0)
     }
+
+    /// True when [`SeverityParams::severity_bound`] is a valid upper bound:
+    /// all three sigmoids must be non-decreasing (`s ≥ 0`, `a ≥ 0`) and the
+    /// temperature gate `σ_T` must be non-negative everywhere (`y₀ ≥ 0`).
+    /// Holds for [`SeverityParams::cpu_default`]; callers with exotic
+    /// parameters fall back to evaluating every cell.
+    pub fn bound_usable(&self) -> bool {
+        let nondecreasing = |s: &Sigmoid| s.s >= 0.0 && s.a >= 0.0;
+        nondecreasing(&self.df)
+            && nondecreasing(&self.m)
+            && nondecreasing(&self.t)
+            && self.t.y0 >= 0.0
+    }
+
+    /// Upper bound on `severity(t, m)` over any set of points with
+    /// `t ≤ max_t` and `0 ≤ m ≤ max_m`, valid whenever
+    /// [`SeverityParams::bound_usable`] holds: `σ_df` is bounded by its value
+    /// at `max_t`, and the timing product by `max(σ_M(max_m), 0) · σ_T(max_t)`
+    /// (when `σ_M(m) ≤ 0` the product is ≤ 0; otherwise both factors are
+    /// non-negative and individually maximized at the extremes).
+    pub fn severity_bound(&self, max_t: f64, max_m: f64) -> f64 {
+        let raw = self.df.eval(max_t) + self.m.eval(max_m).max(0.0) * self.t.eval(max_t);
+        raw.clamp(0.0, 1.0)
+    }
 }
 
 /// Peak severity over a whole frame given per-cell temperatures and the
@@ -168,6 +192,26 @@ mod tests {
         let hot = p.severity(95.0, 40.0);
         assert!(cold < hot);
         assert!(cold < 0.6);
+    }
+
+    #[test]
+    fn severity_bound_dominates_pointwise_severity() {
+        let p = SeverityParams::cpu_default();
+        assert!(p.bound_usable());
+        for max_t in [45.0, 70.0, 85.0, 110.0] {
+            for max_m in [0.0, 5.0, 20.0, 45.0] {
+                let bound = p.severity_bound(max_t, max_m);
+                for t in (0..=10).map(|i| max_t - 6.0 * i as f64) {
+                    for m in (0..=10).map(|i| max_m * i as f64 / 10.0) {
+                        let s = p.severity(t, m);
+                        assert!(
+                            s <= bound + 1e-12,
+                            "sev({t},{m}) = {s} exceeds bound({max_t},{max_m}) = {bound}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::idle::{idle_profile, IDLE_DUTY_CYCLE};
 use hotgauge_workloads::spec2006;
 
-use crate::mltd::mltd_field;
+use crate::analysis::FrameAnalyzer;
 use crate::pipeline::{build_floorplan, unit_temperatures, SimConfig, UNIT_POWER_CONCENTRATION};
 use crate::series::TimeSeries;
 
@@ -148,6 +148,9 @@ pub fn run_throttled(cfg: &SimConfig, policy: Option<ThrottlePolicy>) -> Throttl
     }
 
     let window_s = cfg.window_seconds();
+    // Fused analyzer for the per-window peak severity (same pruned exact
+    // sweep as the main pipeline; bit-identical to the full-grid fold).
+    let mut analyzer = FrameAnalyzer::new(cfg.detect, cfg.severity, cfg.analysis.threads);
     let mut sev_series = TimeSeries::default();
     let mut time_s = 0.0;
     let mut instructions = 0u64;
@@ -202,15 +205,9 @@ pub fn run_throttled(cfg: &SimConfig, policy: Option<ThrottlePolicy>) -> Throttl
 
         thermal.step(&power_map, window_s);
         time_s += window_s;
-        let frame = thermal.die_frame();
-        max_temp = max_temp.max(frame.max());
-        let mltd = mltd_field(&frame, cfg.detect.radius_m);
-        let peak_sev = frame
-            .temps
-            .iter()
-            .zip(&mltd)
-            .map(|(&t, &m)| cfg.severity.severity(t, m))
-            .fold(0.0, f64::max);
+        let (frame, frame_max) = thermal.die_frame_with_max();
+        max_temp = max_temp.max(frame_max);
+        let peak_sev = analyzer.analyze(&frame).peak_severity;
         sev_series.push(time_s, peak_sev);
 
         // Control decision (takes effect after the sensor latency).

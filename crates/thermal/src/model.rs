@@ -260,15 +260,26 @@ impl ThermalModel {
     /// Extracts the die-region temperatures of the active layer from a
     /// full-domain state vector.
     pub fn die_frame_of(&self, state: &[f64]) -> ThermalFrame {
+        self.die_frame_of_with_max(state).0
+    }
+
+    /// [`ThermalModel::die_frame_of`] plus the frame's maximum temperature,
+    /// folded during extraction (same `fold(NEG_INFINITY, f64::max)` as
+    /// [`ThermalFrame::max`]) so callers that need the peak — e.g. the
+    /// pipeline's sub-threshold analysis prefilter — avoid a second pass.
+    pub fn die_frame_of_with_max(&self, state: &[f64]) -> (ThermalFrame, f64) {
         let s = &self.stack;
         let b = s.border_cells;
         let mut temps = Vec::with_capacity(s.nx_die * s.ny_die);
+        let mut max = f64::NEG_INFINITY;
         for dy in 0..s.ny_die {
             for dx in 0..s.nx_die {
-                temps.push(state[self.node_index(self.active_level, dy + b, dx + b)]);
+                let t = state[self.node_index(self.active_level, dy + b, dx + b)];
+                max = max.max(t);
+                temps.push(t);
             }
         }
-        ThermalFrame::new(s.nx_die, s.ny_die, s.cell, temps)
+        (ThermalFrame::new(s.nx_die, s.ny_die, s.cell, temps), max)
     }
 }
 
@@ -500,6 +511,12 @@ impl ThermalSim {
         self.model.die_frame_of(&self.t)
     }
 
+    /// [`ThermalSim::die_frame`] plus the frame's maximum temperature,
+    /// tracked during extraction (no second pass over the grid).
+    pub fn die_frame_with_max(&self) -> (ThermalFrame, f64) {
+        self.model.die_frame_of_with_max(&self.t)
+    }
+
     /// Total thermal energy stored relative to a reference temperature, J.
     pub fn stored_energy(&self, ref_c: f64) -> f64 {
         self.t
@@ -533,6 +550,20 @@ mod tests {
             h_top: 2000.0,
             ambient_c: 40.0,
         }
+    }
+
+    #[test]
+    fn die_frame_with_max_matches_two_pass_extraction() {
+        let s = stack_1d(8, 6);
+        let model = ThermalModel::new(s);
+        // A non-uniform state: make the tracked max land mid-grid.
+        let mut state = vec![40.0; model.node_count()];
+        for (i, v) in state.iter_mut().enumerate() {
+            *v += (i % 13) as f64 * 0.7;
+        }
+        let (frame, max) = model.die_frame_of_with_max(&state);
+        assert_eq!(frame, model.die_frame_of(&state));
+        assert_eq!(max, frame.max());
     }
 
     #[test]

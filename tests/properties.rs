@@ -3,9 +3,12 @@
 
 use proptest::prelude::*;
 
+use hotgauge_core::analysis::{AnalysisConfig, FrameAnalyzer};
+use hotgauge_core::detect::{detect_hotspots, detect_hotspots_naive, HotspotParams};
 use hotgauge_core::mltd::{mltd_field, mltd_field_naive};
+use hotgauge_core::pipeline::{run_sim, SimConfig};
 use hotgauge_core::series::{percentile, rms, BoxStats};
-use hotgauge_core::severity::SeverityParams;
+use hotgauge_core::severity::{peak_severity, SeverityParams};
 use hotgauge_floorplan::grid::FloorplanGrid;
 use hotgauge_floorplan::skylake::SkylakeProxy;
 use hotgauge_floorplan::tech::TechNode;
@@ -14,6 +17,7 @@ use hotgauge_thermal::frame::ThermalFrame;
 use hotgauge_thermal::model::ThermalModel;
 use hotgauge_thermal::solver::CgConfig;
 use hotgauge_thermal::stack::StackDescription;
+use hotgauge_thermal::warmup::Warmup;
 
 fn arb_node() -> impl Strategy<Value = TechNode> {
     prop_oneof![
@@ -26,6 +30,21 @@ fn arb_node() -> impl Strategy<Value = TechNode> {
 
 fn arb_unit_kind() -> impl Strategy<Value = UnitKind> {
     prop::sample::select(UnitKind::CORE_KINDS.to_vec())
+}
+
+/// Deterministic xorshift temperature field `base + U[0, amp)`, so fields
+/// with `base < 80 < base + amp` straddle the paper's `T_th`.
+fn random_frame(nx: usize, ny: usize, seed: u64, base: f64, amp: f64) -> ThermalFrame {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let temps = (0..nx * ny)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            base + (x % 10_000) as f64 / 10_000.0 * amp
+        })
+        .collect();
+    ThermalFrame::new(nx, ny, 100e-6, temps)
 }
 
 proptest! {
@@ -180,5 +199,138 @@ proptest! {
         let max = data.iter().cloned().fold(0.0f64, f64::max);
         prop_assert!(r >= mean - 1e-12, "RMS {} below mean {}", r, mean);
         prop_assert!(r <= max + 1e-12, "RMS {} above max {}", r, max);
+    }
+
+    #[test]
+    fn fused_analysis_is_bit_identical_to_references(
+        nx in 8usize..40,
+        ny in 8usize..40,
+        r_cells in 0usize..6,
+        seed in 0u64..10_000,
+        base in 55.0f64..79.0,
+        amp in 2.0f64..60.0,
+    ) {
+        // Fields straddle 80 °C whenever base + amp crosses it, so both
+        // prefilter branches and partially-hot frames are exercised.
+        let frame = random_frame(nx, ny, seed, base, amp);
+        let radius = r_cells as f64 * 100e-6;
+        let params = HotspotParams { radius_m: radius, ..HotspotParams::paper_default() };
+        let sev = SeverityParams::cpu_default();
+        let mut az = FrameAnalyzer::new(params, sev, 1);
+        let a = az.analyze(&frame);
+
+        // MLTD field: bitwise against both the deque reference and the
+        // naive disc scan (all three take the min over the same multiset).
+        let fast = mltd_field(&frame, radius);
+        let naive = mltd_field_naive(&frame, radius);
+        prop_assert_eq!(az.mltd(), &fast[..]);
+        for (i, (f, n)) in az.mltd().iter().zip(&naive).enumerate() {
+            prop_assert!(
+                f.to_bits() == n.to_bits(),
+                "cell {}: fused {} vs naive {}", i, f, n
+            );
+        }
+
+        // Hotspots: bitwise against the candidate detector, and every fused
+        // hotspot appears bit-for-bit in the all-pixel naive sweep (which is
+        // a superset: it does not apply the local-maximum candidate filter).
+        let reference = detect_hotspots(&frame, &params, &sev);
+        prop_assert_eq!(&a.hotspots, &reference);
+        let naive_spots = detect_hotspots_naive(&frame, &params, &sev);
+        for h in &a.hotspots {
+            prop_assert!(
+                naive_spots.iter().any(|n| n.ix == h.ix
+                    && n.iy == h.iy
+                    && n.temp_c.to_bits() == h.temp_c.to_bits()
+                    && n.mltd_c.to_bits() == h.mltd_c.to_bits()
+                    && n.severity.to_bits() == h.severity.to_bits()),
+                "fused hotspot at ({}, {}) missing from the naive sweep", h.ix, h.iy
+            );
+        }
+
+        // Folds: bitwise against the unfused full-grid reductions.
+        let max_m = fast.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert_eq!(a.max_mltd_c.to_bits(), max_m.to_bits());
+        let ps = peak_severity(&sev, &frame.temps, &fast);
+        prop_assert_eq!(a.peak_severity.to_bits(), ps.to_bits());
+    }
+
+    #[test]
+    fn sharded_analysis_is_bit_identical_to_serial(
+        seed in 0u64..10_000,
+        threads in 2usize..5,
+        base in 60.0f64..85.0,
+    ) {
+        // 110×96 = 10 560 cells clears the sharding floor, so an explicit
+        // thread request genuinely splits the rows even on small machines.
+        let frame = random_frame(110, 96, seed, base, 40.0);
+        let params = HotspotParams::paper_default();
+        let sev = SeverityParams::cpu_default();
+        let mut serial = FrameAnalyzer::new(params, sev, 1);
+        let mut sharded = FrameAnalyzer::new(params, sev, threads);
+        let a = serial.analyze(&frame);
+        let b = sharded.analyze(&frame);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(serial.mltd(), sharded.mltd());
+    }
+
+    #[test]
+    fn prefilter_is_exact_for_hotspot_detection(
+        nx in 8usize..30,
+        ny in 8usize..30,
+        r_cells in 0usize..5,
+        seed in 0u64..10_000,
+        base in 50.0f64..90.0,
+    ) {
+        let frame = random_frame(nx, ny, seed, base, 25.0);
+        let frame_max = frame.temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let params = HotspotParams {
+            radius_m: r_cells as f64 * 100e-6,
+            ..HotspotParams::paper_default()
+        };
+        let sev = SeverityParams::cpu_default();
+        let mut az = FrameAnalyzer::new(params, sev, 1);
+        let a = az.analyze_with_max(&frame, frame_max, true);
+        if a.prefiltered {
+            // Skipping is only legal when Definition 1 guarantees emptiness.
+            prop_assert!(frame_max <= params.t_threshold_c);
+            prop_assert!(a.hotspots.is_empty());
+            prop_assert!(detect_hotspots(&frame, &params, &sev).is_empty());
+        } else {
+            prop_assert!(frame_max > params.t_threshold_c);
+            let mut full = FrameAnalyzer::new(params, sev, 1);
+            prop_assert_eq!(a, full.analyze(&frame));
+        }
+    }
+}
+
+proptest! {
+    // Run-level parity is expensive (two full co-simulations per case).
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn overlapped_cosim_reproduces_serial_run_exactly(
+        seed in 0u64..64,
+        bench in prop::sample::select(vec!["hmmer", "povray", "gcc"]),
+    ) {
+        let mut serial = SimConfig::new(TechNode::N7, bench);
+        serial.cell_um = 400.0;
+        serial.border_mm = 1.0;
+        serial.substeps = 1;
+        serial.sample_instrs = 4_000;
+        serial.max_time_s = 1e-3;
+        serial.seed = seed;
+        serial.warmup = Warmup::Cold;
+        serial.analysis = AnalysisConfig { threads: 1, overlap: false, prefilter: true };
+        let mut overlapped = serial.clone();
+        overlapped.analysis = AnalysisConfig { threads: 2, overlap: true, prefilter: true };
+        let a = run_sim(serial);
+        let b = run_sim(overlapped);
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(a.tuh_s, b.tuh_s);
+        prop_assert_eq!(&a.census, &b.census);
+        prop_assert_eq!(&a.sev_series, &b.sev_series);
+        prop_assert_eq!(&a.final_frame, &b.final_frame);
+        prop_assert_eq!(a.total_instructions, b.total_instructions);
     }
 }
