@@ -213,7 +213,10 @@ fn main() {
 
     let horizon = cli.cfg.max_time_s;
     let window_s = cli.cfg.window_seconds();
-    let sim = CoSimulation::new(cli.cfg);
+    let sim = match CoSimulation::try_new(cli.cfg) {
+        Ok(sim) => sim,
+        Err(e) => fail(e),
+    };
     let r = if cli.progress {
         let total = (horizon / window_s).ceil().max(1.0) as u64;
         let printer = ProgressPrinter::new("window", total);
@@ -254,6 +257,9 @@ fn main() {
         if let Some(n) = cli.threads {
             manifest = manifest.with_config("threads", n);
         }
+        manifest = manifest
+            .with_config("lint_policy_version", hotgauge_lint::POLICY_VERSION)
+            .with_config("lint_rule_count", hotgauge_lint::RULE_COUNT);
         manifest.set_results(&summary);
         manifest.capture_metrics();
         if path == "-" {

@@ -133,6 +133,11 @@ impl BinArgs {
         if let Some(n) = self.threads {
             manifest = manifest.with_config("threads", n);
         }
+        // Record the static-analysis policy the binary was built under, so
+        // sweep artifacts are auditable against the rule set of their day.
+        manifest = manifest
+            .with_config("lint_policy_version", hotgauge_lint::POLICY_VERSION)
+            .with_config("lint_rule_count", hotgauge_lint::RULE_COUNT);
         manifest.set_results(results);
         manifest.capture_metrics();
         if path == "-" {

@@ -285,6 +285,7 @@ impl FrameAnalyzer {
                 }
                 handles
                     .into_iter()
+                    // hotgauge-lint: allow(L001, "re-raises a shard panic on the caller; swallowing it would merge a partial analysis")
                     .map(|h| h.join().expect("analysis shard panicked"))
                     .collect()
             })
@@ -463,11 +464,17 @@ fn analyze_rows(
         // Exact peak severity with row pruning: the bound dominates every
         // cell in the row, so rows that cannot beat the running peak skip
         // the exp-heavy sweep without changing the final maximum.
-        let must_scan =
-            !bound_usable || severity.severity_bound(row_max_t, row_max_m) > out.peak_sev;
+        let row_bound = bound_usable.then(|| severity.severity_bound(row_max_t, row_max_m));
+        let must_scan = row_bound.is_none_or(|b| b > out.peak_sev);
         if must_scan {
             for ix in 0..nx {
                 let s = severity.severity(trow[ix], mrow[ix]);
+                // The pruning is only sound if the row bound dominates every
+                // cell severity in the row; check it where the lint cannot.
+                debug_assert!(
+                    row_bound.is_none_or(|b| s <= b + 1e-12),
+                    "severity_bound {row_bound:?} does not dominate severity {s} in row {iy}",
+                );
                 if s > out.peak_sev {
                     out.peak_sev = s;
                 }

@@ -14,6 +14,7 @@ use hotgauge_thermal::frame::ThermalFrame;
 
 use crate::mltd::{mltd_field, mltd_field_naive};
 use crate::severity::SeverityParams;
+use crate::units::{self, Celsius, Microns};
 
 /// Thresholds of Definition 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,12 +29,19 @@ pub struct HotspotParams {
 
 impl HotspotParams {
     /// The paper's case-study values: `T_th` = 80 °C, `MLTD_th` = 25 °C,
-    /// `r` = 1 mm (§III-E).
+    /// `r` = 1 mm (§III-E), spelled via the [`units`] constants.
     pub fn paper_default() -> Self {
+        Self::with_thresholds(units::T_TH, units::MLTD_TH, units::HOTSPOT_RADIUS)
+    }
+
+    /// Build params from unit-carrying thresholds: temperatures in
+    /// [`Celsius`], the neighborhood radius in [`Microns`]. This is the
+    /// boundary where units are shed into the raw-`f64` detector interior.
+    pub fn with_thresholds(t_th: Celsius, mltd_th: Celsius, radius: Microns) -> Self {
         Self {
-            t_threshold_c: 80.0,
-            mltd_threshold_c: 25.0,
-            radius_m: 1e-3,
+            t_threshold_c: t_th.deg_c(),
+            mltd_threshold_c: mltd_th.deg_c(),
+            radius_m: radius.to_meters(),
         }
     }
 }

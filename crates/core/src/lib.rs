@@ -39,6 +39,9 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod analysis;
 pub mod detect;
 pub mod experiments;
@@ -49,6 +52,7 @@ pub mod report;
 pub mod series;
 pub mod severity;
 pub mod throttle;
+pub mod units;
 
 pub use crate::analysis::{AnalysisConfig, FrameAnalysis, FrameAnalyzer};
 pub use crate::detect::{
@@ -60,6 +64,7 @@ pub use crate::pipeline::{run_many, run_sim, RunResult, SimConfig, StepRecord};
 pub use crate::series::{percentile, rms, BoxStats, TimeSeries};
 pub use crate::severity::{peak_severity, SeverityParams, Sigmoid};
 pub use crate::throttle::{run_throttled, ThrottlePolicy, ThrottledRunResult};
+pub use crate::units::{Celsius, Microns};
 
 /// Convenient glob import of the most used types.
 pub mod prelude {

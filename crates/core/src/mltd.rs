@@ -132,6 +132,7 @@ pub(crate) fn rows_window_min_into(
         // Classic monotonic deque over windows [i-w, i+w].
         for i in 0..nx + w {
             if i < nx {
+                // hotgauge-lint: allow(L001, "deque.len() > head >= 0 in the loop guard implies the deque is non-empty, so last() always holds a value; this is the monotonic-deque invariant on the hot path")
                 while deque.len() > head && row[*deque.last().unwrap()] >= row[i] {
                     deque.pop();
                 }
@@ -152,6 +153,14 @@ pub(crate) fn rows_window_min_into(
 /// Maximum MLTD over the frame.
 pub fn max_mltd(frame: &ThermalFrame, radius_m: f64) -> f64 {
     mltd_field(frame, radius_m).into_iter().fold(0.0, f64::max)
+}
+
+/// Unit-typed MLTD boundary: the neighborhood radius arrives as
+/// [`Microns`](crate::units::Microns) and is shed into the raw meters the
+/// sliding-window interior uses. Equivalent to
+/// `mltd_field(frame, radius.to_meters())`.
+pub fn mltd_field_radius(frame: &ThermalFrame, radius: crate::units::Microns) -> Vec<f64> {
+    mltd_field(frame, radius.to_meters())
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use hotgauge_telemetry::{counter, span};
+use hotgauge_telemetry::{counter, if_telemetry, span};
 
 use hotgauge_floorplan::floorplan::Floorplan;
 use hotgauge_floorplan::grid::FloorplanGrid;
@@ -40,6 +40,7 @@ use crate::detect::HotspotParams;
 use crate::locations::HotspotCensus;
 use crate::series::TimeSeries;
 use crate::severity::SeverityParams;
+use crate::units;
 
 /// Intra-unit power concentration used by the pipeline: 80 % of a unit's
 /// power dissipates in a centered sub-rectangle covering 15 % of its area
@@ -314,9 +315,49 @@ pub fn run_many_with(
     });
     results
         .into_iter()
+        // hotgauge-lint: allow(L001, "the scoped workers drain indices 0..n before the scope joins, so every slot is Some; a panic in a worker already propagated at scope exit")
         .map(|r| r.expect("every run completed"))
         .collect()
 }
+
+/// A rejected [`SimConfig`]. These are the user-input-reachable failure
+/// modes (CLI flags, sweep manifests); bench bins map them to exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The benchmark name is neither `idle` nor a known SPEC2006 proxy.
+    UnknownBenchmark(String),
+    /// `target_core` does not exist on the 7-core Skylake proxy.
+    TargetCoreOutOfRange(usize),
+    /// `substeps` must be at least 1.
+    ZeroSubsteps,
+    /// A `track_units` entry does not name a floorplan unit.
+    UnknownTrackedUnit(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnknownBenchmark(name) => {
+                write!(
+                    f,
+                    "unknown benchmark `{name}` (not `idle` or a SPEC2006 proxy)"
+                )
+            }
+            ConfigError::TargetCoreOutOfRange(core) => {
+                write!(
+                    f,
+                    "target core {core} out of range (the proxy has cores 0..7)"
+                )
+            }
+            ConfigError::ZeroSubsteps => write!(f, "substeps must be >= 1"),
+            ConfigError::UnknownTrackedUnit(name) => {
+                write!(f, "tracked unit `{name}` is not a floorplan unit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The assembled co-simulation state. `Clone` so construction (floorplan,
 /// power model, warm-up, solver factorization) can be paid once and the
@@ -335,18 +376,51 @@ pub struct CoSimulation {
     idle_act: ActivityCounters,
 }
 
+impl std::fmt::Debug for CoSimulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoSimulation")
+            .field("benchmark", &self.cfg.benchmark)
+            .field("node", &self.cfg.node)
+            .field("target_core", &self.cfg.target_core)
+            .field("units", &self.fp.units.len())
+            .field("grid", &(self.grid.nx, self.grid.ny))
+            .finish_non_exhaustive()
+    }
+}
+
 impl CoSimulation {
     /// Builds every model of the toolchain for the given configuration.
     ///
     /// # Panics
     ///
     /// Panics if the benchmark name is unknown or the configuration is
-    /// inconsistent (e.g. target core out of range).
+    /// inconsistent (e.g. target core out of range). User-input paths
+    /// (CLI, manifests) should call [`CoSimulation::try_new`] instead.
     pub fn new(cfg: SimConfig) -> Self {
-        assert!(cfg.target_core < 7, "target core out of range");
-        assert!(cfg.substeps >= 1);
+        // hotgauge-lint: allow(L001, "programmatic constructor for configs built in code; the CLI/manifest path goes through try_new and exits 2 on bad input")
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid simulation config: {e}"))
+    }
+
+    /// Validates the configuration and builds every model of the toolchain,
+    /// returning a typed [`ConfigError`] on user-reachable misconfiguration
+    /// instead of panicking.
+    pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        if cfg.target_core >= 7 {
+            return Err(ConfigError::TargetCoreOutOfRange(cfg.target_core));
+        }
+        if cfg.substeps < 1 {
+            return Err(ConfigError::ZeroSubsteps);
+        }
+        if cfg.benchmark != "idle" && spec2006::profile(&cfg.benchmark).is_none() {
+            return Err(ConfigError::UnknownBenchmark(cfg.benchmark.clone()));
+        }
 
         let fp = build_floorplan(&cfg);
+        for name in &cfg.track_units {
+            if fp.unit_index_by_name(name).is_none() {
+                return Err(ConfigError::UnknownTrackedUnit(name.clone()));
+            }
+        }
         // Two rasterizations: leakage + clock power spreads uniformly over
         // each unit, while utilization-driven switching concentrates in the
         // unit's hot structures (see `rasterize_with_concentration`).
@@ -369,7 +443,7 @@ impl CoSimulation {
             grid.nx,
             grid.ny,
             cfg.cell_um,
-            cfg.border_mm * 1e-3,
+            cfg.border_mm * units::M_PER_MM,
         );
         let model = ThermalModel::new(stack);
 
@@ -378,6 +452,7 @@ impl CoSimulation {
             idle_profile()
         } else {
             spec2006::profile(&cfg.benchmark)
+                // hotgauge-lint: allow(L001, "benchmark name validated at the top of try_new; a miss here is a bug, not user input")
                 .unwrap_or_else(|| panic!("unknown benchmark {}", cfg.benchmark))
         };
         let seed = cfg.seed
@@ -409,7 +484,7 @@ impl CoSimulation {
         // factorization cost lands in construction rather than the first step.
         thermal.prepare(cfg.window_seconds() / cfg.substeps as f64);
 
-        Self {
+        Ok(Self {
             cfg,
             fp,
             grid,
@@ -419,7 +494,7 @@ impl CoSimulation {
             core,
             gen,
             idle_act,
-        }
+        })
     }
 
     /// The floorplan being simulated.
@@ -485,6 +560,7 @@ impl CoSimulation {
             .map(|n| {
                 self.fp
                     .unit_index_by_name(n)
+                    // hotgauge-lint: allow(L001, "track_units validated against the floorplan in try_new; a miss here is a bug, not user input")
                     .unwrap_or_else(|| panic!("unknown tracked unit {n}"))
             })
             .collect();
@@ -533,9 +609,12 @@ impl CoSimulation {
 
         let mut time_s = 0.0;
         let mut instructions: u64 = 0;
+        // Carry the histogram spec alongside its accumulators so the window
+        // loops never have to re-fetch it from the config (which would need
+        // an unwrap of an Option already matched here).
         let mut delta_counts = cfg
             .delta_histogram
-            .map(|h| (edges(&h), vec![0usize; h.bins]));
+            .map(|h| (h, edges(&h), vec![0usize; h.bins]));
         let mut windows: u64 = 0;
 
         if !overlap {
@@ -575,9 +654,8 @@ impl CoSimulation {
                         break 'outer;
                     }
                 }
-                if let Some((_, ref mut counts)) = delta_counts {
-                    let h = cfg.delta_histogram.expect("spec present");
-                    accumulate_deltas(&h, counts, &w.frame_before, &thermal.die_frame());
+                if let Some((ref h, _, ref mut counts)) = delta_counts {
+                    accumulate_deltas(h, counts, &w.frame_before, &thermal.die_frame());
                 }
                 windows += 1;
                 if let Some(cb) = on_window {
@@ -658,9 +736,8 @@ impl CoSimulation {
                             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => break 'outer,
                         }
                     }
-                    if let Some((_, ref mut counts)) = delta_counts {
-                        let h = cfg.delta_histogram.expect("spec present");
-                        accumulate_deltas(&h, counts, &w.frame_before, &thermal.die_frame());
+                    if let Some((ref h, _, ref mut counts)) = delta_counts {
+                        accumulate_deltas(h, counts, &w.frame_before, &thermal.die_frame());
                     }
                     windows += 1;
                     if let Some(cb) = on_window {
@@ -674,6 +751,7 @@ impl CoSimulation {
                     }
                 }
                 drop(tx);
+                // hotgauge-lint: allow(L001, "re-raises a worker panic on the producer thread; swallowing it would return a silently truncated RunResult")
                 worker.join().expect("analysis worker panicked");
             });
         }
@@ -698,6 +776,7 @@ impl CoSimulation {
             instructions
         };
         let final_frame = if stopped {
+            // hotgauge-lint: allow(L001, "tuh is only set by AnalysisCtx::process, which stores last_frame in the same match arm before returning false")
             last_frame.take().expect("stopping substep has a frame")
         } else {
             thermal.die_frame()
@@ -707,7 +786,7 @@ impl CoSimulation {
             records,
             tuh_s: tuh,
             census,
-            delta_hist: delta_counts,
+            delta_hist: delta_counts.map(|(_, e, c)| (e, c)),
             total_instructions,
             final_frame,
             sev_series,
@@ -843,14 +922,15 @@ impl AnalysisCtx<'_> {
 
         // Candidate cells clear the temperature threshold before the
         // MLTD/severity filters; only counted when telemetry is on.
-        #[cfg(feature = "telemetry")]
-        if !analysis.prefiltered {
-            let candidates = frame
-                .temps
-                .iter()
-                .filter(|&&t| t >= self.cfg.detect.t_threshold_c)
-                .count();
-            counter!("detect.candidates", candidates);
+        if_telemetry! {
+            if !analysis.prefiltered {
+                let candidates = frame
+                    .temps
+                    .iter()
+                    .filter(|&&t| t >= self.cfg.detect.t_threshold_c)
+                    .count();
+                counter!("detect.candidates", candidates);
+            }
         }
         counter!("detect.hotspots", analysis.hotspots.len());
 

@@ -76,6 +76,7 @@ impl TextTable {
 
 /// Formats a duration in seconds with a sensible unit (µs/ms/s).
 pub fn fmt_time(seconds: f64) -> String {
+    // hotgauge-lint: allow(L005, "1e-3 here is seconds (unit-format breakpoint), not a length; L005's literal list cannot see dimensions")
     if seconds < 1e-3 {
         format!("{:.1}us", seconds * 1e6)
     } else if seconds < 1.0 {
@@ -95,6 +96,7 @@ pub fn fmt_tuh(tuh: Option<f64>, cap_s: f64) -> String {
 
 /// Serializes any result to pretty JSON (for EXPERIMENTS.md artifacts).
 pub fn to_json<T: Serialize>(value: &T) -> String {
+    // hotgauge-lint: allow(L001, "all report types derive Serialize with no fallible custom impls; a failure is a programming error")
     serde_json::to_string_pretty(value).expect("results are serializable")
 }
 

@@ -49,6 +49,7 @@ impl BoxStats {
     pub fn of(data: &[f64]) -> Self {
         Self {
             min: percentile(data, 0.0),
+            // hotgauge-lint: allow(L005, "25.0 is a percentile rank, not a temperature; L005's literal list cannot see dimensions")
             q1: percentile(data, 25.0),
             median: percentile(data, 50.0),
             q3: percentile(data, 75.0),

@@ -108,7 +108,7 @@ pub fn run_throttled(cfg: &SimConfig, policy: Option<ThrottlePolicy>) -> Throttl
         grid.nx,
         grid.ny,
         cfg.cell_um,
-        cfg.border_mm * 1e-3,
+        cfg.border_mm * crate::units::M_PER_MM,
     );
     let model = ThermalModel::new(stack);
     let ambient = model.stack().ambient_c;
@@ -116,6 +116,7 @@ pub fn run_throttled(cfg: &SimConfig, policy: Option<ThrottlePolicy>) -> Throttl
     thermal.cg.tolerance = 1e-6;
 
     let profile = spec2006::profile(&cfg.benchmark)
+        // hotgauge-lint: allow(L001, "throttle runs take benchmarks validated at the CLI/SimConfig boundary; a miss here is a bug, not user input")
         .unwrap_or_else(|| panic!("unknown benchmark {}", cfg.benchmark));
     let mut gen = WorkloadGen::new(profile, cfg.seed);
     let mut core = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
@@ -172,6 +173,7 @@ pub fn run_throttled(cfg: &SimConfig, policy: Option<ThrottlePolicy>) -> Throttl
 
         let (power_model, freq_scale) = match (&power_throttled, engaged) {
             (Some(pm), true) => {
+                // hotgauge-lint: allow(L001, "power_throttled is Some only when a policy was supplied; the two Options are built from the same match")
                 let p = policy.expect("policy exists with model");
                 (pm, p.throttled_freq_ghz / nominal.freq_ghz)
             }

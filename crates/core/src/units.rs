@@ -1,0 +1,106 @@
+//! Unit-carrying newtypes and the named physical constants of the paper.
+//!
+//! The reproduction's thermal quantities are °C and its geometry is meters
+//! (with floorplans authored in µm); Definition 1's `T_th = 80 °C`,
+//! `MLTD_th = 25 °C`, `r = 1 mm` are meaningless if a Kelvin or a cell
+//! index leaks in. This module is the single place raw unit literals are
+//! spelled (enforced by hotgauge-lint rule L005): everything else refers to
+//! these constants or passes [`Celsius`] / [`Microns`] through the
+//! severity/detect/mltd API boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// A temperature in degrees Celsius.
+///
+/// Braced rather than a tuple newtype so the vendored serde derive shim can
+/// handle it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Celsius {
+    /// The value in °C.
+    pub deg_c: f64,
+}
+
+impl Celsius {
+    /// Wrap a °C value.
+    pub const fn new(deg_c: f64) -> Celsius {
+        Celsius { deg_c }
+    }
+
+    /// The raw °C value.
+    pub const fn deg_c(self) -> f64 {
+        self.deg_c
+    }
+}
+
+/// A length in micrometers (the floorplan authoring unit).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Microns {
+    /// The value in µm.
+    pub um: f64,
+}
+
+impl Microns {
+    /// Wrap a µm value.
+    pub const fn new(um: f64) -> Microns {
+        Microns { um }
+    }
+
+    /// The raw µm value.
+    pub const fn um(self) -> f64 {
+        self.um
+    }
+
+    /// Convert to meters (the solver/detector unit). Implemented as a
+    /// division by the exactly-representable 1e6 so the result is correctly
+    /// rounded: `Microns::new(1000.0).to_meters()` is bit-identical to the
+    /// literal `1e-3` (multiplying by a rounded 1e-6 would be one ulp off,
+    /// which the bitwise parity tests would see).
+    pub const fn to_meters(self) -> f64 {
+        self.um / UM_PER_M
+    }
+}
+
+/// Micrometers per meter (exactly representable, see [`Microns::to_meters`]).
+pub const UM_PER_M: f64 = 1e6;
+
+/// Meters per millimeter.
+pub const M_PER_MM: f64 = 1e-3;
+
+/// Definition 1 absolute temperature threshold `T_th` (§III-E).
+pub const T_TH: Celsius = Celsius::new(80.0);
+
+/// Definition 1 MLTD threshold `MLTD_th` (§III-E).
+pub const MLTD_TH: Celsius = Celsius::new(25.0);
+
+/// Definition 1 neighborhood radius `r` = 1 mm (§III-E).
+pub const HOTSPOT_RADIUS: Microns = Microns::new(1000.0);
+
+/// Midpoint of the device-failure sigmoid `σ_df` (Fig. 7): 115 °C.
+pub const SIGMOID_DF_MIDPOINT: Celsius = Celsius::new(115.0);
+
+/// Midpoint of the MLTD marginal sigmoid `σ_M` (Fig. 7): 15 °C.
+pub const SIGMOID_MLTD_MIDPOINT: Celsius = Celsius::new(15.0);
+
+/// Midpoint of the temperature marginal sigmoid `σ_T` (Fig. 7): 60 °C.
+pub const SIGMOID_TEMP_MIDPOINT: Celsius = Celsius::new(60.0);
+
+/// Uniform unit temperature used by the C_dyn validation experiments: 60 °C.
+pub const VALIDATION_UNIT_TEMP: Celsius = Celsius::new(60.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microns_convert_to_meters() {
+        assert_eq!(HOTSPOT_RADIUS.to_meters(), 1e-3);
+        assert_eq!(Microns::new(100.0).to_meters(), 100e-6);
+    }
+
+    #[test]
+    fn definition1_constants_match_the_paper() {
+        assert_eq!(T_TH.deg_c(), 80.0);
+        assert_eq!(MLTD_TH.deg_c(), 25.0);
+        assert_eq!(HOTSPOT_RADIUS.um(), 1000.0);
+    }
+}

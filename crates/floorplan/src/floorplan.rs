@@ -30,6 +30,7 @@ impl Floorplan {
             units,
         };
         fp.validate()
+            // hotgauge-lint: allow(L001, "this constructor takes programmatic geometry; user-supplied floorplans go through from_json, which returns the validation error")
             .unwrap_or_else(|e| panic!("invalid floorplan: {e}"));
         fp
     }
@@ -113,6 +114,7 @@ impl Floorplan {
     /// custom architectures ("HotGauge is system-agnostic ... if provided
     /// with a power and performance model", §III).
     pub fn to_json(&self) -> String {
+        // hotgauge-lint: allow(L001, "Floorplan derives Serialize with no fallible custom impls; a failure is a programming error")
         serde_json::to_string_pretty(self).expect("floorplans serialize")
     }
 

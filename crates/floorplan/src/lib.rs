@@ -25,6 +25,9 @@
 //! assert_eq!(grid.coverage.len(), fp.units.len());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod floorplan;
 pub mod geometry;
 pub mod grid;

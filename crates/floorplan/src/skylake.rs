@@ -145,6 +145,7 @@ impl SkylakeProxy {
                 .iter()
                 .find(|(kk, _)| *kk == k)
                 .map(|(_, wgt)| *wgt)
+                // hotgauge-lint: allow(L001, "CORE_UNIT_WEIGHTS is a compile-time table covering every UnitKind the proxy emits")
                 .expect("all core kinds have weights");
             let scale: f64 = self
                 .unit_scales

@@ -1,0 +1,45 @@
+// L001 fixture: panic-family calls in library code. Linted under a
+// synthetic crates/<lib>/src path; never compiled.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // line 5: fires
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present") // line 9: fires
+}
+
+pub fn bad_panic() {
+    panic!("boom"); // line 13: fires
+}
+
+pub fn bad_unreachable() {
+    unreachable!(); // line 17: fires
+}
+
+pub fn ok_unwrap_or(v: Option<u32>) -> u32 {
+    // unwrap_or_else / unwrap_or_default must NOT fire: the dot-prefixed
+    // token `.unwrap(` is what L001 matches.
+    v.unwrap_or_else(|| 0).max(v.unwrap_or_default())
+}
+
+pub fn ok_in_string() -> &'static str {
+    "call .unwrap() and panic!(now)" // masked: no diagnostics
+}
+
+pub fn ok_pragma_previous_line(v: Option<u32>) -> u32 {
+    // hotgauge-lint: allow(L001, "fixture: justified invariant")
+    v.unwrap() // line 32: granted by the preceding-line pragma
+}
+
+pub fn ok_pragma_same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // hotgauge-lint: allow(L001, "fixture: same-line grant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1).unwrap(); // inside #[cfg(test)]: no diagnostic
+    }
+}

@@ -1,0 +1,15 @@
+// L002 fixture: telemetry outside the facade. Linted under a synthetic
+// non-telemetry, non-bench path; never compiled.
+
+pub fn bad_instant() -> std::time::Instant {
+    std::time::Instant::now() // line 5: fires
+}
+
+#[cfg(feature = "telemetry")] // line 8: fires (raw cfg gate)
+pub fn bad_cfg_gate() {}
+
+pub fn ok_string_mention() -> &'static str {
+    // The raw line contains the feature needle, but there is no `cfg` in
+    // the masked code, so this must not fire.
+    r#"feature = "telemetry""#
+}

@@ -1,0 +1,20 @@
+// L003 fixture: f32 tokens in a numeric kernel crate. Linted under a
+// synthetic crates/thermal/src path; never compiled.
+
+pub fn bad_ret(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn ok_idents(buf_f32x4: u32, my_f32_count: u32) -> u32 {
+    buf_f32x4 + my_f32_count
+}
+
+pub fn ok_in_prose() -> &'static str {
+    // f32 mentioned in a comment never fires
+    "uses f32 internally"
+}
+
+pub fn ok_pragma() -> u32 {
+    // hotgauge-lint: allow(L003, "fixture: FFI boundary needs the width")
+    f32::MANTISSA_DIGITS
+}

@@ -1,0 +1,40 @@
+// L004 fixture: concurrency policy. Linted under a synthetic
+// crates/<lib>/src path; never compiled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+pub fn bad_spawn() {
+    std::thread::spawn(|| {}); // line 9: fires (detached thread)
+}
+
+pub struct BadShared {
+    pub tx: Arc<Sender<u32>>, // line 13: fires (shared channel endpoint)
+}
+
+pub fn bad_ordering(hits: &AtomicU64) -> u64 {
+    hits.fetch_add(1) // line 17: fires (no Ordering argument)
+}
+
+pub fn ok_scoped() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}
+
+pub struct Replay;
+
+impl Replay {
+    fn load(&self, _slot: usize) -> u64 {
+        0
+    }
+}
+
+pub fn ok_plain_load(r: &Replay) -> u64 {
+    r.load(3)
+}
+
+pub fn ok_ordering(hits: &AtomicU64) -> u64 {
+    hits.fetch_add(1, Ordering::Relaxed)
+}

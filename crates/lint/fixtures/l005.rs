@@ -1,0 +1,26 @@
+// L005 fixture: raw unit literals in a numeric crate. Linted under a
+// synthetic crates/thermal/src path; never compiled.
+
+pub fn bad_threshold(t: f64) -> bool {
+    t > 80.0 // line 5: fires
+}
+
+pub fn bad_radius() -> f64 {
+    100e-6 // line 9: fires
+}
+
+pub fn ok_const_line() -> f64 {
+    const LOCAL_T_TH: f64 = 80.0;
+    LOCAL_T_TH
+}
+
+pub fn ok_boundaries(x: f64) -> f64 {
+    // Shares digits with the quarantined spellings but names different
+    // numbers; numeric-token boundaries keep these out.
+    x + 125.0 + 80.05 + 25e-3 + 1e-30
+}
+
+pub fn ok_pragma(t: f64) -> bool {
+    // hotgauge-lint: allow(L005, "fixture: axis label, not a threshold")
+    t > 25.0
+}

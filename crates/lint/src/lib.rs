@@ -1,0 +1,239 @@
+//! `hotgauge-lint`: registry-free static analysis for the HotGauge workspace.
+//!
+//! Scans workspace Rust sources with a comment/string/raw-string-aware token
+//! scanner (no `syn` offline) and enforces the project policy rules
+//! L001–L005 with `file:line` diagnostics, `--json` output, and a
+//! `// hotgauge-lint: allow(RULE, "justification")` pragma escape hatch.
+//! See DESIGN.md "Static analysis & code policy" for the rule catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{RuleInfo, RULES};
+
+/// Version of the policy the tool enforces; recorded in run manifests so
+/// sweep artifacts state what code policy they were built under. Bump on any
+/// rule addition, removal, or scope change.
+pub const POLICY_VERSION: &str = "1";
+
+/// Number of policy rules (excludes the L000 malformed-pragma diagnostic).
+pub const RULE_COUNT: usize = RULES.len();
+
+/// One violation, addressed `file:line`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// One-based line number.
+    pub line: usize,
+    /// Rule id (`L001`..`L005`, or `L000` for a malformed pragma).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(file: &str, line: usize, rule: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Under a library crate's `src/` (L001/L004 apply).
+    pub lib_crate: bool,
+    /// Inside `crates/telemetry` (exempt from L002 — it *is* the facade).
+    pub telemetry_crate: bool,
+    /// Inside `crates/bench` (bench bins may time and cfg-gate freely).
+    pub bench_crate: bool,
+    /// Numeric kernel scope: `crates/core/src` or `crates/thermal/src`
+    /// (L003/L005 apply).
+    pub numeric: bool,
+    /// Preset/units modules where raw unit literals are the point.
+    pub units_exempt: bool,
+    /// Whole file is test/bench/example context (L001/L003/L005 skip).
+    pub test_context: bool,
+}
+
+/// Library crates whose `src/` trees get the L001/L004 treatment.
+const LIB_CRATES: &[&str] = &[
+    "floorplan",
+    "telemetry",
+    "workloads",
+    "power",
+    "perf",
+    "thermal",
+    "core",
+    "lint",
+];
+
+/// Modules allowed to spell raw unit literals: the units/constants source of
+/// truth and the physical preset tables they parameterize.
+const L005_EXEMPT_FILES: &[&str] = &[
+    "crates/core/src/units.rs",
+    "crates/thermal/src/stack.rs",
+    "crates/thermal/src/materials.rs",
+];
+
+/// Classify a workspace-relative, `/`-separated path.
+pub fn classify(rel: &str) -> FileClass {
+    FileClass {
+        test_context: rel.contains("/tests/")
+            || rel.contains("/benches/")
+            || rel.starts_with("tests/")
+            || rel.starts_with("examples/"),
+        bench_crate: rel.starts_with("crates/bench/"),
+        telemetry_crate: rel.starts_with("crates/telemetry/"),
+        lib_crate: LIB_CRATES
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        numeric: rel.starts_with("crates/core/src/") || rel.starts_with("crates/thermal/src/"),
+        units_exempt: L005_EXEMPT_FILES.contains(&rel),
+    }
+}
+
+/// Lint a single source text under a synthetic workspace-relative path.
+/// This is the seam the fixture tests use.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let class = classify(rel_path);
+    let scanned = scan::ScannedFile::scan(src);
+    rules::check_file(rel_path, &class, &scanned)
+}
+
+/// An I/O failure while walking or reading the workspace.
+#[derive(Debug)]
+pub struct LintError {
+    /// Path that failed.
+    pub path: PathBuf,
+    /// Underlying error rendered.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Directories scanned relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Path prefixes excluded from the walk (vendored deps are not ours to lint;
+/// the fixture corpus violates rules on purpose; build output is generated).
+const EXCLUDED_PREFIXES: &[&str] = &["crates/lint/fixtures/"];
+
+/// Collect every `.rs` file under the scan roots, workspace-relative and
+/// sorted for deterministic output.
+pub fn discover_files(root: &Path) -> Result<Vec<String>, LintError> {
+    let mut files = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<String>) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir).map_err(|e| LintError {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let path = entry.path();
+        let rel = relative_slash(root, &path);
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            if EXCLUDED_PREFIXES
+                .iter()
+                .any(|p| rel.as_deref() == Some(p.trim_end_matches('/')))
+            {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            if let Some(rel) = rel {
+                if !EXCLUDED_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                    files.push(rel);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// Lint the whole workspace rooted at `root`. Diagnostics come back sorted
+/// by (file, line, rule).
+pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let mut diagnostics = Vec::new();
+    for rel in discover_files(root)? {
+        let full = root.join(&rel);
+        let src = fs::read_to_string(&full).map_err(|e| LintError {
+            path: full.clone(),
+            message: e.to_string(),
+        })?;
+        diagnostics.extend(lint_source(&rel, &src));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(diagnostics)
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` containing
+/// both a `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,131 @@
+//! CLI entry point: `cargo run -p hotgauge-lint -- [--root PATH] [--json]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hotgauge_lint::{find_workspace_root, run_lint, POLICY_VERSION, RULES, RULE_COUNT};
+
+const USAGE: &str = "usage: hotgauge-lint [--root PATH] [--json] [--list-rules]
+
+Scans the HotGauge workspace sources and enforces policy rules L001..L005.
+Exit codes: 0 = clean, 1 = violations, 2 = usage/I/O error.";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root requires a path argument"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        println!("hotgauge-lint policy v{POLICY_VERSION} ({RULE_COUNT} rules)");
+        for rule in RULES {
+            println!("  {}: {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("hotgauge-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "hotgauge-lint: no workspace root (Cargo.toml + crates/) found above \
+                         {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let scanned = match hotgauge_lint::discover_files(&root) {
+        Ok(files) => files.len(),
+        Err(e) => {
+            eprintln!("hotgauge-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diagnostics = match run_lint(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("hotgauge-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        #[derive(serde::Serialize)]
+        struct Report<'a> {
+            policy_version: &'a str,
+            rule_count: usize,
+            violation_count: usize,
+            violations: &'a [hotgauge_lint::Diagnostic],
+        }
+        let report = Report {
+            policy_version: POLICY_VERSION,
+            rule_count: RULE_COUNT,
+            violation_count: diagnostics.len(),
+            violations: &diagnostics,
+        };
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("hotgauge-lint: failed to serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+        let files: std::collections::BTreeSet<&str> =
+            diagnostics.iter().map(|d| d.file.as_str()).collect();
+        println!(
+            "hotgauge-lint: {} violation(s) in {} of {scanned} file(s) scanned; \
+             policy v{POLICY_VERSION} ({RULE_COUNT} rules)",
+            diagnostics.len(),
+            files.len()
+        );
+    }
+
+    if diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("hotgauge-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,405 @@
+//! The rule catalogue (L001–L005) and the per-file rule driver.
+//!
+//! Rules operate on a [`ScannedFile`](crate::scan::ScannedFile) plus a
+//! [`FileClass`] describing where the file sits in the workspace. Each rule
+//! documents its exact matching discipline; all text matching happens on the
+//! masked source (comments/strings blanked) unless noted otherwise.
+
+use crate::scan::ScannedFile;
+use crate::{Diagnostic, FileClass};
+
+/// Static description of one rule, surfaced by `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Identifier, e.g. `L001`.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The rule catalogue. `L000` (malformed pragma) is a meta-diagnostic, not a
+/// policy rule, so it is not listed here.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "L001",
+        summary: "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library crates \
+                  without a justified pragma",
+    },
+    RuleInfo {
+        id: "L002",
+        summary: "telemetry only via hotgauge-telemetry facade macros: no raw \
+                  #[cfg(feature = \"telemetry\")] blocks or Instant::now() outside \
+                  crates/telemetry and the bench crate",
+    },
+    RuleInfo {
+        id: "L003",
+        summary: "no f32 in crates/thermal and crates/core numeric kernels (f64-only parity)",
+    },
+    RuleInfo {
+        id: "L004",
+        summary: "concurrency policy: no std::thread::spawn in library crates, no Arc<Sender>, \
+                  atomics must name an Ordering explicitly",
+    },
+    RuleInfo {
+        id: "L005",
+        summary: "raw temperature/length literals (80.0, 25.0, 100e-6, ...) outside preset \
+                  modules must use named constants or units newtypes",
+    },
+];
+
+/// L001 forbidden call-site tokens. `.unwrap(`/`.expect(` are matched with
+/// the leading dot so `unwrap_or_else`, `unwrap_or_default`, and `expect_err`
+/// never fire.
+const L001_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap(", "unwrap()"),
+    (".expect(", "expect()"),
+    ("panic!(", "panic!"),
+    ("unreachable!(", "unreachable!"),
+    ("todo!(", "todo!"),
+    ("unimplemented!(", "unimplemented!"),
+];
+
+/// L005 quarantined literal spellings. Matched with numeric-token boundaries
+/// so `125.0`, `80.05`, `25e-3`, and `1e-30` do not fire.
+const L005_LITERALS: &[&str] = &["80.0", "25.0", "115.0", "60.0", "100e-6", "1e-3"];
+
+/// Atomic methods whose call must name an `Ordering` in its argument list.
+const L004_ATOMIC_METHODS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_update(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+];
+
+/// Run every applicable rule over one scanned file.
+pub fn check_file(path: &str, class: &FileClass, scanned: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Malformed pragmas are always reported: a typo'd grant silently
+    // reverting to "violation" would be confusing, and a typo'd rule name
+    // silently granting nothing is worse.
+    for err in &scanned.pragma_errors {
+        out.push(Diagnostic::new(
+            path,
+            err.line + 1,
+            "L000",
+            err.message.clone(),
+        ));
+    }
+    for pragma in &scanned.pragmas {
+        if pragma.rule != "L000" && !RULES.iter().any(|r| r.id == pragma.rule) {
+            out.push(Diagnostic::new(
+                path,
+                pragma.line + 1,
+                "L000",
+                format!("pragma grants unknown rule `{}`", pragma.rule),
+            ));
+        }
+    }
+
+    for (ix, masked) in scanned.masked.iter().enumerate() {
+        let in_test = class.test_context || scanned.in_test.get(ix).copied().unwrap_or(false);
+        let raw = &scanned.raw[ix];
+
+        if class.lib_crate && !in_test {
+            check_l001(path, ix, masked, scanned, &mut out);
+        }
+        if !class.telemetry_crate && !class.bench_crate {
+            check_l002(path, ix, masked, raw, scanned, &mut out);
+        }
+        if class.numeric && !in_test {
+            check_l003(path, ix, masked, scanned, &mut out);
+        }
+        if class.lib_crate {
+            check_l004_line(path, ix, masked, scanned, &mut out);
+        }
+        if class.numeric && !class.units_exempt && !in_test {
+            check_l005(path, ix, masked, scanned, &mut out);
+        }
+    }
+
+    if class.lib_crate {
+        check_l004_orderings(path, scanned, &mut out);
+    }
+
+    out
+}
+
+fn check_l001(
+    path: &str,
+    ix: usize,
+    masked: &str,
+    scanned: &ScannedFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (pat, label) in L001_PATTERNS {
+        let mut from = 0usize;
+        while let Some(rel) = masked[from..].find(pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            // Macro patterns need a left token boundary (`.unwrap(`/`.expect(`
+            // carry their own in the leading dot).
+            if !pat.starts_with('.') && !left_boundary(masked, at) {
+                continue;
+            }
+            if !scanned.is_allowed(ix, "L001") {
+                out.push(Diagnostic::new(
+                    path,
+                    ix + 1,
+                    "L001",
+                    format!(
+                        "{label} in a library crate: return a typed error or add \
+                         `// hotgauge-lint: allow(L001, \"<invariant>\")`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_l002(
+    path: &str,
+    ix: usize,
+    masked: &str,
+    raw: &str,
+    scanned: &ScannedFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    if scanned.is_allowed(ix, "L002") {
+        return;
+    }
+    if let Some(at) = masked.find("Instant::now") {
+        if left_boundary(masked, at) {
+            out.push(Diagnostic::new(
+                path,
+                ix + 1,
+                "L002",
+                "Instant::now() outside crates/telemetry: use the hotgauge-telemetry span!/\
+                 counter! facade"
+                    .to_string(),
+            ));
+        }
+    }
+    // The feature name itself is a string literal, so it lives in the raw
+    // line; the `cfg` must be code, so it must survive in the masked line.
+    if raw.contains("feature = \"telemetry\"") && masked.contains("cfg") {
+        out.push(Diagnostic::new(
+            path,
+            ix + 1,
+            "L002",
+            "raw #[cfg(feature = \"telemetry\")] outside crates/telemetry: use the \
+             if_telemetry!/span!/counter! facade macros"
+                .to_string(),
+        ));
+    }
+}
+
+fn check_l003(
+    path: &str,
+    ix: usize,
+    masked: &str,
+    scanned: &ScannedFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut from = 0usize;
+    while let Some(rel) = masked[from..].find("f32") {
+        let at = from + rel;
+        from = at + 3;
+        if !left_boundary(masked, at) || !right_boundary(masked, at + 3) {
+            continue;
+        }
+        if !scanned.is_allowed(ix, "L003") {
+            out.push(Diagnostic::new(
+                path,
+                ix + 1,
+                "L003",
+                "f32 in a numeric kernel crate: thermal/analysis kernels are f64-only to keep \
+                 the fused/naive parity proptests bitwise"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn check_l004_line(
+    path: &str,
+    ix: usize,
+    masked: &str,
+    scanned: &ScannedFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    if scanned.is_allowed(ix, "L004") {
+        return;
+    }
+    if masked.contains("thread::spawn") {
+        out.push(Diagnostic::new(
+            path,
+            ix + 1,
+            "L004",
+            "std::thread::spawn in a library crate: use std::thread::scope or the pipeline \
+             channel so joins are structural"
+                .to_string(),
+        ));
+    }
+    let squeezed: String = masked.chars().filter(|c| !c.is_whitespace()).collect();
+    if squeezed.contains("Arc<Sender")
+        || squeezed.contains("Arc<SyncSender")
+        || squeezed.contains("Arc<mpsc::")
+    {
+        out.push(Diagnostic::new(
+            path,
+            ix + 1,
+            "L004",
+            "channel endpoint behind Arc: senders must be moved/cloned into scopes, never \
+             shared through Arc"
+                .to_string(),
+        ));
+    }
+}
+
+/// Atomic calls must name an `Ordering` inside their argument list. This one
+/// matches across lines (rustfmt splits long `compare_exchange` calls), so it
+/// runs on the joined masked text and maps hits back to lines.
+fn check_l004_orderings(path: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    let text = scanned.masked_text();
+    for pat in L004_ATOMIC_METHODS {
+        let mut from = 0usize;
+        while let Some(rel) = text[from..].find(pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            let line = text[..at].matches('\n').count();
+            if scanned.is_allowed(line, "L004") {
+                continue;
+            }
+            let args_start = at + pat.len();
+            let Some(args) = paren_span(&text, args_start - 1) else {
+                continue;
+            };
+            if args.contains("Ordering::") {
+                continue;
+            }
+            // `.load()`/`.store(x)` on non-atomics (e.g. Cell, Vec element
+            // swaps) would be false positives; require the receiver
+            // expression to look atomic-ish OR the method to be
+            // unambiguously atomic. `.load(`/`.store(` are the ambiguous
+            // ones; `fetch_*`/`compare_exchange*` only exist on atomics.
+            let ambiguous = matches!(*pat, ".load(" | ".store(");
+            if ambiguous && !args.trim().is_empty() && !args.contains("Ordering") {
+                // A `.load(x)` with args but no Ordering on a non-atomic
+                // receiver: only flag when the receiver mentions atomic.
+                let recv = &text[at.saturating_sub(80)..at];
+                if !recv.to_ascii_lowercase().contains("atomic") {
+                    continue;
+                }
+            }
+            if ambiguous && args.trim().is_empty() {
+                // `.load()` with no args is never an atomic load.
+                continue;
+            }
+            out.push(Diagnostic::new(
+                path,
+                line + 1,
+                "L004",
+                format!(
+                    "atomic `{}...)` without an explicit Ordering:: argument",
+                    pat.trim_start_matches('.')
+                ),
+            ));
+        }
+    }
+}
+
+fn check_l005(
+    path: &str,
+    ix: usize,
+    masked: &str,
+    scanned: &ScannedFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    // `const` declarations are exactly where these literals belong.
+    if masked.contains("const ") {
+        return;
+    }
+    for lit in L005_LITERALS {
+        let mut from = 0usize;
+        while let Some(rel) = masked[from..].find(lit) {
+            let at = from + rel;
+            from = at + lit.len();
+            if !numeric_boundary(masked, at, at + lit.len()) {
+                continue;
+            }
+            if !scanned.is_allowed(ix, "L005") {
+                out.push(Diagnostic::new(
+                    path,
+                    ix + 1,
+                    "L005",
+                    format!(
+                        "raw temperature/length literal `{lit}`: use a named constant or the \
+                         hotgauge_core::units newtypes (Celsius/Microns)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// True if the char before `at` cannot extend an identifier/number leftward.
+fn left_boundary(s: &str, at: usize) -> bool {
+    s[..at]
+        .chars()
+        .next_back()
+        .map(|c| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(true)
+}
+
+/// True if the char at `end` cannot extend an identifier/number rightward.
+fn right_boundary(s: &str, end: usize) -> bool {
+    s[end..]
+        .chars()
+        .next()
+        .map(|c| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(true)
+}
+
+/// Numeric-token boundaries: neither side may continue the number (digits,
+/// ident chars, `.`), so `125.0`, `80.05`, `25e-3`, `1e-30` don't match.
+fn numeric_boundary(s: &str, start: usize, end: usize) -> bool {
+    let left_ok = s[..start]
+        .chars()
+        .next_back()
+        .map(|c| !c.is_alphanumeric() && c != '_' && c != '.')
+        .unwrap_or(true);
+    let right_ok = s[end..]
+        .chars()
+        .next()
+        .map(|c| !c.is_alphanumeric() && c != '_' && c != '.')
+        .unwrap_or(true);
+    left_ok && right_ok
+}
+
+/// The `(`-balanced argument span starting at the `(` at `open`, exclusive of
+/// the parens. Returns `None` when unbalanced (truncated file).
+fn paren_span(s: &str, open: usize) -> Option<&str> {
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes.get(open), Some(&b'('));
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[open + 1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,473 @@
+//! Comment/string/raw-string-aware source scanner.
+//!
+//! The lint runs offline with no `syn`, so rules operate on *masked* source
+//! text: a copy of the file in which every comment, string literal, char
+//! literal, and raw string has been replaced by spaces (newlines preserved,
+//! so byte-for-byte line/column geometry survives). Rule patterns searched
+//! in the masked text therefore never fire inside prose or literals.
+//!
+//! The scanner also extracts `// hotgauge-lint: allow(RULE, "why")` pragmas
+//! from comments and brace-matches `#[cfg(test)]` regions so rules that only
+//! apply to production code can skip inline test modules.
+
+/// A parsed `hotgauge-lint: allow(...)` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule identifier, e.g. `L001`.
+    pub rule: String,
+    /// Mandatory human justification.
+    pub justification: String,
+    /// Zero-based line the pragma comment appears on.
+    pub line: usize,
+}
+
+/// A malformed pragma found during scanning (reported as a diagnostic).
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// Zero-based line of the offending comment.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Source lines with comments/strings/chars masked to spaces.
+    pub masked: Vec<String>,
+    /// Original source lines (needed where the evidence lives inside a
+    /// literal, e.g. `feature = "telemetry"` in a `cfg` attribute).
+    pub raw: Vec<String>,
+    /// Per-line flag: true inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+    /// Parsed pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas.
+    pub pragma_errors: Vec<PragmaError>,
+    /// Per-line list of (rule) grants derived from pragmas.
+    allows: Vec<Vec<usize>>,
+}
+
+impl ScannedFile {
+    /// Scan `src`, producing masked text, pragmas, and test-region marks.
+    pub fn scan(src: &str) -> ScannedFile {
+        let (masked_text, comments) = mask(src);
+        let raw: Vec<String> = split_lines(src);
+        let masked: Vec<String> = split_lines(&masked_text);
+        debug_assert_eq!(raw.len(), masked.len());
+
+        let (pragmas, pragma_errors) = parse_pragmas(&comments);
+        let in_test = mark_test_regions(&masked_text, masked.len());
+
+        let mut allows: Vec<Vec<usize>> = vec![Vec::new(); masked.len()];
+        for (idx, p) in pragmas.iter().enumerate() {
+            // A pragma covers the line it sits on; if that line holds nothing
+            // but the comment, it covers the next non-blank code line instead
+            // (the common "pragma on the preceding line" style).
+            if p.line < allows.len() {
+                allows[p.line].push(idx);
+                let code_on_line = masked
+                    .get(p.line)
+                    .map(|l| !l.trim().is_empty())
+                    .unwrap_or(false);
+                if !code_on_line {
+                    let mut next = p.line + 1;
+                    while next < masked.len() && masked[next].trim().is_empty() {
+                        next += 1;
+                    }
+                    if next < allows.len() {
+                        allows[next].push(idx);
+                    }
+                }
+            }
+        }
+
+        ScannedFile {
+            masked,
+            raw,
+            in_test,
+            pragmas,
+            pragma_errors,
+            allows,
+        }
+    }
+
+    /// Is `rule` granted on zero-based `line` by a pragma?
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .get(line)
+            .map(|grants| grants.iter().any(|&i| self.pragmas[i].rule == rule))
+            .unwrap_or(false)
+    }
+
+    /// Full masked text re-joined (used by rules that need to brace-match
+    /// across lines, e.g. the atomic-`Ordering` check).
+    pub fn masked_text(&self) -> String {
+        self.masked.join("\n")
+    }
+}
+
+/// Split into lines without dropping a trailing empty segment mismatch:
+/// `lines()` on "a\n" yields ["a"], matching what editors number.
+fn split_lines(s: &str) -> Vec<String> {
+    s.lines().map(|l| l.to_string()).collect()
+}
+
+/// Mask comments, strings, raw strings, and char literals to spaces.
+/// Returns the masked text plus every comment's (zero-based line, text).
+fn mask(src: &str) -> (String, Vec<(usize, String)>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Push `n` spaces (masking) while keeping the char count identical.
+    fn blank(out: &mut String, n: usize) {
+        for _ in 0..n {
+            out.push(' ');
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            out.push('\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        // Line comment (also swallows doc comments `///` and `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            comments.push((line, chars[start..i].iter().collect()));
+            blank(&mut out, i - start);
+            continue;
+        }
+        // Block comment, nesting-aware.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            blank(&mut out, 2);
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, 2);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, 2);
+                    i += 2;
+                } else if chars[i] == '\n' {
+                    out.push('\n');
+                    line += 1;
+                    i += 1;
+                } else {
+                    blank(&mut out, 1);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte-string prefixes. Only when the previous char can't be
+        // part of an identifier (so `her#"x"#`-style idents don't confuse us).
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if !prev_is_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            let is_raw = chars.get(j) == Some(&'r');
+            if is_raw {
+                j += 1;
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    // Mask prefix + opening quote.
+                    blank(&mut out, j + 1 - i);
+                    i = j + 1;
+                    // Scan for `"` followed by `hashes` hash marks.
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                blank(&mut out, 1 + hashes);
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if chars[i] == '\n' {
+                            out.push('\n');
+                            line += 1;
+                        } else {
+                            blank(&mut out, 1);
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                // `r` / `br` not followed by a raw string: plain identifier.
+            } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                blank(&mut out, 1); // the `b`
+                i += 1;
+                consume_string(&chars, &mut i, &mut line, &mut out);
+                continue;
+            } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                blank(&mut out, 1); // the `b`
+                i += 1;
+                consume_char_literal(&chars, &mut i, &mut out);
+                continue;
+            }
+        }
+        if c == '"' {
+            consume_string(&chars, &mut i, &mut line, &mut out);
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime vs char literal. `'\...'` and `'x'` are literals;
+            // anything else (e.g. `'static`, `'a>`) is a lifetime.
+            let is_escape = chars.get(i + 1) == Some(&'\\');
+            let is_simple = chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'');
+            if is_escape || is_simple {
+                consume_char_literal(&chars, &mut i, &mut out);
+            } else {
+                out.push('\'');
+                i += 1;
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    (out, comments)
+}
+
+/// Consume a `"..."` string starting at the opening quote, masking it.
+fn consume_string(chars: &[char], i: &mut usize, line: &mut usize, out: &mut String) {
+    out.push(' '); // opening quote
+    *i += 1;
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                out.push(' ');
+                *i += 1;
+                if *i < chars.len() {
+                    if chars[*i] == '\n' {
+                        out.push('\n');
+                        *line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                    *i += 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                out.push('\n');
+                *line += 1;
+                *i += 1;
+            }
+            _ => {
+                out.push(' ');
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Consume a `'...'` char literal starting at the opening quote, masking it.
+fn consume_char_literal(chars: &[char], i: &mut usize, out: &mut String) {
+    out.push(' '); // opening quote
+    *i += 1;
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                out.push(' ');
+                *i += 1;
+                if *i < chars.len() {
+                    out.push(' ');
+                    *i += 1;
+                }
+            }
+            '\'' => {
+                out.push(' ');
+                *i += 1;
+                return;
+            }
+            '\n' => return, // malformed literal; bail without eating the line
+            _ => {
+                out.push(' ');
+                *i += 1;
+            }
+        }
+    }
+}
+
+const PRAGMA_KEY: &str = "hotgauge-lint:";
+
+/// Parse `hotgauge-lint: allow(RULE, "justification")` pragmas out of the
+/// collected comments. A comment may carry several `allow(...)` clauses.
+fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for (line, text) in comments {
+        // A pragma must be the comment's entire content: `// hotgauge-lint:`
+        // at the start (after the slashes / doc-comment sigils). A mid-prose
+        // mention of the key (docs describing the pragma syntax) is not a
+        // grant.
+        let head = text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        if !head.starts_with(PRAGMA_KEY) {
+            continue;
+        }
+        let mut rest = &head[PRAGMA_KEY.len()..];
+        let mut found_any = false;
+        while let Some(open) = rest.find("allow(") {
+            let body = &rest[open + "allow(".len()..];
+            match parse_allow_body(body) {
+                Ok((rule, justification, consumed)) => {
+                    found_any = true;
+                    pragmas.push(Pragma {
+                        rule,
+                        justification,
+                        line: *line,
+                    });
+                    rest = &body[consumed..];
+                }
+                Err(msg) => {
+                    errors.push(PragmaError {
+                        line: *line,
+                        message: msg,
+                    });
+                    rest = "";
+                }
+            }
+        }
+        if !found_any && errors.iter().all(|e| e.line != *line) {
+            errors.push(PragmaError {
+                line: *line,
+                message: format!(
+                    "pragma comment has no parsable allow(RULE, \"justification\") clause: `{}`",
+                    text.trim()
+                ),
+            });
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parse `RULE, "justification")`, returning the rule, the justification,
+/// and how many chars of `body` were consumed.
+fn parse_allow_body(body: &str) -> Result<(String, String, usize), String> {
+    let comma = body
+        .find(',')
+        .ok_or_else(|| "allow(...) pragma is missing the , \"justification\" part".to_string())?;
+    let rule = body[..comma].trim().to_string();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!(
+            "allow(...) pragma has malformed rule name `{rule}`"
+        ));
+    }
+    let after = &body[comma + 1..];
+    let q1_rel = after
+        .find('"')
+        .ok_or_else(|| "allow(...) justification must be a quoted string".to_string())?;
+    let after_q1 = &after[q1_rel + 1..];
+    let q2_rel = after_q1
+        .find('"')
+        .ok_or_else(|| "allow(...) justification string is unterminated".to_string())?;
+    let justification = after_q1[..q2_rel].trim().to_string();
+    if justification.is_empty() {
+        return Err(format!("allow({rule}, ...) has an empty justification"));
+    }
+    let after_q2 = &after_q1[q2_rel + 1..];
+    let close_rel = after_q2
+        .find(')')
+        .ok_or_else(|| "allow(...) pragma is missing the closing parenthesis".to_string())?;
+    let consumed = comma + 1 + q1_rel + 1 + q2_rel + 1 + close_rel + 1;
+    Ok((rule, justification, consumed))
+}
+
+/// Mark the lines covered by `#[cfg(test)]`-gated items by brace-matching
+/// on the masked text (strings and comments are already spaces, so every
+/// `{`/`}` seen here is structural).
+fn mark_test_regions(masked_text: &str, n_lines: usize) -> Vec<bool> {
+    let mut in_test = vec![false; n_lines];
+    let bytes: Vec<char> = masked_text.chars().collect();
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+
+    let mut start = 0usize;
+    while let Some(attr_at) = find_from(&bytes, &needle, start) {
+        start = attr_at + needle.len();
+        // Find the gated item's opening brace; a `;` first means the
+        // attribute gates a brace-less item (`mod tests;`, a use, ...).
+        let mut j = start;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                '{' => {
+                    open = Some(j);
+                    break;
+                }
+                ';' => break,
+                _ => j += 1,
+            }
+        }
+        let first_line = line_of(&bytes, attr_at);
+        let Some(open_at) = open else {
+            if first_line < n_lines {
+                in_test[first_line] = true;
+            }
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut k = open_at + 1;
+        while k < bytes.len() && depth > 0 {
+            match bytes[k] {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let last_line = line_of(&bytes, k.saturating_sub(1));
+        for mark in in_test
+            .iter_mut()
+            .take(last_line.min(n_lines.saturating_sub(1)) + 1)
+            .skip(first_line)
+        {
+            *mark = true;
+        }
+        start = k;
+    }
+    in_test
+}
+
+fn find_from(haystack: &[char], needle: &[char], from: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+fn line_of(chars: &[char], idx: usize) -> usize {
+    chars[..idx.min(chars.len())]
+        .iter()
+        .filter(|&&c| c == '\n')
+        .count()
+}

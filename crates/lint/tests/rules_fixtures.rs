@@ -1,0 +1,81 @@
+//! Each fixture in `fixtures/` must fire exactly the diagnostics it
+//! advertises when linted under a synthetic workspace path, and fall silent
+//! where its rule does not apply.
+
+use hotgauge_lint::lint_source;
+
+fn fires(path: &str, src: &str) -> Vec<(String, usize)> {
+    let mut v: Vec<(String, usize)> = lint_source(path, src)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    v.sort();
+    v
+}
+
+fn expected(rule: &str, lines: &[usize]) -> Vec<(String, usize)> {
+    lines.iter().map(|&l| (rule.to_string(), l)).collect()
+}
+
+#[test]
+fn l001_panic_family() {
+    let src = include_str!("../fixtures/l001.rs");
+    assert_eq!(
+        fires("crates/perf/src/fixture_l001.rs", src),
+        expected("L001", &[5, 9, 13, 17])
+    );
+    // Test context is exempt wholesale.
+    assert!(fires("crates/perf/tests/fixture_l001.rs", src).is_empty());
+}
+
+#[test]
+fn l002_telemetry_facade() {
+    let src = include_str!("../fixtures/l002.rs");
+    assert_eq!(
+        fires("crates/core/src/fixture_l002.rs", src),
+        expected("L002", &[5, 8])
+    );
+    // The telemetry crate is the facade and bench bins may time freely.
+    assert!(fires("crates/telemetry/src/fixture_l002.rs", src).is_empty());
+    assert!(fires("crates/bench/src/fixture_l002.rs", src).is_empty());
+}
+
+#[test]
+fn l003_f32_in_kernels() {
+    let src = include_str!("../fixtures/l003.rs");
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l003.rs", src),
+        expected("L003", &[4, 5])
+    );
+    // Outside the numeric kernel crates f32 is not policed.
+    assert!(fires("crates/perf/src/fixture_l003.rs", src).is_empty());
+}
+
+#[test]
+fn l004_concurrency_policy() {
+    let src = include_str!("../fixtures/l004.rs");
+    assert_eq!(
+        fires("crates/power/src/fixture_l004.rs", src),
+        expected("L004", &[9, 13, 17])
+    );
+}
+
+#[test]
+fn l005_raw_unit_literals() {
+    let src = include_str!("../fixtures/l005.rs");
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l005.rs", src),
+        expected("L005", &[5, 9])
+    );
+    // The preset modules are exactly where raw literals belong.
+    assert!(fires("crates/thermal/src/stack.rs", src).is_empty());
+}
+
+#[test]
+fn malformed_pragmas_surface_as_l000() {
+    let src = include_str!("../fixtures/pragma.rs");
+    assert_eq!(
+        fires("crates/core/src/fixture_pragma.rs", src),
+        expected("L000", &[4, 7, 10, 13])
+    );
+}

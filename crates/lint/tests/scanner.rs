@@ -1,0 +1,110 @@
+//! Scanner edge cases: masking of raw strings, nested block comments, and
+//! char literals; pragma extraction; `#[cfg(test)]` region marking.
+
+use hotgauge_lint::scan::ScannedFile;
+
+#[test]
+fn raw_strings_are_masked_with_geometry_preserved() {
+    let src = "let x = r#\"panic!(\"inner\")\"#;\nlet y = 1;\n";
+    let s = ScannedFile::scan(src);
+    assert_eq!(s.masked.len(), 2);
+    assert_eq!(s.masked[0].len(), s.raw[0].len());
+    assert!(!s.masked[0].contains("panic!"));
+    assert!(s.masked[0].starts_with("let x = "));
+    assert_eq!(s.masked[1], "let y = 1;");
+}
+
+#[test]
+fn nested_block_comments_mask_fully() {
+    let src = "a /* outer /* inner */ still comment */ b.unwrap()\n";
+    let s = ScannedFile::scan(src);
+    assert!(s.masked[0].contains("b.unwrap()"));
+    assert!(!s.masked[0].contains("outer"));
+    assert!(!s.masked[0].contains("inner"));
+    assert!(!s.masked[0].contains("still"));
+}
+
+#[test]
+fn char_literals_mask_but_lifetimes_survive() {
+    let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let d = '\\n'; c }\n";
+    let s = ScannedFile::scan(src);
+    let m = &s.masked[0];
+    assert!(m.contains("fn f<'a>"));
+    assert!(m.contains("&'a str"));
+    assert!(!m.contains("'x'"));
+    assert!(!m.contains("\\n"));
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_masked() {
+    let src = "let a = b\"panic!(x)\"; let b2 = br#\"todo!()\"#;\n";
+    let s = ScannedFile::scan(src);
+    assert!(!s.masked[0].contains("panic!"));
+    assert!(!s.masked[0].contains("todo!"));
+    assert!(s.masked[0].contains("let b2 = "));
+}
+
+#[test]
+fn multiline_strings_keep_line_numbers() {
+    let src = "let s = \"line one\n  panic!(\\\"no\\\")\n\";\nx.unwrap();\n";
+    let s = ScannedFile::scan(src);
+    assert_eq!(s.masked.len(), 4);
+    assert!(!s.masked[1].contains("panic!"));
+    assert!(s.masked[3].contains(".unwrap("));
+}
+
+#[test]
+fn preceding_line_pragma_covers_next_code_line_across_blanks() {
+    let src = "// hotgauge-lint: allow(L001, \"why\")\n\nlet v = x.unwrap();\n";
+    let s = ScannedFile::scan(src);
+    assert_eq!(s.pragmas.len(), 1);
+    assert_eq!(s.pragmas[0].rule, "L001");
+    assert_eq!(s.pragmas[0].justification, "why");
+    assert!(s.is_allowed(2, "L001"));
+    assert!(!s.is_allowed(2, "L002"));
+}
+
+#[test]
+fn same_line_pragma_covers_only_its_line() {
+    let src = "x.unwrap(); // hotgauge-lint: allow(L001, \"why\")\ny.unwrap();\n";
+    let s = ScannedFile::scan(src);
+    assert!(s.is_allowed(0, "L001"));
+    assert!(!s.is_allowed(1, "L001"));
+}
+
+#[test]
+fn one_comment_may_carry_multiple_grants() {
+    let src = "// hotgauge-lint: allow(L001, \"a\") allow(L005, \"b\")\nx.unwrap();\n";
+    let s = ScannedFile::scan(src);
+    assert!(s.is_allowed(1, "L001"));
+    assert!(s.is_allowed(1, "L005"));
+}
+
+#[test]
+fn doc_mentions_of_the_pragma_syntax_are_not_grants() {
+    let src = "/// Use `// hotgauge-lint: allow(RULE, \"why\")` to grant.\nx.unwrap();\n";
+    let s = ScannedFile::scan(src);
+    assert!(s.pragmas.is_empty());
+    assert!(s.pragma_errors.is_empty());
+}
+
+#[test]
+fn malformed_pragmas_are_reported_not_dropped() {
+    let src = "// hotgauge-lint: allow(L001)\n";
+    let s = ScannedFile::scan(src);
+    assert!(s.pragmas.is_empty());
+    assert_eq!(s.pragma_errors.len(), 1);
+    assert_eq!(s.pragma_errors[0].line, 0);
+}
+
+#[test]
+fn cfg_test_regions_are_marked() {
+    let src =
+        "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn b() {}\n";
+    let s = ScannedFile::scan(src);
+    assert_eq!(
+        s.in_test,
+        vec![false, true, true, true, true, false],
+        "only the gated mod (attribute through closing brace) is marked"
+    );
+}

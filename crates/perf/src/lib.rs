@@ -28,6 +28,9 @@
 //! assert!(window.ipc() > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod activity;
 pub mod branch;
 pub mod cache;

@@ -6,6 +6,7 @@ use crate::instr::{Instr, InstrSource};
 /// Round-robin interleaving of two hardware threads onto one core's dispatch
 /// bandwidth. The shared structures (caches, predictor) are exercised by
 /// both streams, which is the first-order SMT interference effect.
+#[derive(Debug)]
 pub struct SmtInterleaver<A, B> {
     a: A,
     b: B,

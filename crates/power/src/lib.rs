@@ -30,6 +30,9 @@
 //! assert!(power.total_w() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod leakage;
 pub mod model;
 pub mod units;

@@ -8,6 +8,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Thread-safe `[label done/total] detail` reporter.
+#[derive(Debug)]
 pub struct ProgressPrinter {
     label: String,
     total: u64,
@@ -16,6 +17,7 @@ pub struct ProgressPrinter {
     state: Mutex<State>,
 }
 
+#[derive(Debug)]
 struct State {
     done: u64,
     last_print: Option<Instant>,

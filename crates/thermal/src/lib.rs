@@ -40,6 +40,9 @@
 //! assert!(frame.max() > 40.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod analysis;
 pub mod chol;
 pub mod export;

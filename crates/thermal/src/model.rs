@@ -98,6 +98,7 @@ impl ThermalModel {
     pub fn new(stack: StackDescription) -> Self {
         stack
             .validate()
+            // hotgauge-lint: allow(L001, "stacks come from the StackDescription presets, validated by construction; a failure is a preset bug, not user input")
             .unwrap_or_else(|e| panic!("invalid stack: {e}"));
         let nx = stack.nx();
         let ny = stack.ny();
@@ -441,6 +442,13 @@ impl ThermalSim {
     /// Direct solves are exact (to rounding) and report zero iterations and
     /// zero residual in the returned stats.
     pub fn step(&mut self, die_power: &[f64], dt: f64) -> SolveStats {
+        // Backward-Euler is unconditionally stable but only for a real,
+        // positive step; a zero/negative/NaN dt silently corrupts the
+        // system matrix scaling.
+        debug_assert!(
+            dt.is_finite() && dt > 0.0,
+            "thermal step requires a finite positive dt, got {dt}",
+        );
         self.prepare(dt);
 
         let mut rhs = self.model.inject_die_power(die_power);
@@ -448,6 +456,7 @@ impl ThermalSim {
         for (i, r) in rhs.iter_mut().enumerate() {
             *r += self.model.cap[i] / dt * self.t[i] + self.model.conv[i] * amb;
         }
+        // hotgauge-lint: allow(L001, "prepare(dt) on the line above always fills self.sys")
         let cache = self.sys.as_mut().expect("system prepared above");
         match &mut cache.solver {
             SysSolver::Direct { factor, work } => {
@@ -485,6 +494,10 @@ impl ThermalSim {
     /// (reduces the implicit method's damping of fast transients).
     pub fn step_sub(&mut self, die_power: &[f64], dt: f64, substeps: usize) -> SolveStats {
         assert!(substeps >= 1);
+        debug_assert!(
+            dt.is_finite() && dt > 0.0,
+            "thermal step requires a finite positive dt, got {dt}",
+        );
         let sub = dt / substeps as f64;
         let mut last = SolveStats {
             iterations: 0,

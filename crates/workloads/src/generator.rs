@@ -13,7 +13,7 @@ use crate::profile::WorkloadProfile;
 /// which makes every figure of the reproduction bit-reproducible. `Clone`
 /// snapshots the stream position, so a cloned co-simulation replays the
 /// identical instruction sequence.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct WorkloadGen {
     profile: WorkloadProfile,
     rng: SmallRng,
@@ -50,6 +50,7 @@ impl WorkloadGen {
     pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
         profile
             .validate()
+            // hotgauge-lint: allow(L001, "profiles come from the compile-time SPEC2006/idle tables or from callers that validated them; documented panic")
             .unwrap_or_else(|e| panic!("invalid profile {}: {e}", profile.name));
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
         let branch_bias = (0..profile.branch.static_branches)

@@ -21,6 +21,9 @@
 //! assert!(window.ipc() > 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod generator;
 pub mod idle;
 pub mod profile;

@@ -74,6 +74,7 @@ fn mk(
         phases,
     };
     p.validate()
+        // hotgauge-lint: allow(L001, "the profile table is compile-time data; an invalid entry is caught by the all_profiles test, not reachable from user input")
         .unwrap_or_else(|e| panic!("profile {name} invalid: {e}"));
     p
 }
@@ -503,6 +504,7 @@ pub fn profile(name: &str) -> Option<WorkloadProfile> {
 pub fn all_profiles() -> Vec<WorkloadProfile> {
     ALL_BENCHMARKS
         .iter()
+        // hotgauge-lint: allow(L001, "ALL_BENCHMARKS and the profile table are maintained together; a miss is a table bug")
         .map(|n| profile(n).expect("all named benchmarks exist"))
         .collect()
 }

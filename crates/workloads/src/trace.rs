@@ -134,6 +134,7 @@ impl Trace {
 }
 
 /// Replays a [`Trace`] as an [`InstrSource`], looping at the end.
+#[derive(Debug)]
 pub struct TraceReplay<'a> {
     trace: &'a Trace,
     pos: usize,
