@@ -30,6 +30,7 @@ fn main() {
     let fid = args.fidelity();
     let cores: Vec<usize> = (0..7).collect();
     let nodes = [TechNode::N14, TechNode::N7];
+    args.note_sweep(ALL_BENCHMARKS.len() * cores.len(), fid.threads);
     // The done/total counter restarts for each node's sweep.
     let printer = args.sweep_progress((ALL_BENCHMARKS.len() * cores.len()) as u64);
     let on_done = sweep_ticker(&printer);

@@ -23,6 +23,7 @@ fn main() {
     let args = BinArgs::parse("fig11_tuh_percore");
     let fid = args.fidelity();
     let cores: Vec<usize> = (0..7).collect();
+    args.note_sweep(ALL_BENCHMARKS.len() * cores.len(), fid.threads);
     let mut json_rows = Vec::new();
     for warmup in [Warmup::Cold, Warmup::Idle] {
         let printer = args.sweep_progress((ALL_BENCHMARKS.len() * cores.len()) as u64);

@@ -28,6 +28,7 @@ fn main() {
         vec!["gcc", "hmmer", "povray", "gobmk"]
     };
     let factors = [1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0];
+    args.note_sweep(benches.len() * (factors.len() + 1), fid.threads);
     let printer = args.sweep_progress((benches.len() * (factors.len() + 1)) as u64);
     let on_done = sweep_ticker(&printer);
     let rows = sec5b_ic_scaling_with(&fid, &benches, &factors, horizon, Some(&on_done));

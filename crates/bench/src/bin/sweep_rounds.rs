@@ -1,0 +1,51 @@
+//! Raw sweep timing harness behind `BENCH_sweep.json`: one fig11-style
+//! grid (every SPEC proxy × every core, one geometry) through `run_many`,
+//! printing wall time and the process's peak RSS (`VmHWM` from
+//! `/proc/self/status`; `peak_rss_kb=0` off Linux). The same source is
+//! compiled against the pre-executor baseline for the alternating-rounds
+//! comparison.
+//!
+//! Usage: `sweep_rounds [THREADS]` (default 1).
+
+use hotgauge_core::pipeline::{run_many, SimConfig};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut cfgs = Vec::new();
+    for bench in ALL_BENCHMARKS {
+        for core in 0..7 {
+            let mut c = SimConfig::new(TechNode::N7, bench);
+            c.cell_um = 200.0;
+            c.border_mm = 1.0;
+            c.substeps = 1;
+            c.sample_instrs = 8_000;
+            c.max_time_s = 1e-3;
+            c.warmup = Warmup::Cold;
+            c.target_core = core;
+            cfgs.push(c);
+        }
+    }
+    let total = cfgs.len();
+    let t0 = std::time::Instant::now();
+    let rs = run_many(cfgs, threads);
+    let wall = t0.elapsed().as_secs_f64();
+    let fired = rs.iter().filter(|r| r.tuh_s.is_some()).count();
+    let peak_rss_kb = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<u64>().ok())
+        })
+        .unwrap_or(0);
+    println!(
+        "runs={total} hotspots={fired} threads={threads} wall_s={wall:.3} peak_rss_kb={peak_rss_kb}"
+    );
+    assert_eq!(rs.len(), total);
+}

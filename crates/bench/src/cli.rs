@@ -5,8 +5,10 @@
 //! * `--json PATH` — write a schema-versioned [`RunManifest`] (results plus,
 //!   under `--features telemetry`, per-stage timing and solver counters)
 //!   atomically to PATH; `-` prints it to stdout.
-//! * `--threads N` — analysis worker threads per run (default: one per
-//!   hardware thread; results are bit-identical either way).
+//! * `--threads N` — thread budget: the sweep executor's worker-pool width
+//!   for multi-run bins, and the analysis worker threads for single runs
+//!   (default: one per hardware thread; results are bit-identical either
+//!   way). Sweep bins record the realized pool shape in their manifests.
 //! * `--quiet` — suppress the human-readable tables (useful with `--json`).
 //! * `--help` — print the shared usage text.
 //!
@@ -29,6 +31,8 @@ pub struct BinArgs {
     json_path: Option<String>,
     quiet: bool,
     threads: Option<usize>,
+    /// `(jobs, realized pool width)` of the bin's sweep, when noted.
+    sweep_shape: std::cell::Cell<Option<(usize, usize)>>,
     _report: TelemetryReport,
 }
 
@@ -91,8 +95,17 @@ impl BinArgs {
             json_path,
             quiet,
             threads,
+            sweep_shape: std::cell::Cell::new(None),
             _report,
         }
+    }
+
+    /// Notes the sweep size this bin is about to run with `threads` (the
+    /// value handed to `run_many`), so [`Self::emit_manifest`] can record
+    /// the realized executor pool shape.
+    pub fn note_sweep(&self, jobs: usize, threads: usize) {
+        self.sweep_shape
+            .set(Some((jobs, hotgauge_core::pool_workers(threads, jobs))));
     }
 
     /// Whether stdout tables should be suppressed.
@@ -132,6 +145,11 @@ impl BinArgs {
         }
         if let Some(n) = self.threads {
             manifest = manifest.with_config("threads", n);
+        }
+        if let Some((jobs, workers)) = self.sweep_shape.get() {
+            manifest = manifest
+                .with_config("sweep_jobs", jobs)
+                .with_config("sweep_workers", workers);
         }
         // Record the static-analysis policy the binary was built under, so
         // sweep artifacts are auditable against the rule set of their day.

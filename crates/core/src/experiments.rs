@@ -34,7 +34,11 @@ pub struct Fidelity {
     pub sample_instrs: u64,
     /// Simulated-time cap per run, seconds.
     pub max_time_s: f64,
-    /// Worker threads for sweeps.
+    /// Thread budget: the [`crate::sweep`] executor's worker-pool width for
+    /// the multi-run drivers (`0` = one per hardware thread), and — via
+    /// [`Fidelity::apply`] — the per-run analysis threads for single runs.
+    /// When a sweep uses more than one thread the executor serial-forces
+    /// the per-run analysis, so the two never oversubscribe the machine.
     pub threads: usize,
 }
 
@@ -50,6 +54,23 @@ impl Fidelity {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+        }
+    }
+
+    /// Smoke preset: a deliberately tiny grid and a 1 ms horizon, for CI
+    /// runs that exercise the bins' sweep plumbing (executor pool widths,
+    /// manifests, progress) rather than the physics.
+    pub fn smoke() -> Self {
+        /// One millisecond: long enough for a handful of windows, cheap
+        /// enough to sweep a whole figure grid in CI.
+        const SMOKE_HORIZON_S: f64 = 1e-3;
+        Self {
+            cell_um: 400.0,
+            border_mm: 1.0,
+            substeps: 1,
+            sample_instrs: 8_000,
+            max_time_s: SMOKE_HORIZON_S,
+            ..Self::fast()
         }
     }
 
@@ -81,13 +102,16 @@ impl Fidelity {
     }
 
     /// Selects a preset from the environment: `HOTGAUGE_FULL=1` for the
-    /// paper preset, `HOTGAUGE_MEDIUM=1` for medium, otherwise fast.
+    /// paper preset, `HOTGAUGE_MEDIUM=1` for medium, `HOTGAUGE_SMOKE=1`
+    /// for the tiny CI smoke grid, otherwise fast.
     pub fn from_env() -> Self {
         let is = |k: &str| std::env::var(k).map(|v| v == "1").unwrap_or(false);
         if is("HOTGAUGE_FULL") {
             Self::paper()
         } else if is("HOTGAUGE_MEDIUM") {
             Self::medium()
+        } else if is("HOTGAUGE_SMOKE") {
+            Self::smoke()
         } else {
             Self::fast()
         }

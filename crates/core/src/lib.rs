@@ -18,6 +18,8 @@
 //! * hotspot **location attribution** ([`locations`], Fig. 12);
 //! * the **perf-power-therm co-simulation** pipeline gluing the performance,
 //!   power, and thermal substrates together ([`pipeline`], Fig. 3);
+//! * the work-stealing **sweep executor** running whole figure grids on a
+//!   fixed pool with per-worker scratch arenas ([`sweep`]);
 //! * canned **experiment runners** for every table and figure
 //!   ([`experiments`]) and report formatting ([`report`]);
 //! * a severity-triggered **DVFS throttling** control loop ([`throttle`]) —
@@ -51,6 +53,7 @@ pub mod pipeline;
 pub mod report;
 pub mod series;
 pub mod severity;
+pub mod sweep;
 pub mod throttle;
 pub mod units;
 
@@ -63,6 +66,7 @@ pub use crate::mltd::{max_mltd, mltd_field, mltd_field_naive};
 pub use crate::pipeline::{run_many, run_sim, RunResult, SimConfig, StepRecord};
 pub use crate::series::{percentile, rms, BoxStats, TimeSeries};
 pub use crate::severity::{peak_severity, SeverityParams, Sigmoid};
+pub use crate::sweep::{pool_workers, run_sim_in, SweepArena};
 pub use crate::throttle::{run_throttled, ThrottlePolicy, ThrottledRunResult};
 pub use crate::units::{Celsius, Microns};
 

@@ -31,9 +31,9 @@ use hotgauge_thermal::frame::ThermalFrame;
 use hotgauge_thermal::model::{SolverStrategy, ThermalModel, ThermalSim};
 use hotgauge_thermal::stack::StackDescription;
 use hotgauge_thermal::warmup::Warmup;
+use hotgauge_workloads::benchmark_profile;
 use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::idle::{idle_profile, IDLE_DUTY_CYCLE, IDLE_WARMUP_DURATION_S};
-use hotgauge_workloads::spec2006;
 
 use crate::analysis::{AnalysisConfig, FrameAnalyzer};
 use crate::detect::HotspotParams;
@@ -265,9 +265,11 @@ pub struct WindowProgress {
     pub max_time_s: f64,
 }
 
-/// Runs many configurations on a thread pool; results keep input order.
+/// Runs many configurations on the work-stealing sweep executor; results
+/// keep input order. `threads = 0` sizes the pool to the hardware. See
+/// [`crate::sweep`] for the executor and its per-worker scratch arenas.
 pub fn run_many(cfgs: Vec<SimConfig>, threads: usize) -> Vec<RunResult> {
-    run_many_with(cfgs, threads, None)
+    crate::sweep::run_many_with(cfgs, threads, None)
 }
 
 /// [`run_many`] with an optional completion callback, invoked from worker
@@ -277,54 +279,15 @@ pub fn run_many_with(
     threads: usize,
     on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
 ) -> Vec<RunResult> {
-    assert!(threads >= 1);
-    let n = cfgs.len();
-    let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let completed = std::sync::atomic::AtomicUsize::new(0);
-    let cfgs_ref = &cfgs;
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let mut cfg = cfgs_ref[i].clone();
-                if threads > 1 {
-                    // Sweep workers already saturate the machine; per-run
-                    // analysis threads and the overlap worker would only
-                    // oversubscribe it. Results are identical either way.
-                    cfg.analysis = cfg.analysis.serial();
-                }
-                let r = run_sim(cfg);
-                results_mutex.lock()[i] = Some(r);
-                let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                if let Some(cb) = on_done {
-                    cb(SweepProgress {
-                        done,
-                        total: n,
-                        benchmark: cfgs_ref[i].benchmark.clone(),
-                        node: cfgs_ref[i].node,
-                        target_core: cfgs_ref[i].target_core,
-                    });
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        // hotgauge-lint: allow(L001, "the scoped workers drain indices 0..n before the scope joins, so every slot is Some; a panic in a worker already propagated at scope exit")
-        .map(|r| r.expect("every run completed"))
-        .collect()
+    crate::sweep::run_many_with(cfgs, threads, on_done)
 }
 
 /// A rejected [`SimConfig`]. These are the user-input-reachable failure
 /// modes (CLI flags, sweep manifests); bench bins map them to exit code 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
-    /// The benchmark name is neither `idle` nor a known SPEC2006 proxy.
+    /// The benchmark name is not `idle`, a known SPEC2006 proxy, or a
+    /// server-trace workload.
     UnknownBenchmark(String),
     /// `target_core` does not exist on the 7-core Skylake proxy.
     TargetCoreOutOfRange(usize),
@@ -340,7 +303,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::UnknownBenchmark(name) => {
                 write!(
                     f,
-                    "unknown benchmark `{name}` (not `idle` or a SPEC2006 proxy)"
+                    "unknown benchmark `{name}` (not `idle`, a SPEC2006 proxy, or a server trace)"
                 )
             }
             ConfigError::TargetCoreOutOfRange(core) => {
@@ -405,56 +368,75 @@ impl CoSimulation {
     /// returning a typed [`ConfigError`] on user-reachable misconfiguration
     /// instead of panicking.
     pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        Self::try_new_reusing(cfg, None)
+    }
+
+    /// [`CoSimulation::try_new`], optionally recycling the geometry-keyed
+    /// model parts of a previous same-geometry run (see [`crate::sweep`]).
+    ///
+    /// With `geom: Some(..)` the floorplan, rasterized grids, power model,
+    /// and prepared thermal solver are adopted instead of rebuilt; the
+    /// thermal *state* is reset to exactly the fresh-construction initial
+    /// condition, so the run is bit-identical to one built from scratch.
+    /// The caller must only pass parts produced under the same
+    /// [`crate::sweep::geom_key`].
+    pub(crate) fn try_new_reusing(
+        cfg: SimConfig,
+        geom: Option<GeomParts>,
+    ) -> Result<Self, ConfigError> {
         if cfg.target_core >= 7 {
             return Err(ConfigError::TargetCoreOutOfRange(cfg.target_core));
         }
         if cfg.substeps < 1 {
             return Err(ConfigError::ZeroSubsteps);
         }
-        if cfg.benchmark != "idle" && spec2006::profile(&cfg.benchmark).is_none() {
+        if benchmark_profile(&cfg.benchmark).is_none() {
             return Err(ConfigError::UnknownBenchmark(cfg.benchmark.clone()));
         }
 
-        let fp = build_floorplan(&cfg);
+        let (fp, grid, grid_peaked, power, recycled_thermal) = match geom {
+            Some(parts) => (
+                parts.fp,
+                parts.grid,
+                parts.grid_peaked,
+                parts.power,
+                Some(parts.thermal),
+            ),
+            None => {
+                let fp = build_floorplan(&cfg);
+                // Two rasterizations: leakage + clock power spreads uniformly
+                // over each unit, while utilization-driven switching
+                // concentrates in the unit's hot structures (see
+                // `rasterize_with_concentration`).
+                let grid = FloorplanGrid::rasterize(&fp, cfg.cell_um);
+                let grid_peaked = FloorplanGrid::rasterize_with_concentration(
+                    &fp,
+                    cfg.cell_um,
+                    Some(UNIT_POWER_CONCENTRATION),
+                );
+
+                // Power is built against the *baseline* floorplan of the node
+                // so that mitigation floorplans redistribute the same watts
+                // over more area (area scaling as a power-density proxy,
+                // §V-A). Unit order is identical between baseline and scaled
+                // floorplans by construction.
+                let baseline = SkylakeProxy::new(cfg.node).build();
+                assert_eq!(baseline.units.len(), fp.units.len());
+                let power = PowerModel::new(&baseline, cfg.node, PowerParams::default());
+                (fp, grid, grid_peaked, power, None)
+            }
+        };
         for name in &cfg.track_units {
             if fp.unit_index_by_name(name).is_none() {
                 return Err(ConfigError::UnknownTrackedUnit(name.clone()));
             }
         }
-        // Two rasterizations: leakage + clock power spreads uniformly over
-        // each unit, while utilization-driven switching concentrates in the
-        // unit's hot structures (see `rasterize_with_concentration`).
-        let grid = FloorplanGrid::rasterize(&fp, cfg.cell_um);
-        let grid_peaked = FloorplanGrid::rasterize_with_concentration(
-            &fp,
-            cfg.cell_um,
-            Some(UNIT_POWER_CONCENTRATION),
-        );
-
-        // Power is built against the *baseline* floorplan of the node so
-        // that mitigation floorplans redistribute the same watts over more
-        // area (area scaling as a power-density proxy, §V-A). Unit order is
-        // identical between baseline and scaled floorplans by construction.
-        let baseline = SkylakeProxy::new(cfg.node).build();
-        assert_eq!(baseline.units.len(), fp.units.len());
-        let power = PowerModel::new(&baseline, cfg.node, PowerParams::default());
-
-        let stack = StackDescription::client_cpu_with_border(
-            grid.nx,
-            grid.ny,
-            cfg.cell_um,
-            cfg.border_mm * units::M_PER_MM,
-        );
-        let model = ThermalModel::new(stack);
 
         // Workload stream + core, warmed up before the ROI as in the paper.
-        let profile = if cfg.benchmark == "idle" {
-            idle_profile()
-        } else {
-            spec2006::profile(&cfg.benchmark)
-                // hotgauge-lint: allow(L001, "benchmark name validated at the top of try_new; a miss here is a bug, not user input")
-                .unwrap_or_else(|| panic!("unknown benchmark {}", cfg.benchmark))
-        };
+        // Never recycled: the stream depends on benchmark and seed.
+        let profile = benchmark_profile(&cfg.benchmark)
+            // hotgauge-lint: allow(L001, "benchmark name validated at the top of try_new_reusing; a miss here is a bug, not user input")
+            .unwrap_or_else(|| panic!("unknown benchmark {}", cfg.benchmark));
         let seed = cfg.seed
             ^ (cfg.target_core as u64) << 32
             ^ (cfg.node.generations_from_14() as u64) << 40;
@@ -468,20 +450,43 @@ impl CoSimulation {
         idle_core.warm_up(&mut idle_gen, 200_000);
         let idle_act = idle_core.run_instructions(&mut idle_gen, 50_000);
 
-        // Thermal initial condition.
-        let ambient = model.stack().ambient_c;
-        let mut thermal = ThermalSim::new(model, ambient);
+        // Thermal initial condition. A recycled solver keeps its prepared
+        // system (the backward-Euler matrix and Cholesky factor / CG
+        // workspace are functions of geometry + dt + strategy only, all part
+        // of the arena key) but is reset to the uniform ambient state a
+        // fresh `ThermalSim::new` starts from, so the warm-up below — and
+        // everything after it — sees exactly the fresh-construction state.
+        let mut thermal = match recycled_thermal {
+            Some(mut t) => {
+                t.set_uniform(t.model().stack().ambient_c);
+                t
+            }
+            None => {
+                let stack = StackDescription::client_cpu_with_border(
+                    grid.nx,
+                    grid.ny,
+                    cfg.cell_um,
+                    cfg.border_mm * units::M_PER_MM,
+                );
+                let model = ThermalModel::new(stack);
+                let ambient = model.stack().ambient_c;
+                let mut t = ThermalSim::new(model, ambient);
+                t.set_strategy(cfg.solver);
+                t
+            }
+        };
         // Backward-Euler steps are solved to a relative residual that is far
         // below per-step temperature changes; tighter tolerances cost CG
         // iterations without changing any metric.
         thermal.cg.tolerance = 1e-6;
-        thermal.set_strategy(cfg.solver);
         if cfg.warmup == Warmup::Idle {
             let state = warmup_state_cached(&cfg, &fp, &grid, &power, &thermal, &idle_act);
             thermal.set_state(state);
         }
         // Prepare the solver for the run's substep size now, so the one-time
-        // factorization cost lands in construction rather than the first step.
+        // factorization cost lands in construction rather than the first
+        // step. A no-op on recycled solvers (same dt): the factor-once win
+        // the sweep arenas exist for.
         thermal.prepare(cfg.window_seconds() / cfg.substeps as f64);
 
         Ok(Self {
@@ -551,6 +556,29 @@ impl CoSimulation {
     /// in send order, so every record, census entry, and series value is
     /// bit-identical to the serial schedule.
     pub fn run_with_progress(self, on_window: Option<&dyn Fn(WindowProgress)>) -> RunResult {
+        let analyzer = FrameAnalyzer::new(
+            self.cfg.detect,
+            self.cfg.severity,
+            self.cfg.analysis.threads,
+        );
+        self.run_with_analyzer(analyzer, on_window).0
+    }
+
+    /// [`CoSimulation::run_with_progress`] on a caller-supplied (possibly
+    /// recycled) [`FrameAnalyzer`], handing the analyzer and the
+    /// geometry-keyed model parts back for reuse by the next same-geometry
+    /// run. The analyzer is re-targeted at this run's parameters first, so a
+    /// dirty analyzer produces bit-identical results to a fresh one.
+    pub(crate) fn run_with_analyzer(
+        self,
+        mut analyzer: FrameAnalyzer,
+        on_window: Option<&dyn Fn(WindowProgress)>,
+    ) -> (RunResult, FrameAnalyzer, GeomParts) {
+        analyzer.reconfigure(
+            self.cfg.detect,
+            self.cfg.severity,
+            self.cfg.analysis.threads,
+        );
         let window_s = self.cfg.window_seconds();
         let dt_sub = window_s / self.cfg.substeps as f64;
         let track_idx: Vec<usize> = self
@@ -593,7 +621,7 @@ impl CoSimulation {
             cfg.analysis.overlap && !(cfg.stop_at_first_hotspot && cfg.delta_histogram.is_some());
 
         let mut ctx = AnalysisCtx {
-            analyzer: FrameAnalyzer::new(cfg.detect, cfg.severity, cfg.analysis.threads),
+            analyzer,
             cfg: &cfg,
             fp: &fp,
             grid: &grid,
@@ -757,6 +785,7 @@ impl CoSimulation {
         }
 
         let AnalysisCtx {
+            analyzer,
             records,
             sev_series,
             census,
@@ -781,7 +810,7 @@ impl CoSimulation {
         } else {
             thermal.die_frame()
         };
-        RunResult {
+        let result = RunResult {
             config: cfg,
             records,
             tuh_s: tuh,
@@ -790,8 +819,31 @@ impl CoSimulation {
             total_instructions,
             final_frame,
             sev_series,
-        }
+        };
+        let parts = GeomParts {
+            fp,
+            grid,
+            grid_peaked,
+            power,
+            thermal,
+        };
+        (result, analyzer, parts)
     }
+}
+
+/// The geometry-keyed model parts of one co-simulation — everything that
+/// depends only on the floorplan/grid/solver shape of a [`SimConfig`], not
+/// on its workload or seed. A sweep worker hands these from a finished run
+/// to the next run with the same [`crate::sweep::geom_key`], skipping the
+/// floorplan build, the two rasterizations, the power-model assembly, and —
+/// the expensive part — the thermal-system preparation (Cholesky
+/// factorization / CG workspace).
+pub(crate) struct GeomParts {
+    pub(crate) fp: Floorplan,
+    pub(crate) grid: FloorplanGrid,
+    pub(crate) grid_peaked: FloorplanGrid,
+    pub(crate) power: PowerModel,
+    pub(crate) thermal: ThermalSim,
 }
 
 /// One produced perf/power window, ready for thermal substepping.

@@ -1,0 +1,434 @@
+//! Work-stealing sweep executor with per-worker scratch arenas.
+//!
+//! The figure sweeps (Fig. 10/11, §V-B) are wide grids of independent
+//! co-simulation runs. The executor here runs such a grid on a fixed pool
+//! of workers pulling jobs from a chunked injector deque, stealing from
+//! each other when their share runs dry — and gives each worker a
+//! [`SweepArena`]: a small cache of geometry-keyed model parts (floorplan,
+//! rasterized grids, power model, prepared thermal solver with its Cholesky
+//! factor / CG workspace) plus one reusable [`FrameAnalyzer`]. Repeated
+//! same-geometry runs — the common case in every figure sweep — then skip
+//! model assembly and the per-`Δt` solver preparation entirely and allocate
+//! near-zero.
+//!
+//! Results are **order-preserving and bit-identical** to running each
+//! config through [`crate::pipeline::run_sim`] serially (with the sweep's
+//! serial-forcing rule applied to `AnalysisConfig`): the scheduler only
+//! decides *where* a run executes, and arena recycling restores exactly the
+//! fresh-construction state (`tests/sweep_equivalence.rs` pins both down).
+//!
+//! Telemetry: `sweep.jobs` / `sweep.completions` count scheduled and
+//! finished runs (always equal), `sweep.steal` counts cross-worker steals
+//! (≤ jobs), `sweep.arena_reuse` counts geometry-cache hits, and
+//! `sweep.queue_depth` samples the injector backlog at each chunk grab; the
+//! whole pool runs under a `sweep.executor` span.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use hotgauge_telemetry::{counter, span};
+
+use crate::analysis::FrameAnalyzer;
+use crate::pipeline::{CoSimulation, GeomParts, RunResult, SimConfig, SweepProgress};
+
+/// Geometry entries an arena keeps before evicting the oldest. Sweeps cycle
+/// over a handful of geometries (fig10: one per node), so a small FIFO
+/// bounds peak RSS without costing hits.
+const MAX_ARENA_GEOMETRIES: usize = 8;
+
+/// Per-worker scratch arena: recycled geometry-keyed model parts plus one
+/// reusable frame analyzer. Owned by exactly one worker, so no locking.
+///
+/// Runs executed through [`run_sim_in`] are bit-identical whether the arena
+/// is fresh or dirty — recycling only skips rebuilding state that is a pure
+/// function of the config's geometry (see [`geom_key`]).
+pub struct SweepArena {
+    /// FIFO of `(geometry key, parts)`; linear scan (≤ 8 entries).
+    geoms: Vec<(String, GeomParts)>,
+    analyzer: Option<FrameAnalyzer>,
+}
+
+impl SweepArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self {
+            geoms: Vec::new(),
+            analyzer: None,
+        }
+    }
+
+    /// Number of geometry entries currently cached.
+    pub fn cached_geometries(&self) -> usize {
+        self.geoms.len()
+    }
+
+    fn take_geom(&mut self, key: &str) -> Option<GeomParts> {
+        let pos = self.geoms.iter().position(|(k, _)| k == key)?;
+        Some(self.geoms.remove(pos).1)
+    }
+
+    fn store_geom(&mut self, key: String, parts: GeomParts) {
+        if self.geoms.len() >= MAX_ARENA_GEOMETRIES {
+            self.geoms.remove(0);
+        }
+        self.geoms.push((key, parts));
+    }
+}
+
+impl Default for SweepArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SweepArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepArena")
+            .field("cached_geometries", &self.geoms.len())
+            .field("has_analyzer", &self.analyzer.is_some())
+            .finish()
+    }
+}
+
+/// The arena cache key of a config: every [`SimConfig`] field the floorplan,
+/// rasterized grids, power model, thermal stack, or prepared solver depends
+/// on. Two configs with equal keys build bit-identical model parts; fields
+/// that only shape the *run* (benchmark, seed, warm-up, thresholds,
+/// horizons, analysis strategy) are deliberately excluded.
+pub(crate) fn geom_key(cfg: &SimConfig) -> String {
+    use std::fmt::Write;
+    let mut key = format!(
+        "{:?}|{}|{}|{}|{}|{}",
+        cfg.node,
+        cfg.cell_um.to_bits(),
+        cfg.border_mm.to_bits(),
+        cfg.substeps,
+        cfg.solver,
+        cfg.ic_area_factor.to_bits(),
+    );
+    for (kind, factor) in &cfg.unit_scales {
+        let _ = write!(key, "|{kind:?}*{}", factor.to_bits());
+    }
+    key
+}
+
+/// [`crate::pipeline::run_sim`] executing inside an arena: same-geometry
+/// model parts and the frame analyzer are recycled from (and returned to)
+/// `arena`. Bit-identical to `run_sim(cfg)` for any arena state.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, like `run_sim` /
+/// [`CoSimulation::new`] (user-input paths validate through
+/// [`CoSimulation::try_new`] first).
+pub fn run_sim_in(cfg: SimConfig, arena: &mut SweepArena) -> RunResult {
+    let key = geom_key(&cfg);
+    let (detect, severity, threads) = (cfg.detect, cfg.severity, cfg.analysis.threads);
+    let geom = arena.take_geom(&key);
+    if geom.is_some() {
+        counter!("sweep.arena_reuse", 1);
+    }
+    let sim = CoSimulation::try_new_reusing(cfg, geom)
+        // hotgauge-lint: allow(L001, "programmatic entry point mirroring run_sim/CoSimulation::new; user-input paths validate through try_new and exit 2")
+        .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+    let analyzer = arena
+        .analyzer
+        .take()
+        .unwrap_or_else(|| FrameAnalyzer::new(detect, severity, threads));
+    let (result, analyzer, parts) = sim.run_with_analyzer(analyzer, None);
+    arena.analyzer = Some(analyzer);
+    arena.store_geom(key, parts);
+    result
+}
+
+/// The worker-pool width a sweep of `jobs` runs will use for a `--threads`
+/// value of `threads` (`0` = one per hardware thread). Exposed so the bench
+/// bins can record the realized pool shape in their run manifests.
+pub fn pool_workers(threads: usize, jobs: usize) -> usize {
+    resolved_threads(threads).min(jobs)
+}
+
+/// `--threads` semantics: `0` means one worker per hardware thread.
+fn resolved_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs many configurations on the work-stealing pool; results keep input
+/// order. `threads = 0` sizes the pool to the hardware; an empty batch
+/// returns immediately for any `threads`. `on_done` is invoked from worker
+/// threads as each run finishes (sweep liveness for long experiments).
+pub fn run_many_with(
+    cfgs: Vec<SimConfig>,
+    threads: usize,
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<RunResult> {
+    let n = cfgs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let _executor = span!("sweep.executor");
+    counter!("sweep.jobs", n);
+    let requested = resolved_threads(threads);
+    // Serial-forcing rule: sweep workers already saturate the machine, so
+    // per-run analysis threads and the overlap worker would only
+    // oversubscribe it. Keyed on the requested thread budget — not the
+    // realized pool width — so a single-job sweep at `--threads 8` reports
+    // the same (serial-forced) `AnalysisConfig` in its `RunResult` as it
+    // always has. Results are identical either way.
+    let force_serial = requested > 1;
+    let workers = requested.min(n);
+
+    if workers == 1 {
+        // Degenerate pool: run inline on the caller thread, still
+        // arena-backed so same-geometry runs factor once.
+        let mut arena = SweepArena::new();
+        return cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut cfg = c.clone();
+                if force_serial {
+                    cfg.analysis = cfg.analysis.serial();
+                }
+                let r = run_sim_in(cfg, &mut arena);
+                counter!("sweep.completions", 1);
+                if let Some(cb) = on_done {
+                    cb(SweepProgress {
+                        done: i + 1,
+                        total: n,
+                        benchmark: c.benchmark.clone(),
+                        node: c.node,
+                        target_core: c.target_core,
+                    });
+                }
+                r
+            })
+            .collect();
+    }
+
+    // Chunked injector: jobs enter as contiguous index ranges of ~1/4 of a
+    // fair share, so workers refill a few jobs at a time (amortizing the
+    // injector lock) while the tail still balances across the pool.
+    let chunk = (n / (workers * 4)).max(1);
+    let mut backlog: VecDeque<Range<usize>> = VecDeque::new();
+    let mut at = 0;
+    while at < n {
+        let end = (at + chunk).min(n);
+        backlog.push_back(at..end);
+        at = end;
+    }
+    let injector = parking_lot::Mutex::new(backlog);
+    let locals: Vec<parking_lot::Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|_| parking_lot::Mutex::new(VecDeque::new()))
+        .collect();
+
+    let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let completed = std::sync::atomic::AtomicUsize::new(0);
+    let cfgs_ref = &cfgs;
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let injector = &injector;
+            let locals = &locals;
+            let results_mutex = &results_mutex;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut arena = SweepArena::new();
+                while let Some(i) = next_job(me, injector, locals) {
+                    let mut cfg = cfgs_ref[i].clone();
+                    if force_serial {
+                        cfg.analysis = cfg.analysis.serial();
+                    }
+                    let r = run_sim_in(cfg, &mut arena);
+                    results_mutex.lock()[i] = Some(r);
+                    let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    counter!("sweep.completions", 1);
+                    if let Some(cb) = on_done {
+                        cb(SweepProgress {
+                            done,
+                            total: n,
+                            benchmark: cfgs_ref[i].benchmark.clone(),
+                            node: cfgs_ref[i].node,
+                            target_core: cfgs_ref[i].target_core,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        // hotgauge-lint: allow(L001, "every job index is claimed by exactly one worker before the scope joins, so every slot is Some; a worker panic already propagated at scope exit")
+        .map(|r| r.expect("every run completed"))
+        .collect()
+}
+
+/// Claims the next job for worker `me`: own deque first, then a chunk from
+/// the injector (first job runs now, the rest queue locally where
+/// neighbours can steal them), then a steal from another worker's deque.
+/// `None` means every queue is empty — all remaining jobs are already
+/// claimed by other workers, so `me` can retire; nothing re-enqueues.
+fn next_job(
+    me: usize,
+    injector: &parking_lot::Mutex<VecDeque<Range<usize>>>,
+    locals: &[parking_lot::Mutex<VecDeque<usize>>],
+) -> Option<usize> {
+    if let Some(i) = locals[me].lock().pop_front() {
+        return Some(i);
+    }
+    let grabbed = {
+        let mut inj = injector.lock();
+        let chunk = inj.pop_front();
+        if chunk.is_some() {
+            counter!("sweep.queue_depth", inj.len());
+        }
+        chunk
+    };
+    if let Some(mut range) = grabbed {
+        let first = range.next();
+        if range.start < range.end {
+            locals[me].lock().extend(range);
+        }
+        return first;
+    }
+    // Steal from the *back* of a victim's deque — the jobs its owner would
+    // reach last — scanning neighbours round-robin from our right.
+    for k in 1..locals.len() {
+        let victim = (me + k) % locals.len();
+        if let Some(i) = locals[victim].lock().pop_back() {
+            counter!("sweep.steal", 1);
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotgauge_floorplan::tech::TechNode;
+    use hotgauge_thermal::warmup::Warmup;
+
+    fn quick_cfg(benchmark: &str) -> SimConfig {
+        let mut c = SimConfig::new(TechNode::N7, benchmark);
+        c.cell_um = 300.0;
+        c.substeps = 1;
+        c.sample_instrs = 8_000;
+        c.max_time_s = 6e-4;
+        c.warmup = Warmup::Cold;
+        c
+    }
+
+    #[test]
+    fn empty_batch_returns_cleanly_for_any_thread_count() {
+        for threads in [0, 1, 7] {
+            assert!(run_many_with(Vec::new(), threads, None).is_empty());
+        }
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_hardware_pool() {
+        let rs = run_many_with(vec![quick_cfg("hmmer")], 0, None);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].config.benchmark, "hmmer");
+    }
+
+    #[test]
+    fn more_threads_than_jobs_preserves_order_and_serial_forcing() {
+        let rs = run_many_with(vec![quick_cfg("hmmer"), quick_cfg("povray")], 8, None);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].config.benchmark, "hmmer");
+        assert_eq!(rs[1].config.benchmark, "povray");
+        for r in &rs {
+            // The serial-forcing rule keys on the requested budget (8 > 1)
+            // even though only two workers exist.
+            assert_eq!(r.config.analysis.threads, 1);
+            assert!(!r.config.analysis.overlap);
+        }
+    }
+
+    #[test]
+    fn single_job_single_thread_keeps_analysis_config() {
+        let cfg = quick_cfg("hmmer");
+        let want = cfg.analysis;
+        let rs = run_many_with(vec![cfg], 1, None);
+        assert_eq!(
+            rs[0].config.analysis, want,
+            "threads=1 must not serial-force"
+        );
+    }
+
+    #[test]
+    fn progress_callback_reaches_total_exactly_once_per_job() {
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let cb = |p: SweepProgress| seen.lock().push(p.done);
+        let cfgs = vec![quick_cfg("hmmer"); 5];
+        let rs = run_many_with(cfgs, 2, Some(&cb));
+        assert_eq!(rs.len(), 5);
+        let mut dones = seen.into_inner();
+        dones.sort_unstable();
+        assert_eq!(dones, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn arena_reuse_is_bitwise_identical_to_fresh_runs() {
+        let mut arena = SweepArena::new();
+        let a1 = run_sim_in(quick_cfg("hmmer"), &mut arena);
+        assert_eq!(arena.cached_geometries(), 1);
+        // Second run hits the cached geometry; reference comes from a
+        // fresh arena (= fresh construction).
+        let a2 = run_sim_in(quick_cfg("povray"), &mut arena);
+        let b2 = run_sim_in(quick_cfg("povray"), &mut SweepArena::new());
+        assert_eq!(a2.records, b2.records);
+        assert_eq!(a2.final_frame, b2.final_frame);
+        assert_eq!(a2.sev_series, b2.sev_series);
+        assert_eq!(a2.total_instructions, b2.total_instructions);
+        assert_eq!(a1.config.benchmark, "hmmer");
+    }
+
+    #[test]
+    fn arena_caches_per_geometry_and_evicts_fifo() {
+        let mut arena = SweepArena::new();
+        for i in 0..(MAX_ARENA_GEOMETRIES + 2) {
+            let mut c = quick_cfg("hmmer");
+            c.cell_um = 300.0 + 10.0 * i as f64; // distinct geometry each
+            c.max_time_s = 2e-4;
+            run_sim_in(c, &mut arena);
+        }
+        assert_eq!(arena.cached_geometries(), MAX_ARENA_GEOMETRIES);
+    }
+
+    #[test]
+    fn geom_key_separates_geometry_but_not_workload() {
+        let a = quick_cfg("hmmer");
+        let mut b = quick_cfg("povray");
+        b.seed = 99;
+        b.warmup = Warmup::Idle;
+        b.stop_at_first_hotspot = true;
+        assert_eq!(
+            geom_key(&a),
+            geom_key(&b),
+            "workload fields must not split the key"
+        );
+        let mut c = quick_cfg("hmmer");
+        c.cell_um = 299.0;
+        assert_ne!(geom_key(&a), geom_key(&c));
+        let mut d = quick_cfg("hmmer");
+        d.substeps = 2;
+        assert_ne!(geom_key(&a), geom_key(&d));
+    }
+
+    #[test]
+    fn pool_workers_resolves_auto_and_caps_at_jobs() {
+        assert_eq!(pool_workers(4, 2), 2);
+        assert_eq!(pool_workers(2, 100), 2);
+        assert!(pool_workers(0, 100) >= 1);
+        assert_eq!(pool_workers(3, 0), 0);
+    }
+}

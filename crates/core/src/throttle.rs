@@ -21,9 +21,9 @@ use hotgauge_power::model::{CoreWindow, PowerModel, PowerParams};
 use hotgauge_thermal::model::{ThermalModel, ThermalSim};
 use hotgauge_thermal::stack::StackDescription;
 use hotgauge_thermal::warmup::Warmup;
+use hotgauge_workloads::benchmark_profile;
 use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::idle::{idle_profile, IDLE_DUTY_CYCLE};
-use hotgauge_workloads::spec2006;
 
 use crate::analysis::FrameAnalyzer;
 use crate::pipeline::{build_floorplan, unit_temperatures, SimConfig, UNIT_POWER_CONCENTRATION};
@@ -115,7 +115,7 @@ pub fn run_throttled(cfg: &SimConfig, policy: Option<ThrottlePolicy>) -> Throttl
     let mut thermal = ThermalSim::new(model, ambient);
     thermal.cg.tolerance = 1e-6;
 
-    let profile = spec2006::profile(&cfg.benchmark)
+    let profile = benchmark_profile(&cfg.benchmark)
         // hotgauge-lint: allow(L001, "throttle runs take benchmarks validated at the CLI/SimConfig boundary; a miss here is a bug, not user input")
         .unwrap_or_else(|| panic!("unknown benchmark {}", cfg.benchmark));
     let mut gen = WorkloadGen::new(profile, cfg.seed);

@@ -2,10 +2,14 @@
 //!
 //! The original study traces real SPEC2006 binaries with a Pin-based
 //! simulator; this crate substitutes **statistical workload models**: one
-//! calibrated profile per benchmark ([`spec2006`]), a deterministic micro-op
-//! stream generator ([`generator`]), the idle/OS background task used
-//! for thermal warm-up ([`idle`]), and binary trace recording/replay
+//! calibrated profile per benchmark ([`spec2006`]), bursty server traces
+//! that hover at the hotspot threshold ([`server`]), a deterministic
+//! micro-op stream generator ([`generator`]), the idle/OS background task
+//! used for thermal warm-up ([`idle`]), and binary trace recording/replay
 //! ([`trace`]) for Sniper-style trace-driven runs.
+//!
+//! [`benchmark_profile`] is the combined name lookup the pipeline uses: it
+//! resolves `idle`, every SPEC2006 proxy, and every server trace.
 //!
 //! # Examples
 //!
@@ -27,6 +31,7 @@
 pub mod generator;
 pub mod idle;
 pub mod profile;
+pub mod server;
 pub mod spec2006;
 pub mod trace;
 
@@ -35,10 +40,21 @@ pub use crate::idle::{idle_profile, IDLE_DUTY_CYCLE, IDLE_WARMUP_DURATION_S};
 pub use crate::profile::{BranchBehavior, InstMix, MemoryBehavior, Phase, WorkloadProfile};
 pub use crate::trace::{Trace, TraceReplay};
 
+/// Resolves any modeled benchmark name — `idle`, a SPEC2006 proxy, or a
+/// server trace — to its workload profile.
+pub fn benchmark_profile(name: &str) -> Option<WorkloadProfile> {
+    if name == "idle" {
+        return Some(idle_profile());
+    }
+    spec2006::profile(name).or_else(|| server::profile(name))
+}
+
 /// Convenient glob import of the most used items.
 pub mod prelude {
+    pub use crate::benchmark_profile;
     pub use crate::generator::WorkloadGen;
     pub use crate::idle::{idle_profile, IDLE_DUTY_CYCLE, IDLE_WARMUP_DURATION_S};
     pub use crate::profile::{InstMix, MemoryBehavior, Phase, WorkloadProfile};
+    pub use crate::server;
     pub use crate::spec2006;
 }

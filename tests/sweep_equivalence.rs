@@ -1,0 +1,227 @@
+//! Differential sweep-equivalence suite for the work-stealing executor.
+//!
+//! The contract under test (`hotgauge_core::sweep`): running a batch of
+//! configurations through the pooled executor — at any pool width, with any
+//! arena state — produces **bit-identical, order-preserving** results to
+//! running each configuration through the serial `run_sim` path, with the
+//! sweep's serial-forcing rule applied to `AnalysisConfig` whenever more
+//! than one thread is requested. Proptest generates heterogeneous batches
+//! (mixed benchmarks, nodes, grid geometries, seeds, analysis strategies)
+//! so the arenas see both cache hits and geometry churn.
+//!
+//! All tests share one process-wide gate: the telemetry recorder is global,
+//! so the counter-invariant checks must not interleave with other sweeps in
+//! this binary.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+
+use hotgauge_core::analysis::AnalysisConfig;
+use hotgauge_core::pipeline::{run_many, run_sim, RunResult, SimConfig};
+use hotgauge_core::{run_sim_in, SweepArena};
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_thermal::warmup::Warmup;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Full bit-level equality of two runs, config included (`SimConfig` has no
+/// `PartialEq`; its canonical JSON form is compared instead).
+fn assert_same_run(a: &RunResult, b: &RunResult) {
+    assert_eq!(
+        serde_json::to_string(&a.config).unwrap(),
+        serde_json::to_string(&b.config).unwrap()
+    );
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.tuh_s, b.tuh_s);
+    assert_eq!(a.census, b.census);
+    assert_eq!(a.delta_hist, b.delta_hist);
+    assert_eq!(a.total_instructions, b.total_instructions);
+    assert_eq!(a.final_frame, b.final_frame);
+    assert_eq!(a.sev_series, b.sev_series);
+}
+
+fn base_cfg(benchmark: &str) -> SimConfig {
+    let mut c = SimConfig::new(TechNode::N7, benchmark);
+    c.cell_um = 300.0;
+    c.border_mm = 1.0;
+    c.substeps = 1;
+    c.sample_instrs = 8_000;
+    c.max_time_s = 5e-4;
+    c.warmup = Warmup::Cold;
+    c
+}
+
+/// Heterogeneous sweep entries: SPEC proxies and server traces over several
+/// geometries (so arenas hit, miss, and evict), varying seeds, target cores,
+/// substep counts, and analysis strategies (so serial-forcing matters).
+/// Every dimension is sliced deterministically out of one entropy word.
+fn cfg_from_entropy(bits: u64) -> SimConfig {
+    let benches = ["hmmer", "povray", "gcc", "server_web", "server_kv"];
+    let mut c = base_cfg(benches[(bits % 5) as usize]);
+    c.cell_um = [300.0, 360.0, 420.0][((bits >> 3) % 3) as usize];
+    c.node = if (bits >> 5) & 1 == 0 {
+        TechNode::N7
+    } else {
+        TechNode::N10
+    };
+    c.seed = (bits >> 8) % 8;
+    c.target_core = ((bits >> 11) % 3) as usize;
+    c.substeps = 1 + ((bits >> 13) % 2) as usize;
+    c.analysis = AnalysisConfig {
+        threads: 2,
+        overlap: (bits >> 15) & 1 == 1,
+        prefilter: true,
+    };
+    c
+}
+
+proptest! {
+    // Each case runs every config five times (two references + three pool
+    // widths); keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // The headline differential: old-path serial reference vs the pool at
+    // widths 1, 2, and 8, on proptest-generated heterogeneous batches.
+    #[test]
+    fn pool_matches_serial_reference_at_all_widths(
+        entropy in prop::collection::vec(0u64..u64::MAX, 2..5),
+    ) {
+        let _g = lock();
+        let cfgs: Vec<SimConfig> = entropy.into_iter().map(cfg_from_entropy).collect();
+        // Width 1 never serial-forces, wider pools always do (the rule keys
+        // on the requested budget); both references come from the serial
+        // `run_sim` path the executor replaced.
+        let ref_plain: Vec<RunResult> = cfgs.iter().cloned().map(run_sim).collect();
+        let ref_serial: Vec<RunResult> = cfgs
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.analysis = c.analysis.serial();
+                run_sim(c)
+            })
+            .collect();
+        for width in [1usize, 2, 8] {
+            let got = run_many(cfgs.clone(), width);
+            let want = if width == 1 { &ref_plain } else { &ref_serial };
+            prop_assert_eq!(got.len(), cfgs.len());
+            for (g, w) in got.iter().zip(want) {
+                assert_same_run(g, w);
+            }
+        }
+    }
+
+    // A dirty arena (random geometry churn from preceding runs) never
+    // changes a result: every run equals the same run on a fresh arena.
+    #[test]
+    fn dirty_arena_is_bitwise_equal_to_fresh_arena(
+        entropy in prop::collection::vec(0u64..u64::MAX, 3..6),
+    ) {
+        let _g = lock();
+        let cfgs: Vec<SimConfig> = entropy.into_iter().map(cfg_from_entropy).collect();
+        let mut arena = SweepArena::new();
+        for cfg in cfgs {
+            let dirty = run_sim_in(cfg.clone(), &mut arena);
+            let fresh = run_sim_in(cfg, &mut SweepArena::new());
+            assert_same_run(&dirty, &fresh);
+        }
+    }
+}
+
+/// Results come back in input order regardless of which worker ran what,
+/// so downstream manifests keep their deterministic row order.
+#[test]
+fn results_keep_input_order_on_a_wide_pool() {
+    let _g = lock();
+    let benches = [
+        "hmmer",
+        "povray",
+        "gcc",
+        "server_web",
+        "server_kv",
+        "server_analytics",
+    ];
+    let cfgs: Vec<SimConfig> = benches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut c = base_cfg(b);
+            c.seed = i as u64;
+            c.cell_um = if i % 2 == 0 { 300.0 } else { 400.0 };
+            c
+        })
+        .collect();
+    let rs = run_many(cfgs.clone(), 8);
+    assert_eq!(rs.len(), cfgs.len());
+    for (r, c) in rs.iter().zip(&cfgs) {
+        assert_eq!(r.config.benchmark, c.benchmark);
+        assert_eq!(r.config.seed, c.seed);
+        assert_eq!(r.config.cell_um, c.cell_um);
+    }
+}
+
+/// The batch-shape edge cases: empty batches return cleanly for any
+/// `--threads` value (including auto), and pools wider than the job count
+/// behave like exactly-sized ones.
+#[test]
+fn degenerate_batch_shapes() {
+    let _g = lock();
+    for threads in [0usize, 1, 3, 64] {
+        assert!(run_many(Vec::new(), threads).is_empty());
+    }
+    let single = run_many(vec![base_cfg("hmmer")], 64);
+    assert_eq!(single.len(), 1);
+    assert_eq!(single[0].config.benchmark, "hmmer");
+    let two = run_many(vec![base_cfg("hmmer"), base_cfg("povray")], 64);
+    assert_eq!(two.len(), 2);
+    assert_eq!(two[0].config.benchmark, "hmmer");
+    assert_eq!(two[1].config.benchmark, "povray");
+}
+
+/// Executor telemetry is self-consistent: every scheduled job completes
+/// exactly once, steals never exceed jobs, and same-geometry batches reuse
+/// arenas for all but each worker's first run.
+// hotgauge-lint: allow(L002, "this test reads the recorder's snapshot API directly, which only exists under the feature; the facade macros cannot gate a whole #[test] fn")
+#[cfg(feature = "telemetry")]
+#[test]
+fn executor_telemetry_counters_are_consistent() {
+    let _g = lock();
+    const JOBS: usize = 6;
+    const WIDTH: usize = 3;
+    let cfgs: Vec<SimConfig> = (0..JOBS)
+        .map(|i| {
+            let mut c = base_cfg("hmmer");
+            c.seed = i as u64;
+            c
+        })
+        .collect();
+    let before = hotgauge_telemetry::snapshot();
+    let rs = run_many(cfgs, WIDTH);
+    let after = hotgauge_telemetry::snapshot();
+    assert_eq!(rs.len(), JOBS);
+
+    let total = |snap: &hotgauge_telemetry::Snapshot, label: &str| {
+        snap.counter(label).map_or(0.0, |c| c.total)
+    };
+    let delta = |label: &str| total(&after, label) - total(&before, label);
+    assert_eq!(delta("sweep.jobs"), JOBS as f64);
+    assert_eq!(delta("sweep.completions"), JOBS as f64);
+    let steals = delta("sweep.steal");
+    assert!(
+        (0.0..=JOBS as f64).contains(&steals),
+        "steals {steals} out of range"
+    );
+    // One geometry: each worker misses its arena at most once.
+    let reuse = delta("sweep.arena_reuse");
+    assert!(
+        ((JOBS - WIDTH) as f64..=JOBS as f64).contains(&reuse),
+        "arena reuse {reuse} out of range"
+    );
+    let span_calls =
+        |snap: &hotgauge_telemetry::Snapshot| snap.span("sweep.executor").map_or(0, |s| s.calls);
+    assert_eq!(span_calls(&after) - span_calls(&before), 1);
+}
