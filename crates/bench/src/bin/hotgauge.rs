@@ -11,6 +11,9 @@
 //! built with `--features telemetry`, per-stage timing and solver counters)
 //! atomically to PATH; `-` prints it to stdout. Bad benchmark, node, core,
 //! or unit names exit with status 2 instead of panicking.
+//!
+//! `hotgauge gate <baseline.json> <candidate.json> [...]` runs the
+//! manifest-diff performance gate instead (see `hotgauge-perfgate`).
 
 use hotgauge_core::experiments::Fidelity;
 use hotgauge_core::pipeline::{CoSimulation, SimConfig, WindowProgress};
@@ -208,6 +211,11 @@ struct RunSummary {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `hotgauge gate BASELINE CANDIDATE [...]` — the manifest-diff perf
+    // gate, shared with the standalone `hotgauge-perfgate` binary.
+    if args.first().map(String::as_str) == Some("gate") {
+        std::process::exit(hotgauge_perfgate::run_cli(&args[1..]));
+    }
     let cli = parse_args(&args);
     let report = TelemetryReport::new("hotgauge").quiet(cli.quiet);
 

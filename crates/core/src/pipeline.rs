@@ -662,13 +662,13 @@ impl CoSimulation {
                 counter!("pipeline.substeps", cfg.substeps);
                 for _ in 0..cfg.substeps {
                     {
-                        let _stage = span!("thermal");
+                        let _stage = span!("stage.thermal");
                         thermal.step(&w.power_map, dt_sub);
                     }
                     time_s += dt_sub;
                     let (frame, frame_max) = thermal.die_frame_with_max();
                     let proceed = {
-                        let _stage = span!("detect");
+                        let _stage = span!("stage.detect");
                         ctx.process(SubstepMsg {
                             frame,
                             frame_max,
@@ -709,7 +709,7 @@ impl CoSimulation {
                 let worker = scope.spawn(move || {
                     let _stage = span!("analysis.worker");
                     while let Ok(msg) = rx.recv() {
-                        let _stage = span!("detect");
+                        let _stage = span!("stage.detect");
                         if !worker_ctx.process(msg) {
                             stop_flag.store(true, std::sync::atomic::Ordering::Release);
                             break;
@@ -738,7 +738,7 @@ impl CoSimulation {
                             break 'outer;
                         }
                         {
-                            let _stage = span!("thermal");
+                            let _stage = span!("stage.thermal");
                             thermal.step(&w.power_map, dt_sub);
                         }
                         time_s += dt_sub;
@@ -874,7 +874,7 @@ fn produce_window(
 ) -> WindowOutput {
     // 1. Performance window (sampled).
     let window = {
-        let _stage = span!("perf");
+        let _stage = span!("stage.perf");
         core.run_instructions(gen, cfg.sample_instrs)
     };
     let ipc = window.ipc();
@@ -883,7 +883,7 @@ fn produce_window(
     // 2. Power from activity + temperature.
     let frame_before = thermal.die_frame();
     let breakdown = {
-        let _stage = span!("power");
+        let _stage = span!("stage.power");
         let temps = unit_temperatures(fp, grid, &frame_before);
         let mut cores: Vec<CoreWindow<'_>> = (0..7)
             .map(|_| {
@@ -905,7 +905,7 @@ fn produce_window(
     };
     // 3. Rasterize unit watts onto the active-layer grid.
     let power_map = {
-        let _stage = span!("rasterize");
+        let _stage = span!("stage.rasterize");
         let mut map = grid.power_map(&breakdown.unit_watts_smooth);
         grid_peaked.accumulate_power_map(&breakdown.unit_watts_peaked, &mut map);
         map

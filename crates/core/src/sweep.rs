@@ -196,7 +196,10 @@ pub fn run_many_with(
                 if force_serial {
                     cfg.analysis = cfg.analysis.serial();
                 }
-                let r = run_sim_in(cfg, &mut arena);
+                let r = {
+                    let _run = span!("sweep.run");
+                    run_sim_in(cfg, &mut arena)
+                };
                 counter!("sweep.completions", 1);
                 if let Some(cb) = on_done {
                     cb(SweepProgress {
@@ -245,7 +248,10 @@ pub fn run_many_with(
                     if force_serial {
                         cfg.analysis = cfg.analysis.serial();
                     }
-                    let r = run_sim_in(cfg, &mut arena);
+                    let r = {
+                        let _run = span!("sweep.run");
+                        run_sim_in(cfg, &mut arena)
+                    };
                     results_mutex.lock()[i] = Some(r);
                     let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                     counter!("sweep.completions", 1);

@@ -1,0 +1,18 @@
+//! L006 fixture: telemetry label discipline. Expected firing lines are
+//! asserted in tests/rules_fixtures.rs.
+
+fn bad_labels() {
+    let _a = span!("Thermal.step"); // fires: uppercase first segment
+    let _b = span!("plain"); // fires: no namespace dot
+    counter!("sweep.Jobs", 1u64); // fires: uppercase in second segment
+    counter!("thermal cg", 2u64); // fires: space instead of dot
+    counter!("thermal..step", 3u64); // fires: empty segment
+}
+
+fn good_labels() {
+    let _a = span!("stage.thermal");
+    let _b = span!("sweep.arena_2x");
+    counter!("thermal.cg_iterations", 4u64);
+    // hotgauge-lint: allow(L006, "legacy label kept for dashboard continuity")
+    let _c = span!("LEGACY");
+}

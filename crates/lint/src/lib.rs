@@ -2,7 +2,7 @@
 //!
 //! Scans workspace Rust sources with a comment/string/raw-string-aware token
 //! scanner (no `syn` offline) and enforces the project policy rules
-//! L001–L005 with `file:line` diagnostics, `--json` output, and a
+//! L001–L006 with `file:line` diagnostics, `--json` output, and a
 //! `// hotgauge-lint: allow(RULE, "justification")` pragma escape hatch.
 //! See DESIGN.md "Static analysis & code policy" for the rule catalogue.
 
@@ -18,12 +18,12 @@ use serde::Serialize;
 pub mod rules;
 pub mod scan;
 
-pub use rules::{RuleInfo, RULES};
+pub use rules::{LabelUse, RuleInfo, RULES};
 
 /// Version of the policy the tool enforces; recorded in run manifests so
 /// sweep artifacts state what code policy they were built under. Bump on any
 /// rule addition, removal, or scope change.
-pub const POLICY_VERSION: &str = "1";
+pub const POLICY_VERSION: &str = "2";
 
 /// Number of policy rules (excludes the L000 malformed-pragma diagnostic).
 pub const RULE_COUNT: usize = RULES.len();
@@ -35,7 +35,7 @@ pub struct Diagnostic {
     pub file: String,
     /// One-based line number.
     pub line: usize,
-    /// Rule id (`L001`..`L005`, or `L000` for a malformed pragma).
+    /// Rule id (`L001`..`L006`, or `L000` for a malformed pragma).
     pub rule: String,
     /// Human-readable description.
     pub message: String,
@@ -89,6 +89,7 @@ const LIB_CRATES: &[&str] = &[
     "perf",
     "thermal",
     "core",
+    "perfgate",
     "lint",
 ];
 
@@ -211,14 +212,23 @@ fn relative_slash(root: &Path, path: &Path) -> Option<String> {
 /// by (file, line, rule).
 pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
     let mut diagnostics = Vec::new();
+    let mut label_uses: Vec<(String, Vec<rules::LabelUse>)> = Vec::new();
     for rel in discover_files(root)? {
         let full = root.join(&rel);
         let src = fs::read_to_string(&full).map_err(|e| LintError {
             path: full.clone(),
             message: e.to_string(),
         })?;
-        diagnostics.extend(lint_source(&rel, &src));
+        let class = classify(&rel);
+        let scanned = scan::ScannedFile::scan(&src);
+        diagnostics.extend(rules::check_file(&rel, &class, &scanned));
+        let uses = rules::extract_labels(&scanned);
+        if !uses.is_empty() {
+            label_uses.push((rel, uses));
+        }
     }
+    // L006's duplicate half needs the whole workspace's labels at once.
+    diagnostics.extend(rules::check_label_duplicates(&label_uses));
     diagnostics.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
     });

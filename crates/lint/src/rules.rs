@@ -1,4 +1,4 @@
-//! The rule catalogue (L001–L005) and the per-file rule driver.
+//! The rule catalogue (L001–L006) and the per-file rule driver.
 //!
 //! Rules operate on a [`ScannedFile`](crate::scan::ScannedFile) plus a
 //! [`FileClass`] describing where the file sits in the workspace. Each rule
@@ -44,6 +44,12 @@ pub const RULES: &[RuleInfo] = &[
         id: "L005",
         summary: "raw temperature/length literals (80.0, 25.0, 100e-6, ...) outside preset \
                   modules must use named constants or units newtypes",
+    },
+    RuleInfo {
+        id: "L006",
+        summary: "span!/counter! labels must be lowercase dotted namespaces \
+                  (`thermal.cg_iterations`), and each label outside test code must be \
+                  emitted by exactly one crate",
     },
 ];
 
@@ -128,6 +134,162 @@ pub fn check_file(path: &str, class: &FileClass, scanned: &ScannedFile) -> Vec<D
         check_l004_orderings(path, scanned, &mut out);
     }
 
+    // L006 label format. The companion cross-crate duplicate check needs
+    // every file's labels at once, so it runs in the workspace driver
+    // (`run_lint`) via [`check_label_duplicates`].
+    for u in extract_labels(scanned) {
+        if !u.allowed && !valid_label(&u.label) {
+            out.push(Diagnostic::new(
+                path,
+                u.line + 1,
+                "L006",
+                format!(
+                    "{}! label `{}` must be a lowercase dotted namespace like \
+                     `thermal.cg_iterations` ([a-z0-9_] segments joined by `.`)",
+                    u.kind, u.label
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// One `span!`/`counter!` call site found in a file.
+#[derive(Debug, Clone)]
+pub struct LabelUse {
+    /// Zero-based line of the macro invocation.
+    pub line: usize,
+    /// `"span"` or `"counter"`.
+    pub kind: &'static str,
+    /// The label literal's contents.
+    pub label: String,
+    /// Whether the call sits inside `#[cfg(test)]` code.
+    pub in_test: bool,
+    /// Whether an `allow(L006, ...)` pragma covers the line.
+    pub allowed: bool,
+}
+
+/// Extracts every `span!("...")` / `counter!("...", ...)` label from a
+/// scanned file. Invocations are located in the masked text (so prose and
+/// string literals never match); the label itself lives in a string literal,
+/// so it is read back out of the raw text at the same byte offset (masking
+/// preserves geometry). Invocations whose first argument is not a string
+/// literal on the same or following line are skipped — the facade macros
+/// only accept literals, so such code would not compile anyway.
+pub fn extract_labels(scanned: &ScannedFile) -> Vec<LabelUse> {
+    let masked = scanned.masked_text();
+    let raw = scanned.raw.join("\n");
+    let mut out = Vec::new();
+    for (pat, kind) in [("span!(", "span"), ("counter!(", "counter")] {
+        let mut from = 0usize;
+        while let Some(rel) = masked[from..].find(pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            if !left_boundary(&masked, at) {
+                continue;
+            }
+            let line = masked[..at].matches('\n').count();
+            // The label literal starts at the first quote after the open
+            // paren; a rustfmt-wrapped call puts it on the next line, so
+            // search a short raw-text window rather than just this line.
+            let search_start = at + pat.len();
+            let search_end = raw.len().min(search_start + 160);
+            let window = &raw[search_start..search_end];
+            let Some(open_q) = window.find('"') else {
+                continue;
+            };
+            let rest = &window[open_q + 1..];
+            let Some(close_q) = rest.find('"') else {
+                continue;
+            };
+            out.push(LabelUse {
+                line,
+                kind,
+                label: rest[..close_q].to_string(),
+                in_test: scanned.in_test.get(line).copied().unwrap_or(false),
+                allowed: scanned.is_allowed(line, "L006"),
+            });
+        }
+    }
+    out.sort_by_key(|u| u.line);
+    out
+}
+
+/// L006 label shape: two or more `.`-joined segments, each starting with a
+/// lowercase ASCII letter and continuing with `[a-z0-9_]`.
+pub fn valid_label(label: &str) -> bool {
+    let mut segments = 0usize;
+    for part in label.split('.') {
+        segments += 1;
+        let mut chars = part.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+    }
+    segments >= 2
+}
+
+/// The owning crate of a workspace-relative path: `crates/foo/... -> foo`,
+/// anything else (root `src/`, `tests/`, `examples/`) -> `suite`.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("suite")
+}
+
+/// L006 cross-crate duplicate check over the whole workspace's label uses
+/// (`(workspace-relative path, labels found there)` pairs, as produced by
+/// [`extract_labels`]). A label emitted from production code in more than
+/// one crate is flagged at every such call site: labels are namespaced per
+/// owning crate, so two crates sharing one would merge unrelated statistics
+/// in snapshots and manifests. Test-context and pragma-granted uses are
+/// ignored.
+pub fn check_label_duplicates(files: &[(String, Vec<LabelUse>)]) -> Vec<Diagnostic> {
+    // label -> list of (file index, use index); small workspace, linear scan.
+    let mut by_label: Vec<(&str, Vec<(usize, usize)>)> = Vec::new();
+    for (fx, (_, uses)) in files.iter().enumerate() {
+        for (ux, u) in uses.iter().enumerate() {
+            if u.in_test || u.allowed {
+                continue;
+            }
+            match by_label.iter_mut().find(|(l, _)| *l == u.label) {
+                Some((_, sites)) => sites.push((fx, ux)),
+                None => by_label.push((&u.label, vec![(fx, ux)])),
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (label, sites) in &by_label {
+        let mut crates: Vec<&str> = sites
+            .iter()
+            .map(|&(fx, _)| crate_of(&files[fx].0))
+            .collect();
+        crates.sort_unstable();
+        crates.dedup();
+        if crates.len() < 2 {
+            continue;
+        }
+        for &(fx, ux) in sites {
+            let (path, uses) = &files[fx];
+            let u = &uses[ux];
+            out.push(Diagnostic::new(
+                path,
+                u.line + 1,
+                "L006",
+                format!(
+                    "{}! label `{label}` is emitted by multiple crates ({}): telemetry \
+                     labels are owned by exactly one crate",
+                    u.kind,
+                    crates.join(", ")
+                ),
+            ));
+        }
+    }
     out
 }
 

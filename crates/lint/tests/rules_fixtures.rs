@@ -72,6 +72,82 @@ fn l005_raw_unit_literals() {
 }
 
 #[test]
+fn l006_label_format() {
+    let src = include_str!("../fixtures/l006.rs");
+    // Format violations fire in any crate — including tests: a misspelled
+    // label namespace is wrong wherever it appears.
+    assert_eq!(
+        fires("crates/core/src/fixture_l006.rs", src),
+        expected("L006", &[5, 6, 7, 8, 9])
+    );
+    assert_eq!(
+        fires("crates/bench/src/fixture_l006.rs", src),
+        expected("L006", &[5, 6, 7, 8, 9])
+    );
+}
+
+#[test]
+fn l006_cross_crate_duplicates() {
+    use hotgauge_lint::rules::{check_label_duplicates, extract_labels};
+    use hotgauge_lint::scan::ScannedFile;
+
+    let core = ScannedFile::scan("fn f() {\n    let _s = span!(\"shared.stage\");\n}\n");
+    let thermal = ScannedFile::scan("fn g() {\n    counter!(\"shared.stage\", 1u64);\n}\n");
+    let uses = vec![
+        ("crates/core/src/a.rs".to_string(), extract_labels(&core)),
+        (
+            "crates/thermal/src/b.rs".to_string(),
+            extract_labels(&thermal),
+        ),
+    ];
+    let diags = check_label_duplicates(&uses);
+    assert_eq!(diags.len(), 2, "both call sites flagged: {diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "L006"));
+    assert!(diags[0].message.contains("core, thermal"));
+
+    // The same label reused inside one crate is fine (repeated call sites).
+    let twice = ScannedFile::scan(
+        "fn f() {\n    let _s = span!(\"shared.stage\");\n    let _t = span!(\"shared.stage\");\n}\n",
+    );
+    let same_crate = vec![("crates/core/src/a.rs".to_string(), extract_labels(&twice))];
+    assert!(check_label_duplicates(&same_crate).is_empty());
+
+    // Test-context uses never count toward duplication.
+    let in_test = ScannedFile::scan(
+        "#[cfg(test)]\nmod tests {\n    fn t() {\n        let _s = span!(\"shared.stage\");\n    }\n}\n",
+    );
+    let mixed = vec![
+        ("crates/core/src/a.rs".to_string(), extract_labels(&core)),
+        (
+            "crates/telemetry/src/lib.rs".to_string(),
+            extract_labels(&in_test),
+        ),
+    ];
+    assert!(check_label_duplicates(&mixed).is_empty());
+}
+
+#[test]
+fn l006_extracts_wrapped_calls() {
+    use hotgauge_lint::rules::extract_labels;
+    use hotgauge_lint::scan::ScannedFile;
+
+    // rustfmt puts a long label on its own line; extraction follows it.
+    let wrapped = ScannedFile::scan(
+        "fn f() {\n    counter!(\n        \"analysis.prefilter_skips\",\n        n,\n    );\n}\n",
+    );
+    let uses = extract_labels(&wrapped);
+    assert_eq!(uses.len(), 1);
+    assert_eq!(uses[0].label, "analysis.prefilter_skips");
+    assert_eq!(uses[0].line, 1, "attributed to the invocation line");
+
+    // Mentions inside comments and strings never match.
+    let masked_out = ScannedFile::scan(
+        "// span!(\"docs.example\")\nfn f() {\n    let _s = \"span!(\\\"not.code\\\")\";\n}\n",
+    );
+    assert!(extract_labels(&masked_out).is_empty());
+}
+
+#[test]
 fn malformed_pragmas_surface_as_l000() {
     let src = include_str!("../fixtures/pragma.rs");
     assert_eq!(

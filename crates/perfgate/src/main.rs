@@ -1,0 +1,9 @@
+//! Standalone perf-gate binary: `hotgauge-perfgate <baseline> <candidate>`.
+//!
+//! Thin wrapper over [`hotgauge_perfgate::run_cli`]; the same entry point
+//! backs the `hotgauge gate` subcommand.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(hotgauge_perfgate::run_cli(&args));
+}

@@ -6,6 +6,17 @@
 //! is deterministic: struct fields appear in declaration order and the
 //! config map is sorted by key. [`write_json_atomic`] writes through a
 //! sibling temp file and rename so readers never observe a partial file.
+//!
+//! # Schema history
+//!
+//! * **v1** — tool/args/config/results plus totals-only stage metrics
+//!   (calls, total, avg, min, max, share) and counter statistics.
+//! * **v2** — adds per-stage latency percentiles (`p50_s`/`p90_s`/`p99_s`
+//!   from the aggregator's log-bucketed histograms), per-stage allocation
+//!   attribution (`allocs`/`alloc_bytes` from the counting allocator), and
+//!   the `telemetry.dropped` config field. The new stage fields are
+//!   `Option`s so **v1 documents still deserialize** — absent fields come
+//!   back as `None`. Readers (the perf gate) accept both versions.
 
 use crate::{ConfigMap, Snapshot};
 use serde::{Deserialize, Serialize};
@@ -13,7 +24,7 @@ use std::io;
 use std::path::Path;
 
 /// Version stamped into every manifest; bump on breaking schema changes.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Top-level document written by the CLI and experiment binaries.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,10 +70,17 @@ impl RunManifest {
     /// Captures the current telemetry [`Snapshot`] as [`RunMetrics`].
     ///
     /// Leaves `metrics` as `None` when nothing was recorded (the default
-    /// build, where telemetry compiles to no-ops).
+    /// build, where telemetry compiles to no-ops). When metrics are
+    /// captured, the number of events lost to backpressure is also recorded
+    /// under the `telemetry.dropped` config key (0 in a healthy run), so
+    /// dropped events are visible even to consumers that only read config.
     pub fn capture_metrics(&mut self) {
         let snap = crate::snapshot();
         if !snap.is_empty() {
+            self.config.insert(
+                "telemetry.dropped".to_string(),
+                snap.dropped_events.to_string(),
+            );
             self.metrics = Some(RunMetrics::from_snapshot(&snap));
         }
     }
@@ -94,6 +112,11 @@ impl RunMetrics {
                     avg_s: s.avg_ns() * 1e-9,
                     min_s: s.min_ns as f64 * 1e-9,
                     max_s: s.max_ns as f64 * 1e-9,
+                    p50_s: Some(s.p50_ns as f64 * 1e-9),
+                    p90_s: Some(s.p90_ns as f64 * 1e-9),
+                    p99_s: Some(s.p99_ns as f64 * 1e-9),
+                    allocs: Some(s.allocs),
+                    alloc_bytes: Some(s.alloc_bytes),
                     share: s.total_ns as f64 / denom,
                 })
                 .collect(),
@@ -125,9 +148,12 @@ impl RunMetrics {
 }
 
 /// Timing statistics for one pipeline stage (span label), in seconds.
+///
+/// The percentile and allocation fields are schema-v2 additions and
+/// therefore `Option`: a v1 manifest deserializes with them as `None`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageMetrics {
-    /// Span label (e.g. `thermal`, `detect`).
+    /// Span label (e.g. `stage.thermal`, `stage.detect`).
     pub label: String,
     /// Number of spans recorded.
     pub calls: u64,
@@ -139,6 +165,16 @@ pub struct StageMetrics {
     pub min_s: f64,
     /// Longest call.
     pub max_s: f64,
+    /// Median call latency (log-bucketed histogram, ~3% quantization).
+    pub p50_s: Option<f64>,
+    /// 90th-percentile call latency.
+    pub p90_s: Option<f64>,
+    /// 99th-percentile call latency.
+    pub p99_s: Option<f64>,
+    /// Heap allocations attributed to this span label.
+    pub allocs: Option<u64>,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: Option<u64>,
     /// Fraction of all recorded span time spent in this stage.
     pub share: f64,
 }
@@ -197,11 +233,16 @@ mod tests {
         m.set_results(&vec![1u64, 2, 3]);
         m.metrics = Some(RunMetrics::from_snapshot(&Snapshot {
             spans: vec![SpanStats {
-                label: "thermal".into(),
+                label: "stage.thermal".into(),
                 calls: 5,
                 total_ns: 5_000_000,
                 min_ns: 900_000,
                 max_ns: 1_100_000,
+                p50_ns: 1_000_000,
+                p90_ns: 1_080_000,
+                p99_ns: 1_100_000,
+                allocs: 40,
+                alloc_bytes: 65_536,
             }],
             counters: vec![CounterStats {
                 label: "thermal.cg_iterations".into(),
@@ -230,23 +271,92 @@ mod tests {
         let b = serde_json::to_string(&m.clone()).unwrap();
         assert_eq!(a, b);
         // schema_version leads, and sorted config keys follow declaration order.
-        assert!(a.starts_with("{\"schema_version\":1,\"tool\":\"hotgauge\""));
+        assert!(a.starts_with("{\"schema_version\":2,\"tool\":\"hotgauge\""));
         let bench = a.find("\"benchmark\":\"gcc\"").unwrap();
         let node = a.find("\"node\":\"7nm\"").unwrap();
         assert!(bench < node, "config keys must be sorted");
     }
 
     #[test]
-    fn metrics_preserve_share_and_counters() {
+    fn metrics_preserve_share_counters_and_v2_fields() {
         let m = sample_manifest();
         let metrics = m.metrics.as_ref().unwrap();
-        let stage = metrics.stage("thermal").unwrap();
+        let stage = metrics.stage("stage.thermal").unwrap();
         assert_eq!(stage.calls, 5);
         assert!((stage.share - 1.0).abs() < 1e-12);
         assert!((stage.total_s - 5e-3).abs() < 1e-15);
+        assert!((stage.p50_s.unwrap() - 1e-3).abs() < 1e-15);
+        assert!((stage.p99_s.unwrap() - 1.1e-3).abs() < 1e-15);
+        assert_eq!(stage.allocs, Some(40));
+        assert_eq!(stage.alloc_bytes, Some(65_536));
         let c = metrics.counter("thermal.cg_iterations").unwrap();
         assert_eq!(c.total, 250.0);
         assert_eq!(c.avg, 50.0);
+    }
+
+    /// A hand-written schema-v1 document (no percentile/alloc fields, as
+    /// emitted by PR-1-era binaries) must still deserialize, with the v2
+    /// additions defaulting to `None`.
+    #[test]
+    fn v1_manifest_still_parses_with_new_fields_defaulting() {
+        let v1 = r#"{
+            "schema_version": 1,
+            "tool": "fig11_tuh_percore",
+            "args": ["--quiet"],
+            "config": {"node": "7nm"},
+            "results": {"rows": [1, 2]},
+            "metrics": {
+                "stages": [{
+                    "label": "thermal",
+                    "calls": 10,
+                    "total_s": 1.5,
+                    "avg_s": 0.15,
+                    "min_s": 0.1,
+                    "max_s": 0.2,
+                    "share": 1.0
+                }],
+                "counters": [{
+                    "label": "thermal.cg_iterations",
+                    "calls": 10,
+                    "total": 400.0,
+                    "avg": 40.0,
+                    "min": 35.0,
+                    "max": 45.0
+                }],
+                "dropped_events": 0
+            }
+        }"#;
+        let m: RunManifest = serde_json::from_str(v1).expect("v1 parses under v2 schema");
+        assert_eq!(m.schema_version, 1);
+        let stage = m.metrics.as_ref().unwrap().stage("thermal").unwrap();
+        assert_eq!(stage.calls, 10);
+        assert_eq!(stage.p50_s, None);
+        assert_eq!(stage.p90_s, None);
+        assert_eq!(stage.p99_s, None);
+        assert_eq!(stage.allocs, None);
+        assert_eq!(stage.alloc_bytes, None);
+        // And a v1 document round-trips losslessly through the v2 types.
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    /// A v2 document with all new fields present round-trips exactly.
+    #[test]
+    fn v2_round_trip_preserves_percentiles_and_allocs() {
+        let m = sample_manifest();
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        assert!(json.contains("p50_s"));
+        assert!(json.contains("alloc_bytes"));
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        let stage = back
+            .metrics
+            .as_ref()
+            .unwrap()
+            .stage("stage.thermal")
+            .unwrap();
+        assert_eq!(stage.p90_s, Some(1.08e-3));
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Deterministic channel-saturation test: a full telemetry channel must
+//! yield an *exact* nonzero dropped-event count, the count must surface in
+//! the run manifest's `telemetry.dropped` config field, and `reset()` must
+//! clear it.
+//!
+//! This file holds a single test on purpose: it shrinks the bounded channel
+//! via `HOTGAUGE_TELEMETRY_CHANNEL_DEPTH`, which the global recorder reads
+//! exactly once at first use, so it needs a process (integration-test
+//! binary) of its own where no other test races the initialization.
+
+#![cfg(feature = "telemetry")]
+
+use std::time::Duration;
+
+const DEPTH: usize = 8;
+const SENT: usize = 50;
+
+#[test]
+fn saturated_channel_reports_exact_drop_count() {
+    // Must happen before any telemetry call initializes the recorder.
+    std::env::set_var("HOTGAUGE_TELEMETRY_CHANNEL_DEPTH", DEPTH.to_string());
+
+    // Park the aggregator. The stall event is queued first, so the
+    // aggregator consumes it and sleeps before it can drain anything below.
+    hotgauge_telemetry::stall_aggregator_for_tests(Duration::from_millis(600));
+
+    // Fire far more events than the channel can hold. At most DEPTH (+1 if
+    // the stall was already consumed and its slot freed) fit in the queue;
+    // every further try_send drops and counts. Whatever the interleaving,
+    // conservation must hold exactly: delivered + dropped == SENT.
+    for _ in 0..SENT {
+        hotgauge_telemetry::record_counter("test.backpressure", 1.0);
+    }
+
+    // Let the stall elapse so the queued events drain, then flush.
+    let snap = hotgauge_telemetry::snapshot();
+    let delivered = snap
+        .counter("test.backpressure")
+        .map(|c| c.calls)
+        .unwrap_or(0);
+    assert!(
+        snap.dropped_events > 0,
+        "channel of depth {DEPTH} swallowed {SENT} events without dropping"
+    );
+    assert_eq!(
+        delivered + snap.dropped_events,
+        SENT as u64,
+        "dropped-event accounting must be exact (delivered {delivered}, \
+         dropped {}, sent {SENT})",
+        snap.dropped_events
+    );
+    assert!(
+        delivered <= DEPTH as u64 + 1,
+        "no more than the channel depth (+ the freed stall slot) can be \
+         delivered while the aggregator sleeps, got {delivered}"
+    );
+
+    // The drop count lands in the manifest config, visible even to readers
+    // that never look at metrics.
+    let mut manifest = hotgauge_telemetry::manifest::RunManifest::new("backpressure-test");
+    manifest.capture_metrics();
+    let recorded: u64 = manifest
+        .config
+        .get("telemetry.dropped")
+        .expect("manifest records telemetry.dropped")
+        .parse()
+        .expect("drop count is numeric");
+    assert_eq!(recorded, snap.dropped_events);
+
+    // reset() clears the aggregation and the drop counter.
+    hotgauge_telemetry::reset();
+    let clean = hotgauge_telemetry::snapshot();
+    assert_eq!(clean.dropped_events, 0, "reset must clear the drop counter");
+    assert!(clean.counter("test.backpressure").is_none());
+}
