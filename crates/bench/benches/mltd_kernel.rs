@@ -1,0 +1,55 @@
+//! Window-min kernel comparison behind the MLTD chord decomposition: the
+//! classic branchy monotonic deque against the two-pass van Herk /
+//! Gil–Werman block-minimum formulation (three branch-free compare/select
+//! sweeps that auto-vectorize), at the sweep geometries' grid sizes with
+//! the paper's 1 mm locality radius. Outputs are bitwise identical; only
+//! the cost differs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hotgauge_core::mltd::{rows_window_min_deque, rows_window_min_into};
+use hotgauge_floorplan::prelude::*;
+
+/// A deterministic, smoothly varying pseudo-temperature field over the
+/// rasterized die plus the paper's 1 mm radius in cells.
+fn grid_field(cell_um: f64) -> (usize, usize, isize, Vec<f64>) {
+    let fp = SkylakeProxy::new(TechNode::N7).build();
+    let grid = FloorplanGrid::rasterize(&fp, cell_um);
+    let (nx, ny) = (grid.nx, grid.ny);
+    let w = (1e-3 / (cell_um * 1e-6)).round() as isize;
+    let temps: Vec<f64> = (0..nx * ny)
+        .map(|i| {
+            let x = (i % nx) as f64;
+            let y = (i / nx) as f64;
+            45.0 + 8.0 * (0.13 * x).sin() + 6.0 * (0.19 * y).cos()
+        })
+        .collect();
+    (nx, ny, w, temps)
+}
+
+fn bench_window_min(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mltd_kernel");
+    group.sample_size(10);
+    for cell in [400.0, 250.0, 150.0] {
+        let (nx, ny, w, temps) = grid_field(cell);
+        let mut out = vec![0.0; nx * ny];
+        let mut scratch: Vec<f64> = Vec::new();
+        let mut deque: Vec<usize> = Vec::new();
+        group.bench_with_input(BenchmarkId::new("two_pass", nx * ny), &temps, |b, t| {
+            b.iter(|| {
+                rows_window_min_into(black_box(t), nx, 0..ny, w, &mut out, &mut scratch);
+                out[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("deque", nx * ny), &temps, |b, t| {
+            b.iter(|| {
+                rows_window_min_deque(black_box(t), nx, 0..ny, w, &mut out, &mut deque);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_min);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Lockstep multi-RHS solver cost: K identical transient steps through
+//! `step_lockstep` against the K=1 solo path, for both solver arms at
+//! several grid resolutions of the 7 nm client die. The per-run
+//! amortization is `K·T(1) / T(K)` — the multi-RHS SpMV and triangular
+//! sweeps stream each matrix row's nonzeros once for all K lanes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hotgauge_floorplan::prelude::*;
+use hotgauge_thermal::chol::CholOptions;
+use hotgauge_thermal::model::{
+    step_lockstep, LockstepScratch, SolverStrategy, ThermalModel, ThermalSim,
+};
+use hotgauge_thermal::stack::StackDescription;
+
+fn setup(cell_um: f64) -> (ThermalModel, Vec<f64>) {
+    let fp = SkylakeProxy::new(TechNode::N7).build();
+    let grid = FloorplanGrid::rasterize(&fp, cell_um);
+    let stack = StackDescription::client_cpu_with_border(grid.nx, grid.ny, cell_um, 2e-3);
+    let model = ThermalModel::new(stack);
+    let cells = grid.cell_count();
+    let mut power = vec![15.0 / cells as f64; cells];
+    for p in power.iter_mut().take(cells / 10) {
+        *p = 50.0 / cells as f64;
+    }
+    (model, power)
+}
+
+fn bench_arm(c: &mut Criterion, strategy: SolverStrategy, cells: &[f64]) {
+    let mut group = c.benchmark_group("solver_multi");
+    group.sample_size(10);
+    for &cell in cells {
+        let (model, power) = setup(cell);
+        let nodes = model.node_count();
+        let mut proto = ThermalSim::new(model, 40.0);
+        proto.cg.tolerance = 1e-6;
+        // Unbounded profile budget so the direct arm really factors at
+        // these sizes instead of falling back to CG.
+        proto.chol = CholOptions::unbounded();
+        proto.set_strategy(strategy);
+        // Prime: factor (direct) / build the cached system (cg), and
+        // establish a warm start shared by every clone.
+        proto.step(&power, 200e-6);
+        assert_eq!(proto.active_solver(), Some(strategy));
+        for k in [1usize, 4, 8] {
+            // Clones share the prepared system matrix through its Arc —
+            // the same sharing the sweep executor's batches rely on.
+            let mut sims: Vec<ThermalSim> = (0..k).map(|_| proto.clone()).collect();
+            let mut scratch = LockstepScratch::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_k{k}", strategy.as_str()), nodes),
+                &power,
+                |b, p| {
+                    b.iter(|| {
+                        let mut lanes: Vec<&mut ThermalSim> = sims.iter_mut().collect();
+                        let powers: Vec<&[f64]> = (0..k).map(|_| p.as_slice()).collect();
+                        step_lockstep(&mut lanes, black_box(&powers), 200e-6, &mut scratch).len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_lockstep_cg(c: &mut Criterion) {
+    bench_arm(c, SolverStrategy::Cg, &[400.0, 250.0, 150.0]);
+}
+
+fn bench_lockstep_direct(c: &mut Criterion) {
+    // The factorization cost profile makes direct a small-grid strategy;
+    // 150 µm direct solves are not a configuration the sweeps ever run.
+    bench_arm(c, SolverStrategy::DirectCholesky, &[400.0, 250.0]);
+}
+
+criterion_group!(benches, bench_lockstep_cg, bench_lockstep_direct);
+criterion_main!(benches);

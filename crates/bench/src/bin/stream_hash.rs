@@ -1,0 +1,34 @@
+//! Dumps an FNV-1a hash of the generated micro-op stream for every SPEC
+//! proxy — the bit-exactness harness for generator refactors. Build this
+//! bin in two trees (e.g. a worktree at the pre-change commit and the
+//! working tree) and diff the output: identical lines prove the full
+//! (pc, addr, class, taken, extra_latency) stream is unchanged over
+//! 5 M instructions per benchmark, which is how the PR 7 fast paths
+//! (integer-threshold draws, cached phase thresholds, bias masking)
+//! were verified against the prior floating-point formulation.
+use hotgauge_perf::instr::InstrSource;
+use hotgauge_workloads::generator::WorkloadGen;
+use hotgauge_workloads::spec2006;
+
+fn main() {
+    for bench in spec2006::ALL_BENCHMARKS {
+        for seed in [7u64] {
+            let profile = spec2006::profile(bench).unwrap();
+            let mut g = WorkloadGen::new(profile, seed);
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut fnv = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            };
+            for _ in 0..5_000_000 {
+                let i = g.next_instr();
+                fnv(i.pc);
+                fnv(i.addr);
+                fnv(i.class as u64);
+                fnv(i.taken as u64);
+                fnv(i.extra_latency as u64);
+            }
+            println!("{bench} {seed} {h:016x}");
+        }
+    }
+}

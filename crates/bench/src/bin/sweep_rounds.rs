@@ -5,9 +5,11 @@
 //! compiled against the pre-executor baseline for the alternating-rounds
 //! comparison.
 //!
-//! Usage: `sweep_rounds [THREADS]` (default 1).
+//! Usage: `sweep_rounds [THREADS] [BATCH]` (defaults 1 and
+//! `DEFAULT_BATCH_WIDTH`; `BATCH=1` disables lockstep batching).
 
-use hotgauge_core::pipeline::{run_many, SimConfig};
+use hotgauge_core::pipeline::SimConfig;
+use hotgauge_core::sweep::{run_many_batched_with, DEFAULT_BATCH_WIDTH};
 use hotgauge_floorplan::tech::TechNode;
 use hotgauge_thermal::warmup::Warmup;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
@@ -17,6 +19,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let batch: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_BATCH_WIDTH);
     let mut cfgs = Vec::new();
     for bench in ALL_BENCHMARKS {
         for core in 0..7 {
@@ -33,7 +39,7 @@ fn main() {
     }
     let total = cfgs.len();
     let t0 = std::time::Instant::now();
-    let rs = run_many(cfgs, threads);
+    let rs = run_many_batched_with(cfgs, threads, batch, None);
     let wall = t0.elapsed().as_secs_f64();
     let fired = rs.iter().filter(|r| r.tuh_s.is_some()).count();
     let peak_rss_kb = std::fs::read_to_string("/proc/self/status")
@@ -45,7 +51,29 @@ fn main() {
         })
         .unwrap_or(0);
     println!(
-        "runs={total} hotspots={fired} threads={threads} wall_s={wall:.3} peak_rss_kb={peak_rss_kb}"
+        "runs={total} hotspots={fired} threads={threads} batch={batch} wall_s={wall:.3} peak_rss_kb={peak_rss_kb}"
     );
     assert_eq!(rs.len(), total);
+    // Telemetry builds dump a stage breakdown so the harness doubles as a
+    // where-does-the-wall-go profile for the batching work.
+    #[cfg(feature = "telemetry")]
+    {
+        let snap = hotgauge_telemetry::snapshot();
+        let mut spans = snap.spans.clone();
+        spans.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+        for s in spans.iter().take(12) {
+            eprintln!(
+                "span {:<24} calls={:<8} total_s={:.3}",
+                s.label,
+                s.calls,
+                s.total_ns as f64 / 1e9
+            );
+        }
+        for c in &snap.counters {
+            eprintln!(
+                "counter {:<24} calls={:<8} total={}",
+                c.label, c.calls, c.total
+            );
+        }
+    }
 }

@@ -9,6 +9,10 @@
 //!   for multi-run bins, and the analysis worker threads for single runs
 //!   (default: one per hardware thread; results are bit-identical either
 //!   way). Sweep bins record the realized pool shape in their manifests.
+//! * `--batch K` — lockstep batch width for sweep bins: same-geometry runs
+//!   are solved up to `K` at a time through the multi-RHS thermal path
+//!   (default: [`hotgauge_core::DEFAULT_BATCH_WIDTH`]; `1` disables
+//!   batching; results are bit-identical at every width).
 //! * `--quiet` — suppress the human-readable tables (useful with `--json`).
 //! * `--help` — print the shared usage text.
 //!
@@ -31,6 +35,7 @@ pub struct BinArgs {
     json_path: Option<String>,
     quiet: bool,
     threads: Option<usize>,
+    batch: Option<usize>,
     /// `(jobs, realized pool width)` of the bin's sweep, when noted.
     sweep_shape: std::cell::Cell<Option<(usize, usize)>>,
     _report: TelemetryReport,
@@ -44,16 +49,19 @@ impl BinArgs {
         let mut json_path = None;
         let mut quiet = false;
         let mut threads = None;
+        let mut batch = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--help" | "-h" => {
                     println!(
-                        "usage: {tool} [--json PATH] [--threads N] [--quiet]\n\
+                        "usage: {tool} [--json PATH] [--threads N] [--batch K] [--quiet]\n\
                          \x20 --json PATH  write the run manifest to PATH (`-` for stdout)\n\
                          \x20 --threads N  analysis threads per run (default: all hardware threads)\n\
-                         \x20 --quiet      suppress the human-readable tables"
+                         \x20 --batch K    lockstep batch width for sweeps (default: {}; 1 disables)\n\
+                         \x20 --quiet      suppress the human-readable tables",
+                        hotgauge_core::DEFAULT_BATCH_WIDTH
                     );
                     std::process::exit(0);
                 }
@@ -81,6 +89,25 @@ impl BinArgs {
                         }
                     }
                 }
+                "--batch" => {
+                    i += 1;
+                    let Some(v) = args.get(i) else {
+                        eprintln!("error: --batch needs a value");
+                        std::process::exit(2);
+                    };
+                    match v.parse::<usize>() {
+                        Ok(k) if (1..=hotgauge_thermal::MAX_LOCKSTEP_WIDTH).contains(&k) => {
+                            batch = Some(k)
+                        }
+                        _ => {
+                            eprintln!(
+                                "error: invalid batch width {v} (expected 1..={})",
+                                hotgauge_thermal::MAX_LOCKSTEP_WIDTH
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--quiet" => quiet = true,
                 other => {
                     eprintln!("error: unknown argument {other} (see {tool} --help)");
@@ -95,9 +122,16 @@ impl BinArgs {
             json_path,
             quiet,
             threads,
+            batch,
             sweep_shape: std::cell::Cell::new(None),
             _report,
         }
+    }
+
+    /// The `--batch` lockstep width for sweep bins, defaulting to
+    /// [`hotgauge_core::DEFAULT_BATCH_WIDTH`] when the flag was not given.
+    pub fn batch(&self) -> usize {
+        self.batch.unwrap_or(hotgauge_core::DEFAULT_BATCH_WIDTH)
     }
 
     /// Notes the sweep size this bin is about to run with `threads` (the
@@ -113,12 +147,16 @@ impl BinArgs {
         self.quiet
     }
 
-    /// The environment-selected fidelity preset with the `--threads`
-    /// override applied (0 = auto when the flag was not given).
+    /// The environment-selected fidelity preset with the `--threads` and
+    /// `--batch` overrides applied (0 = auto when `--threads` was not
+    /// given; the default lockstep width when `--batch` was not given).
     pub fn fidelity(&self) -> Fidelity {
         let mut fid = Fidelity::from_env();
         if let Some(n) = self.threads {
             fid.threads = n;
+        }
+        if let Some(k) = self.batch {
+            fid.batch = k;
         }
         fid
     }
@@ -145,6 +183,9 @@ impl BinArgs {
         }
         if let Some(n) = self.threads {
             manifest = manifest.with_config("threads", n);
+        }
+        if let Some(k) = self.batch {
+            manifest = manifest.with_config("batch", k);
         }
         if let Some((jobs, workers)) = self.sweep_shape.get() {
             manifest = manifest

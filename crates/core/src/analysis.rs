@@ -106,6 +106,8 @@ struct ShardStats {
     max_mltd: f64,
     peak_sev: f64,
     severity_evals: usize,
+    /// Rows whose severity sweep ran through the contiguous-slice kernel.
+    simd_rows: usize,
 }
 
 /// Reusable fused analyzer: computes the MLTD field, the hotspot set, the
@@ -132,10 +134,11 @@ pub struct FrameAnalyzer {
     passes: Vec<Vec<f64>>,
     /// The MLTD field of the last analyzed frame.
     mltd: Vec<f64>,
-    /// Per-row disc-minimum scratch for the serial path.
+    /// Per-row disc-minimum scratch for the serial path (also reused as the
+    /// severity-row output buffer once the row's MLTD is written).
     rowmin: Vec<f64>,
-    /// Deque scratch for the serial sliding-window passes.
-    deque: Vec<usize>,
+    /// Two-pass window-minimum scratch for the serial sliding-window passes.
+    winmin: Vec<f64>,
 }
 
 impl FrameAnalyzer {
@@ -153,7 +156,7 @@ impl FrameAnalyzer {
             passes: Vec::new(),
             mltd: Vec::new(),
             rowmin: Vec::new(),
-            deque: Vec::new(),
+            winmin: Vec::new(),
         }
     }
 
@@ -220,7 +223,7 @@ impl FrameAnalyzer {
         // buffer split into per-shard row bands (rows are independent).
         if ranges.len() == 1 {
             for (k, pass) in self.passes.iter_mut().enumerate() {
-                rows_window_min_into(temps, nx, 0..ny, pass_widths[k], pass, &mut self.deque);
+                rows_window_min_into(temps, nx, 0..ny, pass_widths[k], pass, &mut self.winmin);
             }
         } else {
             let mut shard_slices: Vec<Vec<&mut [f64]>> =
@@ -236,7 +239,7 @@ impl FrameAnalyzer {
             std::thread::scope(|scope| {
                 for (range, bands) in ranges.iter().cloned().zip(shard_slices) {
                     scope.spawn(move || {
-                        let mut deque = Vec::with_capacity(nx);
+                        let mut winmin = Vec::new();
                         for (k, band) in bands.into_iter().enumerate() {
                             rows_window_min_into(
                                 temps,
@@ -244,7 +247,7 @@ impl FrameAnalyzer {
                                 range.clone(),
                                 pass_widths[k],
                                 band,
-                                &mut deque,
+                                &mut winmin,
                             );
                         }
                     });
@@ -312,13 +315,16 @@ impl FrameAnalyzer {
         let mut max_mltd = 0.0f64;
         let mut peak_sev = 0.0f64;
         let mut severity_evals = 0usize;
+        let mut simd_rows = 0usize;
         for s in stats {
             hotspots.extend(s.hotspots);
             max_mltd = max_mltd.max(s.max_mltd);
             peak_sev = peak_sev.max(s.peak_sev);
             severity_evals += s.severity_evals;
+            simd_rows += s.simd_rows;
         }
         counter!("detect.severity_evals", severity_evals);
+        counter!("analysis.simd_rows", simd_rows);
         FrameAnalysis {
             hotspots,
             max_mltd_c: max_mltd,
@@ -407,6 +413,7 @@ fn analyze_rows(
         max_mltd: 0.0,
         peak_sev: 0.0,
         severity_evals: 0,
+        simd_rows: 0,
     };
     let row_start = rows.start;
     for iy in rows {
@@ -480,8 +487,11 @@ fn analyze_rows(
         let row_bound = bound_usable.then(|| severity.severity_bound(row_max_t, row_max_m));
         let must_scan = row_bound.is_none_or(|b| b > out.peak_sev);
         if must_scan {
-            for ix in 0..nx {
-                let s = severity.severity(trow[ix], mrow[ix]);
+            // Contiguous-slice severity kernel into `rowmin` (free once the
+            // MLTD row above is written), then a left-to-right max fold —
+            // same per-element formula and selection as the scalar loop.
+            severity.severity_row(trow, mrow, rowmin);
+            for &s in rowmin.iter() {
                 // The pruning is only sound if the row bound dominates every
                 // cell severity in the row; check it where the lint cannot.
                 debug_assert!(
@@ -493,6 +503,7 @@ fn analyze_rows(
                 }
             }
             out.severity_evals += nx;
+            out.simd_rows += 1;
         }
     }
     out

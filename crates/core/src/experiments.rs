@@ -18,8 +18,9 @@ use hotgauge_thermal::warmup::Warmup;
 use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::spec2006;
 
-use crate::pipeline::{run_many, run_many_with, HistSpec, RunResult, SimConfig, SweepProgress};
+use crate::pipeline::{HistSpec, RunResult, SimConfig, SweepProgress};
 use crate::series::TimeSeries;
+use crate::sweep::run_many_batched_with;
 
 /// Global knobs controlling the cost of the experiment sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +41,10 @@ pub struct Fidelity {
     /// When a sweep uses more than one thread the executor serial-forces
     /// the per-run analysis, so the two never oversubscribe the machine.
     pub threads: usize,
+    /// Lockstep batch width for the multi-run drivers: same-geometry runs
+    /// are solved up to this many at a time through the multi-RHS thermal
+    /// path (`1` disables batching; results are identical at every width).
+    pub batch: usize,
 }
 
 impl Fidelity {
@@ -54,6 +59,7 @@ impl Fidelity {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            batch: crate::sweep::DEFAULT_BATCH_WIDTH,
         }
     }
 
@@ -292,7 +298,7 @@ pub fn tuh_sweep_with(
             cfg
         })
         .collect();
-    run_many_with(cfgs, fid.threads, on_done)
+    run_many_batched_with(cfgs, fid.threads, fid.batch, on_done)
 }
 
 /// Fig. 10: TUH samples (one per benchmark × core) for each node after idle
@@ -382,7 +388,7 @@ pub fn fig9_mltd_series(
             keys.push((node, core));
         }
     }
-    let results = run_many(cfgs, fid.threads);
+    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, None);
     keys.into_iter()
         .zip(results)
         .map(|((node, core), r)| {
@@ -416,7 +422,7 @@ pub fn fig12_location_census(
             cfg
         })
         .collect();
-    let results = run_many(cfgs, fid.threads);
+    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, None);
     let mut census = crate::locations::HotspotCensus::new();
     for r in &results {
         census.merge(&r.census);
@@ -470,7 +476,7 @@ pub fn fig13_unit_scaling(
         cfgs.push(c);
         meta.push((TechNode::N7, s));
     }
-    let results = run_many(cfgs, fid.threads);
+    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, None);
     meta.into_iter()
         .zip(results)
         .map(|((node, scale), r)| {
@@ -520,7 +526,7 @@ pub fn fig14_rat_scaling(
         c.unit_scales = vec![(UnitKind::IntRat, 10.0), (UnitKind::FpRat, 10.0)];
         cfgs.push(c);
     }
-    let results = run_many(cfgs, fid.threads);
+    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, None);
     benchmarks
         .iter()
         .enumerate()
@@ -570,7 +576,7 @@ pub fn sec5b_ic_scaling_with(
             cfgs.push(c);
         }
     }
-    let results = run_many_with(cfgs, fid.threads, on_done);
+    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, on_done);
     let stride = 1 + factors.len();
     benchmarks
         .iter()
@@ -626,7 +632,7 @@ pub fn fig2_delta_distributions(
             c
         })
         .collect();
-    let results = run_many(cfgs, fid.threads);
+    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, None);
     results
         .into_iter()
         .map(|r| {
@@ -655,7 +661,7 @@ pub fn fig8_warmup_runs(fid: &Fidelity, horizon_s: f64) -> Vec<RunResult> {
             c
         })
         .collect();
-    run_many(cfgs, fid.threads)
+    run_many_batched_with(cfgs, fid.threads, fid.batch, None)
 }
 
 /// First time the peak die temperature crosses `threshold_c` in a run.
@@ -678,6 +684,7 @@ mod tests {
             sample_instrs: 6_000,
             max_time_s: 1.5e-3,
             threads: 4,
+            batch: crate::sweep::DEFAULT_BATCH_WIDTH,
         }
     }
 

@@ -19,7 +19,8 @@
 //! * the **perf-power-therm co-simulation** pipeline gluing the performance,
 //!   power, and thermal substrates together ([`pipeline`], Fig. 3);
 //! * the work-stealing **sweep executor** running whole figure grids on a
-//!   fixed pool with per-worker scratch arenas ([`sweep`]);
+//!   fixed pool with per-worker scratch arenas, solving same-geometry runs
+//!   in lockstep multi-RHS batches ([`sweep`]);
 //! * canned **experiment runners** for every table and figure
 //!   ([`experiments`]) and report formatting ([`report`]);
 //! * a severity-triggered **DVFS throttling** control loop ([`throttle`]) —
@@ -63,10 +64,12 @@ pub use crate::detect::{
 };
 pub use crate::locations::HotspotCensus;
 pub use crate::mltd::{max_mltd, mltd_field, mltd_field_naive};
-pub use crate::pipeline::{run_many, run_sim, RunResult, SimConfig, StepRecord};
+pub use crate::pipeline::{run_many, run_sim, BatchedCoSim, RunResult, SimConfig, StepRecord};
 pub use crate::series::{percentile, rms, BoxStats, TimeSeries};
 pub use crate::severity::{peak_severity, SeverityParams, Sigmoid};
-pub use crate::sweep::{pool_workers, run_sim_in, SweepArena};
+pub use crate::sweep::{
+    pool_workers, run_batch_in, run_many_batched_with, run_sim_in, SweepArena, DEFAULT_BATCH_WIDTH,
+};
 pub use crate::throttle::{run_throttled, ThrottlePolicy, ThrottledRunResult};
 pub use crate::units::{Celsius, Microns};
 

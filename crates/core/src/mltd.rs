@@ -105,17 +105,91 @@ pub(crate) fn chord_half_widths(r_cells: isize) -> Vec<isize> {
 /// Sliding-window minimum of half-width `w` applied to every row.
 fn rows_window_min(temps: &[f64], nx: usize, ny: usize, w: isize) -> Vec<f64> {
     let mut out = vec![0.0; nx * ny];
-    let mut deque: Vec<usize> = Vec::with_capacity(nx);
-    rows_window_min_into(temps, nx, 0..ny, w, &mut out, &mut deque);
+    let mut scratch: Vec<f64> = Vec::new();
+    rows_window_min_into(temps, nx, 0..ny, w, &mut out, &mut scratch);
     out
 }
 
 /// Sliding-window minimum of half-width `w` applied to rows
 /// `rows.start..rows.end` of the field, writing results into `out` (which
 /// must hold exactly `rows.len() * nx` values, `out[0]` being the first cell
-/// of row `rows.start`). `deque` is caller-provided scratch so sharded
-/// callers can reuse it across passes instead of allocating per pass.
-pub(crate) fn rows_window_min_into(
+/// of row `rows.start`). `scratch` is caller-provided so sharded callers
+/// reuse it across passes instead of allocating per pass.
+///
+/// Uses the two-pass block-minimum formulation (van Herk / Gil–Werman): the
+/// row is padded with `+∞` sentinels on both sides, split into blocks of the
+/// window length `2w+1`, and reduced by one prefix-min and one suffix-min
+/// sweep per block; each output is then the min of two precomputed halves.
+/// Three branch-free compare/select passes per element auto-vectorize where
+/// the classic monotonic deque is branchy and serial. Results are bitwise
+/// identical to [`rows_window_min_deque`]: both return the value of the
+/// highest-indexed minimum element of each window (every select below
+/// prefers the later index on ties), and `+∞` sentinels are never selected
+/// because every window contains at least one real (finite) cell.
+pub fn rows_window_min_into(
+    temps: &[f64],
+    nx: usize,
+    rows: std::ops::Range<usize>,
+    w: isize,
+    out: &mut [f64],
+    scratch: &mut Vec<f64>,
+) {
+    let w = w.max(0) as usize;
+    debug_assert_eq!(out.len(), rows.len() * nx);
+    if w == 0 {
+        for (oy, iy) in rows.enumerate() {
+            out[oy * nx..(oy + 1) * nx].copy_from_slice(&temps[iy * nx..(iy + 1) * nx]);
+        }
+        return;
+    }
+    let wlen = 2 * w + 1;
+    // Padded length, rounded up to whole blocks so the sweeps never split.
+    let pc = (nx + 2 * w).div_ceil(wlen) * wlen;
+    scratch.clear();
+    scratch.resize(3 * pc, f64::INFINITY);
+    let (pad, rest) = scratch.split_at_mut(pc);
+    let (g, h) = rest.split_at_mut(pc);
+    for (oy, iy) in rows.enumerate() {
+        pad.fill(f64::INFINITY);
+        pad[w..w + nx].copy_from_slice(&temps[iy * nx..(iy + 1) * nx]);
+        let mut b = 0;
+        while b < pc {
+            // Prefix minima left→right (`<=` keeps the later index on ties)
+            // and suffix minima right→left (`<` keeps the later index).
+            let mut m = f64::INFINITY;
+            for j in b..b + wlen {
+                let v = pad[j];
+                if v <= m {
+                    m = v;
+                }
+                g[j] = m;
+            }
+            let mut m = f64::INFINITY;
+            for j in (b..b + wlen).rev() {
+                let v = pad[j];
+                if v < m {
+                    m = v;
+                }
+                h[j] = m;
+            }
+            b += wlen;
+        }
+        let orow = &mut out[oy * nx..(oy + 1) * nx];
+        // Window [i-w, i+w] around original cell i spans padded [i, i+2w]:
+        // the suffix min covers its head block, the prefix min its tail.
+        for (i, o) in orow.iter_mut().enumerate() {
+            let a = h[i];
+            let b = g[i + 2 * w];
+            *o = if b <= a { b } else { a };
+        }
+    }
+}
+
+/// The classic monotonic-deque sliding-window minimum (the pre-two-pass
+/// kernel), kept as the differential reference and for the `mltd_kernel`
+/// bench group's deque-vs-two-pass comparison. Semantics and output are
+/// bitwise identical to [`rows_window_min_into`].
+pub fn rows_window_min_deque(
     temps: &[f64],
     nx: usize,
     rows: std::ops::Range<usize>,
@@ -247,6 +321,70 @@ mod tests {
         let mut distinct = widths.clone();
         distinct.dedup();
         assert_eq!(distinct.len(), 7);
+    }
+
+    #[test]
+    fn two_pass_window_min_is_bitwise_equal_to_deque() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            40.0 + (x % 4096) as f64 / 64.0
+        };
+        for (nx, ny) in [(1, 1), (7, 5), (33, 9), (64, 16), (101, 3)] {
+            let temps: Vec<f64> = (0..nx * ny).map(|_| rnd()).collect();
+            // Half-widths spanning w=0, interior, w = nx-1, and w >= nx.
+            for w in [
+                0isize,
+                1,
+                2,
+                5,
+                nx as isize - 1,
+                nx as isize,
+                nx as isize + 7,
+            ] {
+                let mut a = vec![0.0; nx * ny];
+                let mut b = vec![0.0; nx * ny];
+                let mut scratch = Vec::new();
+                let mut deque = Vec::new();
+                rows_window_min_into(&temps, nx, 0..ny, w, &mut a, &mut scratch);
+                rows_window_min_deque(&temps, nx, 0..ny, w, &mut b, &mut deque);
+                for i in 0..a.len() {
+                    assert_eq!(
+                        a[i].to_bits(),
+                        b[i].to_bits(),
+                        "mismatch at {i} (nx={nx}, ny={ny}, w={w}): {} vs {}",
+                        a[i],
+                        b[i]
+                    );
+                }
+            }
+        }
+        // Ties between +0.0 and −0.0 compare equal but differ in bits; both
+        // kernels must select the same (highest-indexed) element.
+        let ties = [0.0, -0.0, 1.0, -0.0, 0.0, 0.0, -0.0, 2.0];
+        let mut a = vec![9.0; ties.len()];
+        let mut b = vec![9.0; ties.len()];
+        rows_window_min_into(&ties, ties.len(), 0..1, 2, &mut a, &mut Vec::new());
+        rows_window_min_deque(&ties, ties.len(), 0..1, 2, &mut b, &mut Vec::new());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "signed-zero tie broke differently"
+            );
+        }
+    }
+
+    #[test]
+    fn window_min_on_partial_row_bands_matches_full_grid() {
+        let temps: Vec<f64> = (0..40 * 6).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut full = vec![0.0; 40 * 6];
+        rows_window_min_into(&temps, 40, 0..6, 4, &mut full, &mut Vec::new());
+        let mut band = vec![0.0; 40 * 2];
+        rows_window_min_into(&temps, 40, 3..5, 4, &mut band, &mut Vec::new());
+        assert_eq!(&full[3 * 40..5 * 40], &band[..]);
     }
 
     #[test]

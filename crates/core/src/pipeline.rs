@@ -28,9 +28,12 @@ use hotgauge_perf::config::{CoreConfig, MemoryConfig};
 use hotgauge_perf::engine::CoreSim;
 use hotgauge_power::model::{CoreWindow, PowerModel, PowerParams};
 use hotgauge_thermal::frame::ThermalFrame;
-use hotgauge_thermal::model::{SolverStrategy, ThermalModel, ThermalSim};
+use hotgauge_thermal::model::{
+    step_lockstep, LockstepScratch, SolverStrategy, ThermalModel, ThermalSim,
+};
 use hotgauge_thermal::stack::StackDescription;
 use hotgauge_thermal::warmup::Warmup;
+use hotgauge_thermal::MAX_LOCKSTEP_WIDTH;
 use hotgauge_workloads::benchmark_profile;
 use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::idle::{idle_profile, IDLE_DUTY_CYCLE, IDLE_WARMUP_DURATION_S};
@@ -445,10 +448,7 @@ impl CoSimulation {
         core.warm_up(&mut gen, 2_000_000);
 
         // A representative idle window for the background cores.
-        let mut idle_core = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
-        let mut idle_gen = WorkloadGen::new(idle_profile(), seed ^ 0xDEAD_BEEF);
-        idle_core.warm_up(&mut idle_gen, 200_000);
-        let idle_act = idle_core.run_instructions(&mut idle_gen, 50_000);
+        let idle_act = idle_activity_cached(seed ^ 0xDEAD_BEEF);
 
         // Thermal initial condition. A recycled solver keeps its prepared
         // system (the backward-Euler matrix and Cholesky factor / CG
@@ -505,6 +505,27 @@ impl CoSimulation {
     /// The floorplan being simulated.
     pub fn floorplan(&self) -> &Floorplan {
         &self.fp
+    }
+
+    /// The configuration this simulation was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Clones the geometry-keyed model parts of this simulation, so a
+    /// lockstep batch mate with the same [`crate::sweep::geom_key`] can be
+    /// constructed without rebuilding them ([`CoSimulation::try_new_reusing`]
+    /// resets the cloned thermal state exactly as it does for arena-recycled
+    /// parts). The clone shares the prepared backward-Euler matrix through
+    /// its `Arc`, which is also what lets [`step_lockstep`] batch the lanes.
+    pub(crate) fn clone_geom_parts(&self) -> GeomParts {
+        GeomParts {
+            fp: self.fp.clone(),
+            grid: self.grid.clone(),
+            grid_peaked: self.grid_peaked.clone(),
+            power: self.power.clone(),
+            thermal: self.thermal.clone(),
+        }
     }
 
     /// The transient thermal simulation.
@@ -846,6 +867,383 @@ pub(crate) struct GeomParts {
     pub(crate) thermal: ThermalSim,
 }
 
+/// A lockstep batch of up to [`MAX_LOCKSTEP_WIDTH`] co-simulations advanced
+/// together: every lane produces its perf/power window, then one multi-RHS
+/// thermal solve ([`step_lockstep`]) advances all still-running lanes at
+/// once, streaming the shared backward-Euler matrix a single time per
+/// substep instead of once per lane. Lanes deactivate independently — a
+/// stop-at-first-hotspot lane that trips, or a lane whose instruction/time
+/// budget runs out, simply drops out of subsequent solves while its batch
+/// mates continue.
+///
+/// Results are **bit-identical** to running each lane through
+/// [`CoSimulation::run`] on its own: the batch replays the serial analysis
+/// schedule per lane (which the overlap schedule also reproduces exactly),
+/// and the lockstep solver applies each lane's arithmetic in the same
+/// element order as the single-RHS path. Lanes whose thermal systems turn
+/// out not to be homogeneous (different grids or solver states) fall back
+/// to per-lane solo steps inside [`step_lockstep`] — still exact, just
+/// without the memory-bandwidth win. The sweep executor groups compatible
+/// jobs by [`crate::sweep::geom_key`] so batches hit the fast path.
+#[derive(Debug)]
+pub struct BatchedCoSim {
+    lanes: Vec<CoSimulation>,
+}
+
+impl BatchedCoSim {
+    /// Assembles a batch from fully constructed lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is empty, wider than [`MAX_LOCKSTEP_WIDTH`], or
+    /// mixes substep counts (lanes must share the substep schedule to step
+    /// in lockstep; geometry *may* differ, at the cost of the fallback).
+    pub fn new(lanes: Vec<CoSimulation>) -> Self {
+        assert!(!lanes.is_empty(), "a batch needs at least one lane");
+        assert!(
+            lanes.len() <= MAX_LOCKSTEP_WIDTH,
+            "batch width {} exceeds MAX_LOCKSTEP_WIDTH ({MAX_LOCKSTEP_WIDTH})",
+            lanes.len()
+        );
+        assert!(
+            lanes
+                .iter()
+                .all(|l| l.cfg.substeps == lanes[0].cfg.substeps),
+            "lockstep lanes must share a substep count"
+        );
+        Self { lanes }
+    }
+
+    /// Number of lanes in the batch.
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Runs every lane to completion and returns their results in lane
+    /// order. Each element is bit-identical to `run_sim` of that lane's
+    /// configuration.
+    pub fn run(self) -> Vec<RunResult> {
+        let analyzers = self
+            .lanes
+            .iter()
+            .map(|l| FrameAnalyzer::new(l.cfg.detect, l.cfg.severity, l.cfg.analysis.threads))
+            .collect();
+        run_batch_with_analyzers(self.lanes, analyzers, None)
+            .into_iter()
+            .map(|(result, _, _)| result)
+            .collect()
+    }
+}
+
+/// The batch engine behind [`BatchedCoSim`], on caller-supplied (possibly
+/// recycled) analyzers, handing each lane's analyzer and geometry parts back
+/// for arena reuse — the batched analogue of
+/// [`CoSimulation::run_with_analyzer`]. `on_lane_done` fires with the lane
+/// index as each lane finishes (sweep liveness).
+pub(crate) fn run_batch_with_analyzers(
+    sims: Vec<CoSimulation>,
+    analyzers: Vec<FrameAnalyzer>,
+    on_lane_done: Option<&dyn Fn(usize)>,
+) -> Vec<(RunResult, FrameAnalyzer, GeomParts)> {
+    // The per-lane model parts, split by mutability: the window producer and
+    // thermal solver mutate `LaneMut`, while the analysis contexts hold
+    // shared borrows of `LaneRo` for the whole run.
+    struct LaneRo {
+        cfg: SimConfig,
+        fp: Floorplan,
+        grid: FloorplanGrid,
+        grid_peaked: FloorplanGrid,
+        power: PowerModel,
+        idle_act: ActivityCounters,
+        track_idx: Vec<usize>,
+    }
+    struct LaneMut {
+        thermal: ThermalSim,
+        core: CoreSim,
+        gen: WorkloadGen,
+    }
+    /// Per-lane loop state mirroring the locals of the serial schedule.
+    struct LaneRun {
+        time_s: f64,
+        instructions: u64,
+        delta_counts: Option<(HistSpec, Vec<f64>, Vec<usize>)>,
+        window: Option<WindowOutput>,
+        finished: bool,
+    }
+    /// The owned accumulators of one lane's `AnalysisCtx`, extracted so the
+    /// borrows of `LaneRo` end before the model parts move into the results.
+    struct CtxOut {
+        analyzer: FrameAnalyzer,
+        records: Vec<StepRecord>,
+        sev_series: TimeSeries,
+        census: HotspotCensus,
+        tuh: Option<f64>,
+        last_frame: Option<ThermalFrame>,
+        last_instructions: u64,
+    }
+
+    let k = sims.len();
+    assert!(k >= 1, "a batch needs at least one lane");
+    assert!(
+        k <= MAX_LOCKSTEP_WIDTH,
+        "batch width {k} exceeds MAX_LOCKSTEP_WIDTH ({MAX_LOCKSTEP_WIDTH})"
+    );
+    assert_eq!(k, analyzers.len(), "one analyzer per lane");
+    let substeps = sims[0].cfg.substeps;
+    assert!(
+        sims.iter().all(|s| s.cfg.substeps == substeps),
+        "lockstep lanes must share a substep count"
+    );
+    let dt_sub = sims[0].cfg.window_seconds() / substeps as f64;
+
+    let mut ro = Vec::with_capacity(k);
+    let mut lanes = Vec::with_capacity(k);
+    for sim in sims {
+        let CoSimulation {
+            cfg,
+            fp,
+            grid,
+            grid_peaked,
+            power,
+            thermal,
+            core,
+            gen,
+            idle_act,
+        } = sim;
+        let track_idx: Vec<usize> = cfg
+            .track_units
+            .iter()
+            .map(|n| {
+                fp.unit_index_by_name(n)
+                    // hotgauge-lint: allow(L001, "track_units validated against the floorplan in try_new; a miss here is a bug, not user input")
+                    .unwrap_or_else(|| panic!("unknown tracked unit {n}"))
+            })
+            .collect();
+        ro.push(LaneRo {
+            cfg,
+            fp,
+            grid,
+            grid_peaked,
+            power,
+            idle_act,
+            track_idx,
+        });
+        lanes.push(LaneMut { thermal, core, gen });
+    }
+
+    let mut ctxs: Vec<AnalysisCtx<'_>> = ro
+        .iter()
+        .zip(analyzers)
+        .map(|(r, mut analyzer)| {
+            analyzer.reconfigure(r.cfg.detect, r.cfg.severity, r.cfg.analysis.threads);
+            // Same engagement rule as the serial schedule (see
+            // `run_with_analyzer`): TUH runs without tracked units.
+            let prefilter =
+                r.cfg.analysis.prefilter && r.cfg.stop_at_first_hotspot && r.track_idx.is_empty();
+            AnalysisCtx {
+                analyzer,
+                cfg: &r.cfg,
+                fp: &r.fp,
+                grid: &r.grid,
+                track_idx: &r.track_idx,
+                prefilter,
+                records: Vec::new(),
+                sev_series: TimeSeries::default(),
+                census: HotspotCensus::new(),
+                tuh: None,
+                last_frame: None,
+                last_instructions: 0,
+            }
+        })
+        .collect();
+
+    let mut runs: Vec<LaneRun> = ro
+        .iter()
+        .map(|r| LaneRun {
+            time_s: 0.0,
+            instructions: 0,
+            delta_counts: r
+                .cfg
+                .delta_histogram
+                .map(|h| (h, edges(&h), vec![0usize; h.bins])),
+            window: None,
+            finished: false,
+        })
+        .collect();
+
+    let mut scratch = LockstepScratch::new();
+    let mut active_idx: Vec<usize> = Vec::with_capacity(k);
+    loop {
+        // Window start: every unfinished lane with budget left produces its
+        // perf/power window; lanes whose budget ran out finish here, exactly
+        // where the serial loop condition would have stopped them.
+        let mut any = false;
+        for i in 0..k {
+            if runs[i].finished {
+                continue;
+            }
+            if !(runs[i].instructions < ro[i].cfg.max_instructions
+                && runs[i].time_s < ro[i].cfg.max_time_s)
+            {
+                runs[i].finished = true;
+                if let Some(cb) = on_lane_done {
+                    cb(i);
+                }
+                continue;
+            }
+            let lane = &mut lanes[i];
+            let w = produce_window(
+                &ro[i].cfg,
+                &ro[i].fp,
+                &ro[i].grid,
+                &ro[i].grid_peaked,
+                &ro[i].power,
+                &lane.thermal,
+                &mut lane.core,
+                &mut lane.gen,
+                &ro[i].idle_act,
+            );
+            runs[i].instructions += w.instr_delta;
+            counter!("pipeline.substeps", substeps);
+            runs[i].window = Some(w);
+            any = true;
+        }
+        if !any {
+            break;
+        }
+
+        for _ in 0..substeps {
+            // The active set is re-evaluated every substep: a lane that
+            // stopped at substep s takes no thermal step at s + 1, exactly
+            // like the serial `break 'outer`.
+            active_idx.clear();
+            for (i, run) in runs.iter().enumerate() {
+                if !run.finished && run.window.is_some() {
+                    active_idx.push(i);
+                }
+            }
+            if active_idx.is_empty() {
+                break;
+            }
+
+            {
+                let _stage = span!("stage.thermal");
+                let mut therm: Vec<&mut ThermalSim> = Vec::with_capacity(active_idx.len());
+                let mut want = active_idx.iter().peekable();
+                for (j, lane) in lanes.iter_mut().enumerate() {
+                    if want.peek() == Some(&&j) {
+                        want.next();
+                        therm.push(&mut lane.thermal);
+                    }
+                }
+                let maps: Vec<&[f64]> = active_idx
+                    .iter()
+                    .filter_map(|&i| runs[i].window.as_ref().map(|w| w.power_map.as_slice()))
+                    .collect();
+                step_lockstep(&mut therm, &maps, dt_sub, &mut scratch);
+            }
+
+            for &i in active_idx.iter() {
+                let Some((power_w, ipc)) = runs[i].window.as_ref().map(|w| (w.power_w, w.ipc))
+                else {
+                    continue;
+                };
+                runs[i].time_s += dt_sub;
+                let (frame, frame_max) = lanes[i].thermal.die_frame_with_max();
+                let proceed = {
+                    let _stage = span!("stage.detect");
+                    ctxs[i].process(SubstepMsg {
+                        frame,
+                        frame_max,
+                        time_s: runs[i].time_s,
+                        power_w,
+                        ipc,
+                        instructions: runs[i].instructions,
+                    })
+                };
+                if !proceed {
+                    // Stop-at-first-hotspot: the lane ends mid-window, so it
+                    // must not take further steps nor accumulate this
+                    // window's ΔT histogram (serial breaks before both).
+                    runs[i].finished = true;
+                    runs[i].window = None;
+                    if let Some(cb) = on_lane_done {
+                        cb(i);
+                    }
+                }
+            }
+        }
+
+        // Window end for lanes that completed all substeps.
+        for (run, lane) in runs.iter_mut().zip(lanes.iter()) {
+            let Some(w) = run.window.take() else { continue };
+            if let Some((ref h, _, ref mut counts)) = run.delta_counts {
+                accumulate_deltas(h, counts, &w.frame_before, &lane.thermal.die_frame());
+            }
+        }
+    }
+
+    let outs: Vec<CtxOut> = ctxs
+        .into_iter()
+        .map(|c| {
+            let AnalysisCtx {
+                analyzer,
+                records,
+                sev_series,
+                census,
+                tuh,
+                last_frame,
+                last_instructions,
+                ..
+            } = c;
+            CtxOut {
+                analyzer,
+                records,
+                sev_series,
+                census,
+                tuh,
+                last_frame,
+                last_instructions,
+            }
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(k);
+    for (((r, lane), mut out), run) in ro.into_iter().zip(lanes).zip(outs).zip(runs) {
+        let stopped = r.cfg.stop_at_first_hotspot && out.tuh.is_some();
+        let total_instructions = if stopped {
+            out.last_instructions
+        } else {
+            run.instructions
+        };
+        let final_frame = if stopped {
+            // hotgauge-lint: allow(L001, "tuh is only set by AnalysisCtx::process, which stores last_frame in the same match arm before returning false")
+            out.last_frame.take().expect("stopping substep has a frame")
+        } else {
+            lane.thermal.die_frame()
+        };
+        let result = RunResult {
+            config: r.cfg,
+            records: out.records,
+            tuh_s: out.tuh,
+            census: out.census,
+            delta_hist: run.delta_counts.map(|(_, e, c)| (e, c)),
+            total_instructions,
+            final_frame,
+            sev_series: out.sev_series,
+        };
+        let parts = GeomParts {
+            fp: r.fp,
+            grid: r.grid,
+            grid_peaked: r.grid_peaked,
+            power: r.power,
+            thermal: lane.thermal,
+        };
+        results.push((result, out.analyzer, parts));
+    }
+    results
+}
+
 /// One produced perf/power window, ready for thermal substepping.
 struct WindowOutput {
     ipc: f64,
@@ -1042,6 +1440,33 @@ fn accumulate_deltas(
 /// Idle warm-up states are identical for every run that shares a floorplan,
 /// grid resolution, and border — and a TUH sweep launches hundreds of such
 /// runs. Cache them process-wide.
+/// The background-core activity window for one idle stream, memoized
+/// process-wide.
+///
+/// The idle stream is a pure function of its seed — the idle profile and
+/// the default core/memory configs are compile-time constants — and every
+/// run of a sweep grid derives its idle seed from the same `cfg.seed`, so
+/// a fig11-style 133-run grid has only as many distinct idle streams as
+/// target cores. Simulating the 250 k-instruction window once per *run*
+/// rather than once per *stream* was a measurable slice of construction
+/// time; memoizing a deterministic function returns bit-identical
+/// counters by definition.
+fn idle_activity_cached(seed: u64) -> ActivityCounters {
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<parking_lot::Mutex<HashMap<u64, ActivityCounters>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| parking_lot::Mutex::new(HashMap::new()));
+    if let Some(act) = cache.lock().get(&seed) {
+        return *act;
+    }
+    let mut idle_core = CoreSim::new(CoreConfig::default(), MemoryConfig::default());
+    let mut idle_gen = WorkloadGen::new(idle_profile(), seed);
+    idle_core.warm_up(&mut idle_gen, 200_000);
+    let act = idle_core.run_instructions(&mut idle_gen, 50_000);
+    cache.lock().insert(seed, act);
+    act
+}
+
 fn warmup_state_cached(
     cfg: &SimConfig,
     fp: &Floorplan,
@@ -1362,6 +1787,82 @@ mod tests {
             assert_eq!(a.hotspot_count, 0);
             assert_eq!(a.hotspot_count, b.hotspot_count);
         }
+    }
+
+    #[test]
+    fn batched_lanes_reproduce_serial_runs_bitwise() {
+        // Mixed workloads, seeds, horizons, and one ΔT histogram — the lane
+        // with the longer horizon keeps stepping after its mates finish.
+        let a = quick_cfg();
+        let mut b = quick_cfg();
+        b.benchmark = "povray".into();
+        b.seed = 7;
+        let mut c = quick_cfg();
+        c.benchmark = "gcc".into();
+        c.max_time_s = 2.6e-3;
+        c.delta_histogram = Some(HistSpec {
+            lo: -2.0,
+            hi: 2.0,
+            bins: 16,
+        });
+        let cfgs = [a, b, c];
+        let want: Vec<RunResult> = cfgs.iter().cloned().map(run_sim).collect();
+        let batch = BatchedCoSim::new(cfgs.into_iter().map(CoSimulation::new).collect());
+        assert_eq!(batch.width(), 3);
+        let got = batch.run();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_same_result(g, w);
+        }
+    }
+
+    #[test]
+    fn batched_stop_lane_stops_alone_and_matches_serial() {
+        // One TUH lane (with the prefilter engaged) trips mid-run and must
+        // drop out of the lockstep batch without perturbing its batch mate,
+        // which runs to the horizon.
+        let mut hot = quick_cfg();
+        hot.stop_at_first_hotspot = true;
+        hot.detect.t_threshold_c = 48.0;
+        hot.detect.mltd_threshold_c = 0.05;
+        hot.analysis.prefilter = true;
+        let cold = quick_cfg();
+        let want_hot = run_sim(hot.clone());
+        let want_cold = run_sim(cold.clone());
+        assert!(
+            want_hot.tuh_s.is_some(),
+            "test premise: the lowered thresholds must trip a hotspot"
+        );
+        assert!(
+            want_hot.records.len() < want_cold.records.len(),
+            "test premise: the stop lane must end before its mate"
+        );
+        let got = BatchedCoSim::new(vec![CoSimulation::new(hot), CoSimulation::new(cold)]).run();
+        assert_same_result(&got[0], &want_hot);
+        assert_same_result(&got[1], &want_cold);
+    }
+
+    #[test]
+    fn batch_of_one_matches_run_sim() {
+        let cfg = quick_cfg();
+        let want = run_sim(cfg.clone());
+        let got = BatchedCoSim::new(vec![CoSimulation::new(cfg)]).run();
+        assert_same_result(&got[0], &want);
+    }
+
+    #[test]
+    fn mixed_geometry_batch_falls_back_per_lane_and_stays_exact() {
+        // Different cell sizes mean different node counts: the lockstep
+        // solver cannot batch these, so it steps each lane solo — results
+        // must still be bit-identical to independent runs.
+        let a = quick_cfg();
+        let mut b = quick_cfg();
+        b.cell_um = 360.0;
+        let want_a = run_sim(a.clone());
+        let want_b = run_sim(b.clone());
+        let got = BatchedCoSim::new(vec![CoSimulation::new(a), CoSimulation::new(b)]).run();
+        assert_same_result(&got[0], &want_a);
+        assert_same_result(&got[1], &want_b);
     }
 
     #[test]

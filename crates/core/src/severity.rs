@@ -79,6 +79,25 @@ impl SeverityParams {
         raw.clamp(0.0, 1.0)
     }
 
+    /// Evaluates the severity of a whole row of cells into `out`:
+    /// `out[i] = severity(temps[i], mltd[i])` — the identical per-element
+    /// formula and `[0, 1]` clamp as [`SeverityParams::severity`], expressed
+    /// over contiguous slices so the sigmoid pipeline runs branch-free per
+    /// element (the clamp is a compare/select, not a branch) and the
+    /// analysis hot loop streams whole rows. Bitwise identical to calling
+    /// [`SeverityParams::severity`] per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn severity_row(&self, temps: &[f64], mltd: &[f64], out: &mut [f64]) {
+        assert_eq!(temps.len(), mltd.len());
+        assert_eq!(temps.len(), out.len());
+        for ((o, &t), &m) in out.iter_mut().zip(temps).zip(mltd) {
+            *o = (self.df.eval(t) + self.m.eval(m) * self.t.eval(t)).clamp(0.0, 1.0);
+        }
+    }
+
     /// True when [`SeverityParams::severity_bound`] is a valid upper bound:
     /// all three sigmoids must be non-decreasing (`s ≥ 0`, `a ≥ 0`) and the
     /// temperature gate `σ_T` must be non-negative everywhere (`y₀ ≥ 0`).
@@ -219,6 +238,24 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn severity_row_is_bitwise_equal_to_scalar_severity() {
+        let p = SeverityParams::cpu_default();
+        let temps: Vec<f64> = (0..257).map(|i| 35.0 + (i % 97) as f64).collect();
+        let mltd: Vec<f64> = (0..257).map(|i| ((i * 13) % 53) as f64 * 0.9).collect();
+        let mut row = vec![0.0; temps.len()];
+        p.severity_row(&temps, &mltd, &mut row);
+        for i in 0..temps.len() {
+            assert_eq!(
+                row[i].to_bits(),
+                p.severity(temps[i], mltd[i]).to_bits(),
+                "cell {i}: {} vs {}",
+                row[i],
+                p.severity(temps[i], mltd[i])
+            );
         }
     }
 

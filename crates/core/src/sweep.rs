@@ -11,30 +11,52 @@
 //! model assembly and the per-`Δt` solver preparation entirely and allocate
 //! near-zero.
 //!
+//! On top of the pool sits the **lockstep batch engine**: jobs sharing a
+//! [`geom_key`] are grouped (first-seen key order) and chunked into batches
+//! of up to [`DEFAULT_BATCH_WIDTH`] runs, and each batch advances through
+//! one [`crate::pipeline::BatchedCoSim`]-style driver whose multi-RHS
+//! thermal solves stream the shared backward-Euler matrix once per substep
+//! for the whole batch. Leftover chunks of one job — stragglers of a group,
+//! or geometries that appear only once — take the classic per-run path.
+//!
 //! Results are **order-preserving and bit-identical** to running each
 //! config through [`crate::pipeline::run_sim`] serially (with the sweep's
 //! serial-forcing rule applied to `AnalysisConfig`): the scheduler only
-//! decides *where* a run executes, and arena recycling restores exactly the
-//! fresh-construction state (`tests/sweep_equivalence.rs` pins both down).
+//! decides *where and how wide* a run executes — arena recycling restores
+//! exactly the fresh-construction state and the lockstep solver applies
+//! each lane's arithmetic in single-RHS element order
+//! (`tests/sweep_equivalence.rs` pins all of it down).
 //!
 //! Telemetry: `sweep.jobs` / `sweep.completions` count scheduled and
 //! finished runs (always equal), `sweep.steal` counts cross-worker steals
-//! (≤ jobs), `sweep.arena_reuse` counts geometry-cache hits, and
-//! `sweep.queue_depth` samples the injector backlog at each chunk grab; the
+//! (≤ work items), `sweep.arena_reuse` counts geometry-cache hits,
+//! `sweep.queue_depth` samples the injector backlog at each chunk grab,
+//! and `solver.batch_width` / `solver.lockstep_runs` record the widths of
+//! scheduled lockstep batches and the runs executed through them; the
 //! whole pool runs under a `sweep.executor` span.
 
 use std::collections::VecDeque;
 use std::ops::Range;
 
 use hotgauge_telemetry::{counter, span};
+use hotgauge_thermal::MAX_LOCKSTEP_WIDTH;
 
 use crate::analysis::FrameAnalyzer;
-use crate::pipeline::{CoSimulation, GeomParts, RunResult, SimConfig, SweepProgress};
+use crate::pipeline::{
+    run_batch_with_analyzers, CoSimulation, GeomParts, RunResult, SimConfig, SweepProgress,
+};
 
 /// Geometry entries an arena keeps before evicting the oldest. Sweeps cycle
 /// over a handful of geometries (fig10: one per node), so a small FIFO
 /// bounds peak RSS without costing hits.
 const MAX_ARENA_GEOMETRIES: usize = 8;
+
+/// Default width of a lockstep batch: same-geometry jobs are solved up to
+/// eight at a time through the multi-RHS thermal path. Eight columns fill a
+/// cache line of `f64`s per matrix row — wider batches add little bandwidth
+/// amortization while inflating per-worker state; capped by
+/// [`MAX_LOCKSTEP_WIDTH`] either way.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
 
 /// Per-worker scratch arena: recycled geometry-keyed model parts plus one
 /// reusable frame analyzer. Owned by exactly one worker, so no locking.
@@ -141,11 +163,89 @@ pub fn run_sim_in(cfg: SimConfig, arena: &mut SweepArena) -> RunResult {
     result
 }
 
+/// Runs a batch of same-[`geom_key`] configurations in lockstep inside an
+/// arena: lane 0 recycles the arena's cached geometry (or builds it), the
+/// remaining lanes clone lane 0's parts — sharing the prepared backward-Euler
+/// matrix — and all lanes advance through the multi-RHS solver together.
+/// Each result is bit-identical to `run_sim` of that configuration.
+/// `on_lane_done` fires with the lane index as each lane finishes.
+///
+/// # Panics
+///
+/// Panics if `cfgs` is empty, wider than [`MAX_LOCKSTEP_WIDTH`], or invalid,
+/// like [`run_sim_in`] (user-input paths validate through
+/// [`CoSimulation::try_new`] first).
+pub fn run_batch_in(
+    cfgs: Vec<SimConfig>,
+    arena: &mut SweepArena,
+    on_lane_done: Option<&dyn Fn(usize)>,
+) -> Vec<RunResult> {
+    assert!(!cfgs.is_empty(), "a batch needs at least one configuration");
+    let key = geom_key(&cfgs[0]);
+    debug_assert!(
+        cfgs.iter().all(|c| geom_key(c) == key),
+        "batch lanes must share a geometry key"
+    );
+    let mut lanes: Vec<CoSimulation> = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let geom = match lanes.first() {
+            // Batch mates clone lane 0's parts instead of rebuilding:
+            // same-key parts are bit-identical by construction, and the
+            // clone shares the prepared matrix the lockstep solver keys on.
+            Some(first) => Some(first.clone_geom_parts()),
+            None => {
+                let g = arena.take_geom(&key);
+                if g.is_some() {
+                    counter!("sweep.arena_reuse", 1);
+                }
+                g
+            }
+        };
+        let sim = CoSimulation::try_new_reusing(cfg, geom)
+            // hotgauge-lint: allow(L001, "programmatic entry point mirroring run_sim/CoSimulation::new; user-input paths validate through try_new and exit 2")
+            .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+        lanes.push(sim);
+    }
+    let analyzers: Vec<FrameAnalyzer> = lanes
+        .iter()
+        .enumerate()
+        .map(|(l, sim)| {
+            let recycled = if l == 0 { arena.analyzer.take() } else { None };
+            recycled.unwrap_or_else(|| {
+                let c = sim.config();
+                FrameAnalyzer::new(c.detect, c.severity, c.analysis.threads)
+            })
+        })
+        .collect();
+    counter!("solver.batch_width", lanes.len());
+    counter!("solver.lockstep_runs", lanes.len());
+    let outs = run_batch_with_analyzers(lanes, analyzers, on_lane_done);
+    let mut results = Vec::with_capacity(outs.len());
+    for (l, (result, analyzer, parts)) in outs.into_iter().enumerate() {
+        if l == 0 {
+            arena.analyzer = Some(analyzer);
+            arena.store_geom(key.clone(), parts);
+        }
+        results.push(result);
+    }
+    results
+}
+
 /// The worker-pool width a sweep of `jobs` runs will use for a `--threads`
 /// value of `threads` (`0` = one per hardware thread). Exposed so the bench
 /// bins can record the realized pool shape in their run manifests.
+///
+/// The width is capped at the machine's hardware threads: the runs are
+/// CPU-bound, so oversubscribed workers cannot finish sooner — they only
+/// multiply per-worker [`SweepArena`] scratch (cached geometries, solver
+/// workspaces) into peak RSS. Note the sweep's serial-forcing rule still
+/// keys on the *requested* budget, so reported `AnalysisConfig`s do not
+/// change with the machine.
 pub fn pool_workers(threads: usize, jobs: usize) -> usize {
-    resolved_threads(threads).min(jobs)
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    resolved_threads(threads).min(hw).min(jobs)
 }
 
 /// `--threads` semantics: `0` means one worker per hardware thread.
@@ -163,9 +263,28 @@ fn resolved_threads(threads: usize) -> usize {
 /// order. `threads = 0` sizes the pool to the hardware; an empty batch
 /// returns immediately for any `threads`. `on_done` is invoked from worker
 /// threads as each run finishes (sweep liveness for long experiments).
+///
+/// Same-geometry jobs are solved in lockstep batches of
+/// [`DEFAULT_BATCH_WIDTH`]; use [`run_many_batched_with`] to pick another
+/// width (or `1` to disable batching). Results are identical either way.
 pub fn run_many_with(
     cfgs: Vec<SimConfig>,
     threads: usize,
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<RunResult> {
+    run_many_batched_with(cfgs, threads, DEFAULT_BATCH_WIDTH, on_done)
+}
+
+/// [`run_many_with`] with an explicit lockstep batch width: same-[`geom_key`]
+/// jobs are grouped (first-seen key order) and solved up to `batch` at a
+/// time through [`run_batch_in`]; `batch <= 1` disables batching and runs
+/// every job through the classic per-run path. The width is clamped to
+/// [`MAX_LOCKSTEP_WIDTH`]. The batch width never changes any result — only
+/// how many runs share each thermal solve.
+pub fn run_many_batched_with(
+    cfgs: Vec<SimConfig>,
+    threads: usize,
+    batch: usize,
     on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
 ) -> Vec<RunResult> {
     let n = cfgs.len();
@@ -182,95 +301,131 @@ pub fn run_many_with(
     // the same (serial-forced) `AnalysisConfig` in its `RunResult` as it
     // always has. Results are identical either way.
     let force_serial = requested > 1;
-    let workers = requested.min(n);
+    let batch = batch.clamp(1, MAX_LOCKSTEP_WIDTH);
 
-    if workers == 1 {
-        // Degenerate pool: run inline on the caller thread, still
-        // arena-backed so same-geometry runs factor once.
-        let mut arena = SweepArena::new();
-        return cfgs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let mut cfg = c.clone();
-                if force_serial {
-                    cfg.analysis = cfg.analysis.serial();
-                }
-                let r = {
-                    let _run = span!("sweep.run");
-                    run_sim_in(cfg, &mut arena)
-                };
-                counter!("sweep.completions", 1);
-                if let Some(cb) = on_done {
-                    cb(SweepProgress {
-                        done: i + 1,
-                        total: n,
-                        benchmark: c.benchmark.clone(),
-                        node: c.node,
-                        target_core: c.target_core,
-                    });
-                }
-                r
+    // The pool's work items: index batches of same-geometry jobs (chunks of
+    // singleton geometries degrade to the per-run path). With `batch == 1`
+    // every job is its own item, in input order — the classic executor.
+    let items: Vec<Vec<usize>> = if batch == 1 {
+        (0..n).map(|i| vec![i]).collect()
+    } else {
+        let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+        for (i, c) in cfgs.iter().enumerate() {
+            let key = geom_key(c);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        groups
+            .into_iter()
+            .flat_map(|(_, idxs)| {
+                idxs.chunks(batch)
+                    .map(<[usize]>::to_vec)
+                    .collect::<Vec<_>>()
             })
-            .collect();
-    }
+            .collect()
+    };
+    // Workers are additionally capped at the item count — a worker without
+    // a work item would only ever contribute idle arena scratch to peak RSS.
+    let workers = pool_workers(threads, n).min(items.len()).max(1);
 
-    // Chunked injector: jobs enter as contiguous index ranges of ~1/4 of a
-    // fair share, so workers refill a few jobs at a time (amortizing the
-    // injector lock) while the tail still balances across the pool.
-    let chunk = (n / (workers * 4)).max(1);
-    let mut backlog: VecDeque<Range<usize>> = VecDeque::new();
-    let mut at = 0;
-    while at < n {
-        let end = (at + chunk).min(n);
-        backlog.push_back(at..end);
-        at = end;
-    }
-    let injector = parking_lot::Mutex::new(backlog);
-    let locals: Vec<parking_lot::Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|_| parking_lot::Mutex::new(VecDeque::new()))
-        .collect();
-
-    let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
-    let results_mutex = parking_lot::Mutex::new(&mut results);
     let completed = std::sync::atomic::AtomicUsize::new(0);
     let cfgs_ref = &cfgs;
-    std::thread::scope(|scope| {
-        for me in 0..workers {
-            let injector = &injector;
-            let locals = &locals;
-            let results_mutex = &results_mutex;
-            let completed = &completed;
-            scope.spawn(move || {
-                let mut arena = SweepArena::new();
-                while let Some(i) = next_job(me, injector, locals) {
+    // Executes one work item in an arena; returns `(input index, result)`
+    // pairs. Completion accounting fires per *run* (not per item), as each
+    // lane of a batch finishes.
+    let run_item = |item: &[usize], arena: &mut SweepArena| -> Vec<(usize, RunResult)> {
+        let lane_done = |lane: usize| {
+            let idx = item[lane];
+            let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            counter!("sweep.completions", 1);
+            if let Some(cb) = on_done {
+                cb(SweepProgress {
+                    done,
+                    total: n,
+                    benchmark: cfgs_ref[idx].benchmark.clone(),
+                    node: cfgs_ref[idx].node,
+                    target_core: cfgs_ref[idx].target_core,
+                });
+            }
+        };
+        let _run = span!("sweep.run");
+        if let [i] = *item {
+            let mut cfg = cfgs_ref[i].clone();
+            if force_serial {
+                cfg.analysis = cfg.analysis.serial();
+            }
+            let r = run_sim_in(cfg, arena);
+            lane_done(0);
+            vec![(i, r)]
+        } else {
+            let batch_cfgs: Vec<SimConfig> = item
+                .iter()
+                .map(|&i| {
                     let mut cfg = cfgs_ref[i].clone();
                     if force_serial {
                         cfg.analysis = cfg.analysis.serial();
                     }
-                    let r = {
-                        let _run = span!("sweep.run");
-                        run_sim_in(cfg, &mut arena)
-                    };
-                    results_mutex.lock()[i] = Some(r);
-                    let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                    counter!("sweep.completions", 1);
-                    if let Some(cb) = on_done {
-                        cb(SweepProgress {
-                            done,
-                            total: n,
-                            benchmark: cfgs_ref[i].benchmark.clone(),
-                            node: cfgs_ref[i].node,
-                            target_core: cfgs_ref[i].target_core,
-                        });
-                    }
-                }
-            });
+                    cfg
+                })
+                .collect();
+            let rs = run_batch_in(batch_cfgs, arena, Some(&lane_done));
+            item.iter().copied().zip(rs).collect()
         }
-    });
+    };
+
+    let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+    if workers == 1 {
+        // Degenerate pool: run inline on the caller thread, still
+        // arena-backed so same-geometry runs factor once.
+        let mut arena = SweepArena::new();
+        for item in &items {
+            for (i, r) in run_item(item, &mut arena) {
+                results[i] = Some(r);
+            }
+        }
+    } else {
+        // Chunked injector: work items enter as contiguous index ranges of
+        // ~1/4 of a fair share, so workers refill a few items at a time
+        // (amortizing the injector lock) while the tail still balances
+        // across the pool.
+        let chunk = (items.len() / (workers * 4)).max(1);
+        let mut backlog: VecDeque<Range<usize>> = VecDeque::new();
+        let mut at = 0;
+        while at < items.len() {
+            let end = (at + chunk).min(items.len());
+            backlog.push_back(at..end);
+            at = end;
+        }
+        let injector = parking_lot::Mutex::new(backlog);
+        let locals: Vec<parking_lot::Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|_| parking_lot::Mutex::new(VecDeque::new()))
+            .collect();
+        let results_mutex = parking_lot::Mutex::new(&mut results);
+        let items_ref = &items;
+        let run_item_ref = &run_item;
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let injector = &injector;
+                let locals = &locals;
+                let results_mutex = &results_mutex;
+                scope.spawn(move || {
+                    let mut arena = SweepArena::new();
+                    while let Some(it) = next_job(me, injector, locals) {
+                        let out = run_item_ref(&items_ref[it], &mut arena);
+                        let mut slots = results_mutex.lock();
+                        for (i, r) in out {
+                            slots[i] = Some(r);
+                        }
+                    }
+                });
+            }
+        });
+    }
     results
         .into_iter()
-        // hotgauge-lint: allow(L001, "every job index is claimed by exactly one worker before the scope joins, so every slot is Some; a worker panic already propagated at scope exit")
+        // hotgauge-lint: allow(L001, "every work item is claimed by exactly one worker before the scope joins, so every slot is Some; a worker panic already propagated at scope exit")
         .map(|r| r.expect("every run completed"))
         .collect()
 }
@@ -431,10 +586,89 @@ mod tests {
     }
 
     #[test]
-    fn pool_workers_resolves_auto_and_caps_at_jobs() {
-        assert_eq!(pool_workers(4, 2), 2);
-        assert_eq!(pool_workers(2, 100), 2);
+    fn pool_workers_caps_at_jobs_and_hardware() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(pool_workers(4, 2), 4.min(hw).min(2));
+        assert_eq!(pool_workers(2, 100), 2.min(hw));
         assert!(pool_workers(0, 100) >= 1);
         assert_eq!(pool_workers(3, 0), 0);
+        // The RSS guarantee: requesting far more workers than the machine
+        // has hardware threads must not widen the realized pool — each
+        // realized worker owns arena scratch (cached geometries, solver
+        // workspaces), so the pool width bounds peak memory.
+        assert!(
+            pool_workers(64 * hw, 1_000) <= hw,
+            "oversubscription must not widen the pool"
+        );
+        assert_eq!(pool_workers(0, 1_000), hw);
+    }
+
+    #[test]
+    fn batched_executor_matches_unbatched_executor_bitwise() {
+        // Two geometries interleaved plus a straggler: groups of 3 and 2
+        // chunk into a width-2 batch + singleton, and one width-2 batch.
+        let mut cfgs = Vec::new();
+        for (i, bench) in ["hmmer", "povray", "gcc", "hmmer", "povray"]
+            .iter()
+            .enumerate()
+        {
+            let mut c = quick_cfg(bench);
+            if i % 2 == 1 {
+                c.cell_um = 360.0;
+            }
+            c.seed = i as u64;
+            cfgs.push(c);
+        }
+        let unbatched = run_many_batched_with(cfgs.clone(), 1, 1, None);
+        let batched = run_many_batched_with(cfgs, 1, 2, None);
+        assert_eq!(unbatched.len(), batched.len());
+        for (a, b) in unbatched.iter().zip(&batched) {
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.final_frame, b.final_frame);
+            assert_eq!(a.sev_series, b.sev_series);
+            assert_eq!(a.total_instructions, b.total_instructions);
+            assert_eq!(a.config.benchmark, b.config.benchmark);
+        }
+    }
+
+    #[test]
+    fn run_batch_in_is_bitwise_identical_to_fresh_runs_and_recycles_the_arena() {
+        let mut arena = SweepArena::new();
+        let cfgs = vec![quick_cfg("hmmer"), quick_cfg("povray")];
+        let want: Vec<RunResult> = cfgs
+            .iter()
+            .map(|c| run_sim_in(c.clone(), &mut SweepArena::new()))
+            .collect();
+        let got = run_batch_in(cfgs.clone(), &mut arena, None);
+        assert_eq!(
+            arena.cached_geometries(),
+            1,
+            "lane 0's parts return to the arena"
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.records, w.records);
+            assert_eq!(g.final_frame, w.final_frame);
+            assert_eq!(g.total_instructions, w.total_instructions);
+        }
+        // A second batch through the same arena recycles the stored parts.
+        let again = run_batch_in(cfgs, &mut arena, None);
+        for (g, w) in again.iter().zip(&want) {
+            assert_eq!(g.records, w.records);
+            assert_eq!(g.final_frame, w.final_frame);
+        }
+    }
+
+    #[test]
+    fn batch_lane_completion_callbacks_fire_once_per_run() {
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let cb = |p: SweepProgress| seen.lock().push((p.done, p.benchmark.clone()));
+        let cfgs = vec![quick_cfg("hmmer"), quick_cfg("povray"), quick_cfg("gcc")];
+        let rs = run_many_batched_with(cfgs, 1, 8, Some(&cb));
+        assert_eq!(rs.len(), 3);
+        let mut dones: Vec<usize> = seen.into_inner().into_iter().map(|(d, _)| d).collect();
+        dones.sort_unstable();
+        assert_eq!(dones, vec![1, 2, 3]);
     }
 }

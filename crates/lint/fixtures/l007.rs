@@ -1,0 +1,50 @@
+// L007 fixture: per-iteration heap allocation inside `for` bodies of a
+// thermal kernel module. Linted under a synthetic crates/thermal/src path;
+// never compiled.
+
+pub fn bad_alloc_in_loop(n: usize) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        let scratch: Vec<f64> = Vec::new();
+        let row = vec![0.0f64; i + 1];
+        let idx: Vec<usize> = (0..i).collect();
+        acc += scratch.len() as f64 + row.len() as f64 + idx.len() as f64;
+    }
+    acc
+}
+
+pub fn ok_alloc_outside_loop(n: usize) -> f64 {
+    // Hoisted scratch is exactly the pattern the rule demands.
+    let mut scratch: Vec<f64> = Vec::with_capacity(n);
+    let seed: Vec<usize> = (0..n).collect();
+    for &i in &seed {
+        scratch.push(i as f64);
+    }
+    scratch.iter().sum()
+}
+
+pub struct Holder;
+
+impl Iterator for Holder {
+    // An `impl ... for ...` body is not a loop body: this allocation in a
+    // method outside any `for` must not fire.
+    type Item = Vec<f64>;
+    fn next(&mut self) -> Option<Vec<f64>> {
+        Some(Vec::new())
+    }
+}
+
+pub fn ok_pragma(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        // hotgauge-lint: allow(L007, "fixture: geometry-change slow path, runs once per rebuild")
+        let cold: Vec<usize> = (0..i).collect();
+        total += cold.len();
+    }
+    total
+}
+
+pub fn ok_in_prose() -> &'static str {
+    // for x in xs { Vec::new() } mentioned in a comment never fires
+    "for x in xs { let v = vec![1]; }"
+}

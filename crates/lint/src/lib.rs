@@ -2,7 +2,7 @@
 //!
 //! Scans workspace Rust sources with a comment/string/raw-string-aware token
 //! scanner (no `syn` offline) and enforces the project policy rules
-//! L001–L006 with `file:line` diagnostics, `--json` output, and a
+//! L001–L007 with `file:line` diagnostics, `--json` output, and a
 //! `// hotgauge-lint: allow(RULE, "justification")` pragma escape hatch.
 //! See DESIGN.md "Static analysis & code policy" for the rule catalogue.
 
@@ -23,7 +23,7 @@ pub use rules::{LabelUse, RuleInfo, RULES};
 /// Version of the policy the tool enforces; recorded in run manifests so
 /// sweep artifacts state what code policy they were built under. Bump on any
 /// rule addition, removal, or scope change.
-pub const POLICY_VERSION: &str = "2";
+pub const POLICY_VERSION: &str = "3";
 
 /// Number of policy rules (excludes the L000 malformed-pragma diagnostic).
 pub const RULE_COUNT: usize = RULES.len();
@@ -35,7 +35,7 @@ pub struct Diagnostic {
     pub file: String,
     /// One-based line number.
     pub line: usize,
-    /// Rule id (`L001`..`L006`, or `L000` for a malformed pragma).
+    /// Rule id (`L001`..`L007`, or `L000` for a malformed pragma).
     pub rule: String,
     /// Human-readable description.
     pub message: String,
@@ -76,6 +76,9 @@ pub struct FileClass {
     pub numeric: bool,
     /// Preset/units modules where raw unit literals are the point.
     pub units_exempt: bool,
+    /// Thermal solver kernel modules where per-iteration heap allocation is
+    /// forbidden (L007 applies).
+    pub thermal_kernel: bool,
     /// Whole file is test/bench/example context (L001/L003/L005 skip).
     pub test_context: bool,
 }
@@ -115,6 +118,7 @@ pub fn classify(rel: &str) -> FileClass {
             .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
         numeric: rel.starts_with("crates/core/src/") || rel.starts_with("crates/thermal/src/"),
         units_exempt: L005_EXEMPT_FILES.contains(&rel),
+        thermal_kernel: rel.starts_with("crates/thermal/src/"),
     }
 }
 

@@ -1,4 +1,4 @@
-//! The rule catalogue (L001–L006) and the per-file rule driver.
+//! The rule catalogue (L001–L007) and the per-file rule driver.
 //!
 //! Rules operate on a [`ScannedFile`](crate::scan::ScannedFile) plus a
 //! [`FileClass`] describing where the file sits in the workspace. Each rule
@@ -51,6 +51,11 @@ pub const RULES: &[RuleInfo] = &[
                   (`thermal.cg_iterations`), and each label outside test code must be \
                   emitted by exactly one crate",
     },
+    RuleInfo {
+        id: "L007",
+        summary: "no per-iteration heap allocation (Vec::new()/vec![]/.collect()) inside `for` \
+                  bodies in crates/thermal kernel modules: hoist scratch buffers to the caller",
+    },
 ];
 
 /// L001 forbidden call-site tokens. `.unwrap(`/`.expect(` are matched with
@@ -68,6 +73,14 @@ const L001_PATTERNS: &[(&str, &str)] = &[
 /// L005 quarantined literal spellings. Matched with numeric-token boundaries
 /// so `125.0`, `80.05`, `25e-3`, and `1e-30` do not fire.
 const L005_LITERALS: &[&str] = &["80.0", "25.0", "115.0", "60.0", "100e-6", "1e-3"];
+
+/// L007 allocation spellings forbidden inside a `for` body. `.collect(` is
+/// matched with the leading dot like the L001 method patterns.
+const L007_PATTERNS: &[(&str, &str)] = &[
+    ("Vec::new(", "Vec::new()"),
+    ("vec![", "vec![...]"),
+    (".collect(", ".collect()"),
+];
 
 /// Atomic methods whose call must name an `Ordering` in its argument list.
 const L004_ATOMIC_METHODS: &[&str] = &[
@@ -133,6 +146,9 @@ pub fn check_file(path: &str, class: &FileClass, scanned: &ScannedFile) -> Vec<D
     if class.lib_crate {
         check_l004_orderings(path, scanned, &mut out);
     }
+    if class.thermal_kernel && !class.test_context {
+        check_l007(path, scanned, &mut out);
+    }
 
     // L006 label format. The companion cross-crate duplicate check needs
     // every file's labels at once, so it runs in the workspace driver
@@ -179,7 +195,7 @@ pub struct LabelUse {
 /// only accept literals, so such code would not compile anyway.
 pub fn extract_labels(scanned: &ScannedFile) -> Vec<LabelUse> {
     let masked = scanned.masked_text();
-    let raw = scanned.raw.join("\n");
+    let raw: Vec<char> = scanned.raw.join("\n").chars().collect();
     let mut out = Vec::new();
     for (pat, kind) in [("span!(", "span"), ("counter!(", "counter")] {
         let mut from = 0usize;
@@ -193,9 +209,15 @@ pub fn extract_labels(scanned: &ScannedFile) -> Vec<LabelUse> {
             // The label literal starts at the first quote after the open
             // paren; a rustfmt-wrapped call puts it on the next line, so
             // search a short raw-text window rather than just this line.
-            let search_start = at + pat.len();
-            let search_end = raw.len().min(search_start + 160);
-            let window = &raw[search_start..search_end];
+            // Masking is char-for-char (a multi-byte prose char becomes one
+            // space), so the masked *char* count — not the byte offset —
+            // locates the same position in the raw text.
+            let search_start = masked[..at + pat.len()].chars().count();
+            let window: String = raw
+                .iter()
+                .skip(search_start.min(raw.len()))
+                .take(160)
+                .collect();
             let Some(open_q) = window.find('"') else {
                 continue;
             };
@@ -475,6 +497,97 @@ fn check_l004_orderings(path: &str, scanned: &ScannedFile, out: &mut Vec<Diagnos
             ));
         }
     }
+}
+
+/// L007: per-iteration heap allocation inside a thermal kernel module's
+/// `for` bodies. Loop bodies are found by brace tracking over the masked
+/// text: a `for` keyword whose header holds a token-boundary `in` before the
+/// body's `{` opens a loop (which rules out `impl Trait for Type` and
+/// `for<'a>` binders); every line with bytes inside at least one open loop
+/// body is then screened for the [`L007_PATTERNS`] spellings. The hot-path
+/// contract is that kernels take caller-owned scratch (`&mut Vec<f64>`,
+/// stack arrays, workspace structs) instead of allocating per iteration.
+fn check_l007(path: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    let text = scanned.masked_text();
+    let mut in_loop = vec![false; scanned.masked.len()];
+    // Brace stack entries record "this brace opened a `for` body".
+    let mut stack: Vec<bool> = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut pending_for = false;
+    let mut line = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\n' => line += 1,
+            '{' => {
+                stack.push(pending_for);
+                if pending_for {
+                    loop_depth += 1;
+                }
+                pending_for = false;
+            }
+            '}' if stack.pop() == Some(true) => loop_depth -= 1,
+            '}' => {}
+            'f' if text[i..].starts_with("for")
+                && left_boundary(&text, i)
+                && right_boundary(&text, i + 3) =>
+            {
+                let rest = &text[i + 3..];
+                let header = &rest[..rest.find('{').unwrap_or(rest.len())];
+                if has_in_token(header) {
+                    pending_for = true;
+                }
+            }
+            _ => {}
+        }
+        if loop_depth > 0 {
+            if let Some(slot) = in_loop.get_mut(line) {
+                *slot = true;
+            }
+        }
+    }
+    for (ix, masked) in scanned.masked.iter().enumerate() {
+        if !in_loop[ix]
+            || scanned.in_test.get(ix).copied().unwrap_or(false)
+            || scanned.is_allowed(ix, "L007")
+        {
+            continue;
+        }
+        for (pat, label) in L007_PATTERNS {
+            let mut from = 0usize;
+            while let Some(rel) = masked[from..].find(pat) {
+                let at = from + rel;
+                from = at + pat.len();
+                if !pat.starts_with('.') && !left_boundary(masked, at) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    path,
+                    ix + 1,
+                    "L007",
+                    format!(
+                        "{label} inside a `for` body of a thermal kernel module: allocate \
+                         scratch once in the caller (or add \
+                         `// hotgauge-lint: allow(L007, \"<why this is not per-solve>\")`)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A token-boundary `in` anywhere in a `for` header — present in every loop
+/// header (`for pat in expr`), absent from `impl Trait for Type` headers and
+/// `for<'a>` higher-ranked binders.
+fn has_in_token(header: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(rel) = header[from..].find("in") {
+        let at = from + rel;
+        from = at + 2;
+        if left_boundary(header, at) && right_boundary(header, at + 2) {
+            return true;
+        }
+    }
+    false
 }
 
 fn check_l005(

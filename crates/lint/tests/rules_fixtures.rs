@@ -145,6 +145,31 @@ fn l006_extracts_wrapped_calls() {
         "// span!(\"docs.example\")\nfn f() {\n    let _s = \"span!(\\\"not.code\\\")\";\n}\n",
     );
     assert!(extract_labels(&masked_out).is_empty());
+
+    // Multi-byte prose (em dashes, ‖·‖, Δ) masks to single spaces, making
+    // the masked text byte-shorter than the raw text; extraction must still
+    // land on the right label by char offset.
+    let shifted = ScannedFile::scan(
+        "// prose — with — em dashes — and ‖Δ‖ before the call\nfn f() {\n    \
+         let _s = span!(\"thermal.cg_solve\");\n    counter!(\"thermal.cg_iterations\", 1u64);\n}\n",
+    );
+    let uses = extract_labels(&shifted);
+    assert_eq!(uses.len(), 2);
+    assert_eq!(uses[0].label, "thermal.cg_solve");
+    assert_eq!(uses[1].label, "thermal.cg_iterations");
+}
+
+#[test]
+fn l007_per_iteration_allocation() {
+    let src = include_str!("../fixtures/l007.rs");
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l007.rs", src),
+        expected("L007", &[8, 9, 10])
+    );
+    // Only the thermal kernel modules are policed; the same allocations in
+    // another crate (or thermal's own tests) are fine.
+    assert!(fires("crates/core/src/fixture_l007.rs", src).is_empty());
+    assert!(fires("crates/thermal/tests/fixture_l007.rs", src).is_empty());
 }
 
 #[test]

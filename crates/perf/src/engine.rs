@@ -58,9 +58,17 @@ impl CoreSim {
     /// Runs instructions (without collecting a window) to warm the caches
     /// and branch predictor, as the paper does before each region of
     /// interest ("cache warm-up is always performed").
+    ///
+    /// Warm-up discards the activity counters, so it runs the
+    /// `COUNT = false` specialization of the executor: every piece of model
+    /// state (caches, predictor, MLP window, the workload stream's RNG)
+    /// advances exactly as in a counted run — only the dead accounting
+    /// stores are compiled out. Every co-simulation pays 2 M warm-up
+    /// micro-ops per run before its first sampled window, which made these
+    /// stores the hottest dead code in whole-figure sweeps.
     pub fn warm_up<S: InstrSource>(&mut self, src: &mut S, instructions: u64) {
         let mut sink = ActivityCounters::default();
-        self.execute(src, WindowLimit::Instructions(instructions), &mut sink);
+        self.execute::<S, false>(src, WindowLimit::Instructions(instructions), &mut sink);
     }
 
     /// Runs until at least `cycles` core cycles have elapsed; returns the
@@ -68,7 +76,7 @@ impl CoreSim {
     /// (1 M cycles = 200 µs at 5 GHz).
     pub fn run_cycles<S: InstrSource>(&mut self, src: &mut S, cycles: u64) -> ActivityCounters {
         let mut out = ActivityCounters::default();
-        self.execute(src, WindowLimit::Cycles(cycles), &mut out);
+        self.execute::<S, true>(src, WindowLimit::Cycles(cycles), &mut out);
         hotgauge_telemetry::counter!("perf.instructions", out.instructions);
         hotgauge_telemetry::counter!("perf.cycles", out.cycles);
         out
@@ -81,13 +89,17 @@ impl CoreSim {
         instructions: u64,
     ) -> ActivityCounters {
         let mut out = ActivityCounters::default();
-        self.execute(src, WindowLimit::Instructions(instructions), &mut out);
+        self.execute::<S, true>(src, WindowLimit::Instructions(instructions), &mut out);
         hotgauge_telemetry::counter!("perf.instructions", out.instructions);
         hotgauge_telemetry::counter!("perf.cycles", out.cycles);
         out
     }
 
-    fn execute<S: InstrSource>(
+    /// The dispatch loop. `COUNT = false` (warm-up) elides the activity
+    /// stores while performing the identical state updates, so a counted
+    /// window after an uncounted warm-up is bit-identical to one after a
+    /// counted warm-up.
+    fn execute<S: InstrSource, const COUNT: bool>(
         &mut self,
         src: &mut S,
         limit: WindowLimit,
@@ -116,37 +128,47 @@ impl CoreSim {
             self.icount += 1;
             out.instructions += 1;
             dispatch_slots += 1;
-            out.decoded_uops += 1;
-            out.rob_dispatches += 1;
-            out.rob_retires += 1;
+            if COUNT {
+                out.decoded_uops += 1;
+                out.rob_dispatches += 1;
+                out.rob_retires += 1;
+            }
 
             // Front end: one L1I access per fetched line.
             let line = ins.pc >> 6;
             if line != self.last_fetch_line {
                 self.last_fetch_line = line;
                 let r = self.mem.access_instr(ins.pc);
-                out.l1i_accesses += 1;
+                if COUNT {
+                    out.l1i_accesses += 1;
+                }
                 match r.level {
                     HitLevel::L1 => {}
                     HitLevel::L2 => {
-                        out.l1i_misses += 1;
-                        out.l2_accesses += 1;
+                        if COUNT {
+                            out.l1i_misses += 1;
+                            out.l2_accesses += 1;
+                        }
                         penalty_cycles += self.mem.config().l2.latency_cycles / 4;
                     }
                     HitLevel::L3 => {
-                        out.l1i_misses += 1;
-                        out.l2_accesses += 1;
-                        out.l2_misses += 1;
-                        out.l3_accesses += 1;
+                        if COUNT {
+                            out.l1i_misses += 1;
+                            out.l2_accesses += 1;
+                            out.l2_misses += 1;
+                            out.l3_accesses += 1;
+                        }
                         penalty_cycles += self.mem.config().l3.latency_cycles / 4;
                     }
                     HitLevel::Memory => {
-                        out.l1i_misses += 1;
-                        out.l2_accesses += 1;
-                        out.l2_misses += 1;
-                        out.l3_accesses += 1;
-                        out.l3_misses += 1;
-                        out.dram_accesses += 1;
+                        if COUNT {
+                            out.l1i_misses += 1;
+                            out.l2_accesses += 1;
+                            out.l2_misses += 1;
+                            out.l3_accesses += 1;
+                            out.l3_misses += 1;
+                            out.dram_accesses += 1;
+                        }
                         penalty_cycles += self.mem.config().dram_latency_cycles / 4;
                     }
                 }
@@ -157,83 +179,103 @@ impl CoreSim {
 
             match ins.class {
                 InstrClass::Branch => {
-                    out.bpu_lookups += 1;
-                    out.int_rat_writes += 1;
-                    out.int_iwin_issues += 1;
-                    out.int_rf_reads += 1;
-                    out.simple_alu_ops += 1;
+                    if COUNT {
+                        out.bpu_lookups += 1;
+                        out.int_rat_writes += 1;
+                        out.int_iwin_issues += 1;
+                        out.int_rf_reads += 1;
+                        out.simple_alu_ops += 1;
+                    }
                     let correct = self.bpu.predict_and_update(ins.pc, ins.taken);
                     if !correct {
-                        out.bpu_mispredicts += 1;
+                        if COUNT {
+                            out.bpu_mispredicts += 1;
+                        }
                         penalty_cycles += self.cfg.mispredict_penalty;
                     }
                 }
                 InstrClass::IntSimple => {
-                    out.int_rat_writes += 1;
-                    out.int_iwin_issues += 1;
-                    out.int_rf_reads += 2;
-                    out.int_rf_writes += 1;
-                    out.simple_alu_ops += 1;
+                    if COUNT {
+                        out.int_rat_writes += 1;
+                        out.int_iwin_issues += 1;
+                        out.int_rf_reads += 2;
+                        out.int_rf_writes += 1;
+                        out.simple_alu_ops += 1;
+                    }
                 }
                 InstrClass::IntComplex => {
-                    out.int_rat_writes += 1;
-                    out.int_iwin_issues += 1;
-                    out.int_rf_reads += 2;
-                    out.int_rf_writes += 1;
-                    out.complex_alu_ops += 1;
+                    if COUNT {
+                        out.int_rat_writes += 1;
+                        out.int_iwin_issues += 1;
+                        out.int_rf_reads += 2;
+                        out.int_rf_writes += 1;
+                        out.complex_alu_ops += 1;
+                    }
                 }
                 InstrClass::FpScalar => {
-                    out.fp_rat_writes += 1;
-                    out.fp_iwin_issues += 1;
-                    out.fp_rf_reads += 2;
-                    out.fp_rf_writes += 1;
-                    out.fpu_ops += 1;
+                    if COUNT {
+                        out.fp_rat_writes += 1;
+                        out.fp_iwin_issues += 1;
+                        out.fp_rf_reads += 2;
+                        out.fp_rf_writes += 1;
+                        out.fpu_ops += 1;
+                    }
                 }
                 InstrClass::Avx512 => {
-                    out.fp_rat_writes += 1;
-                    out.fp_iwin_issues += 1;
-                    out.fp_rf_reads += 2;
-                    out.fp_rf_writes += 1;
-                    out.avx_ops += 1;
+                    if COUNT {
+                        out.fp_rat_writes += 1;
+                        out.fp_iwin_issues += 1;
+                        out.fp_rf_reads += 2;
+                        out.fp_rf_writes += 1;
+                        out.avx_ops += 1;
+                    }
                 }
                 InstrClass::Load | InstrClass::Store => {
-                    out.int_rat_writes += 1;
-                    out.int_iwin_issues += 1;
-                    out.agu_ops += 1;
-                    out.lsq_ops += 1;
-                    out.dtlb_accesses += 1;
-                    out.l1d_accesses += 1;
-                    if ins.class == InstrClass::Load {
-                        out.int_rf_writes += 1;
-                    } else {
-                        out.int_rf_reads += 1;
+                    if COUNT {
+                        out.int_rat_writes += 1;
+                        out.int_iwin_issues += 1;
+                        out.agu_ops += 1;
+                        out.lsq_ops += 1;
+                        out.dtlb_accesses += 1;
+                        out.l1d_accesses += 1;
+                        if ins.class == InstrClass::Load {
+                            out.int_rf_writes += 1;
+                        } else {
+                            out.int_rf_reads += 1;
+                        }
                     }
                     let r = self.mem.access_data(ins.addr);
                     match r.level {
                         HitLevel::L1 => {}
                         HitLevel::L2 => {
-                            out.l1d_misses += 1;
-                            out.l2_accesses += 1;
-                            // L2 hits are almost entirely hidden by the OoO
-                            // window.
+                            if COUNT {
+                                out.l1d_misses += 1;
+                                out.l2_accesses += 1;
+                                // L2 hits are almost entirely hidden by the
+                                // OoO window.
+                            }
                         }
                         HitLevel::L3 => {
-                            out.l1d_misses += 1;
-                            out.l2_accesses += 1;
-                            out.l2_misses += 1;
-                            out.l3_accesses += 1;
+                            if COUNT {
+                                out.l1d_misses += 1;
+                                out.l2_accesses += 1;
+                                out.l2_misses += 1;
+                                out.l3_accesses += 1;
+                            }
                             if ins.class == InstrClass::Load {
                                 penalty_cycles +=
                                     self.charge_long_miss(self.mem.config().l3.latency_cycles / 3);
                             }
                         }
                         HitLevel::Memory => {
-                            out.l1d_misses += 1;
-                            out.l2_accesses += 1;
-                            out.l2_misses += 1;
-                            out.l3_accesses += 1;
-                            out.l3_misses += 1;
-                            out.dram_accesses += 1;
+                            if COUNT {
+                                out.l1d_misses += 1;
+                                out.l2_accesses += 1;
+                                out.l2_misses += 1;
+                                out.l3_accesses += 1;
+                                out.l3_misses += 1;
+                                out.dram_accesses += 1;
+                            }
                             if ins.class == InstrClass::Load {
                                 penalty_cycles +=
                                     self.charge_long_miss(self.mem.config().dram_latency_cycles);

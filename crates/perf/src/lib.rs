@@ -28,7 +28,10 @@
 //! assert!(window.ipc() > 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// Prefetch hints in the cache model are the one sanctioned use of `unsafe`
+// (see `cache::Cache::prefetch_set`); everything else must stay safe, so
+// deny-with-local-allow rather than forbid.
+#![deny(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod activity;

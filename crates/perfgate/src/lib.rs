@@ -19,7 +19,12 @@
 //! Domain counters (`counter.<label>.total`) are compared too but are
 //! *informational* by default — a change in CG iterations is a fidelity
 //! question, not a performance regression — unless
-//! [`GateConfig::gate_counters`] is set.
+//! [`GateConfig::gate_counters`] is set, or the counter's label matches one
+//! of the [`GateConfig::gate_counter_prefixes`] (repeatable
+//! `--gate-counter PREFIX`). The prefix form lets CI gate the counters that
+//! *are* performance promises — e.g. `solver.` pins the lockstep batch
+//! shape and `analysis.simd_rows` the vectorized-row coverage — while CG
+//! iteration counts stay informational.
 //!
 //! The library is pure (no process exit, no printing); [`run_cli`] layers
 //! argument parsing, file IO, and table rendering on top and returns the
@@ -46,6 +51,11 @@ pub struct GateConfig {
     pub alloc_floor_bytes: f64,
     /// Gate domain counters instead of reporting them informationally.
     pub gate_counters: bool,
+    /// Counter-label prefixes to gate even when [`Self::gate_counters`] is
+    /// off: a counter id `counter.<label>.total` is gated when `<label>`
+    /// starts with any listed prefix (`solver.` gates every solver counter;
+    /// `analysis.simd_rows` gates exactly that one).
+    pub gate_counter_prefixes: Vec<String>,
     /// Exact-id tolerance overrides, checked before the kind-level ones.
     pub overrides: Vec<(String, f64)>,
 }
@@ -61,6 +71,7 @@ impl Default for GateConfig {
             alloc_floor_count: 100.0,
             alloc_floor_bytes: 65_536.0,
             gate_counters: false,
+            gate_counter_prefixes: Vec::new(),
             overrides: Vec::new(),
         }
     }
@@ -79,6 +90,22 @@ impl GateConfig {
             MetricKind::Allocs | MetricKind::AllocBytes => self.alloc_rel,
             MetricKind::Counter => self.time_rel,
         }
+    }
+
+    /// Whether a counter metric with this `id` is gated rather than
+    /// informational: either all counters are ([`Self::gate_counters`]) or
+    /// its label matches one of the [`Self::gate_counter_prefixes`].
+    fn gates_counter(&self, id: &str) -> bool {
+        if self.gate_counters {
+            return true;
+        }
+        let label = id
+            .strip_prefix("counter.")
+            .and_then(|rest| rest.strip_suffix(".total"))
+            .unwrap_or(id);
+        self.gate_counter_prefixes
+            .iter()
+            .any(|p| label.starts_with(p.as_str()))
     }
 
     /// The skip floor for `kind` (baselines below it are not gated).
@@ -294,7 +321,7 @@ pub fn compare(baseline: &RunManifest, candidate: &RunManifest, cfg: &GateConfig
                 } else {
                     (c.value - b.value) / b.value
                 };
-                let gated = cfg.gate_counters || b.kind != MetricKind::Counter;
+                let gated = b.kind != MetricKind::Counter || cfg.gates_counter(&b.id);
                 let status = if !gated {
                     RowStatus::Info
                 } else if b.value < cfg.floor(b.kind) && c.value < cfg.floor(b.kind) {
@@ -452,7 +479,8 @@ struct CliArgs {
 
 const USAGE: &str = "usage: hotgauge-perfgate <baseline.json> <candidate.json> \
 [--time-tol-pct P] [--alloc-tol-pct P] [--time-floor-ms MS] [--gate-counters] \
-[--override METRIC=PCT] [--slowdown FACTOR] [--json PATH] [--quiet]";
+[--gate-counter PREFIX]... [--override METRIC=PCT] [--slowdown FACTOR] \
+[--json PATH] [--quiet]";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, GateError> {
     let mut positional: Vec<PathBuf> = Vec::new();
@@ -477,6 +505,15 @@ fn parse_args(args: &[String]) -> Result<CliArgs, GateError> {
                 cfg.time_floor_s = parse_f64(take("--time-floor-ms")?, "--time-floor-ms")? * 1e-3
             }
             "--gate-counters" => cfg.gate_counters = true,
+            "--gate-counter" => {
+                let prefix = take("--gate-counter")?;
+                if prefix.is_empty() {
+                    return Err(GateError::Usage(
+                        "--gate-counter expects a non-empty label prefix".to_string(),
+                    ));
+                }
+                cfg.gate_counter_prefixes.push(prefix.clone());
+            }
             "--override" => {
                 let spec = take("--override")?;
                 let (name, pct) = spec.split_once('=').ok_or_else(|| {
@@ -801,6 +838,86 @@ mod tests {
             .any(|r| r.id == "stage.renamed.total_s" && r.status == RowStatus::CandidateOnly));
     }
 
+    fn with_counter(mut m: RunManifest, label: &str, total: f64) -> RunManifest {
+        if let Some(metrics) = &mut m.metrics {
+            metrics
+                .counters
+                .push(hotgauge_telemetry::manifest::CounterMetrics {
+                    label: label.into(),
+                    calls: 10,
+                    total,
+                    avg: total / 10.0,
+                    min: 0.0,
+                    max: total,
+                });
+        }
+        m
+    }
+
+    #[test]
+    fn counter_prefix_gates_matching_counters_only() {
+        let base = with_counter(
+            manifest_with(2.0, 0.03, 10_000),
+            "solver.lockstep_runs",
+            133.0,
+        );
+        // Both counters drift: CG iterations (+50%, a fidelity question)
+        // and the lockstep run count (+50%, a batching promise).
+        let mut cand = with_counter(
+            manifest_with(2.0, 0.03, 10_000),
+            "solver.lockstep_runs",
+            200.0,
+        );
+        if let Some(metrics) = &mut cand.metrics {
+            metrics.counters[0].total = 6000.0;
+        }
+        let cfg = GateConfig {
+            gate_counter_prefixes: vec!["solver.".to_string()],
+            ..GateConfig::default()
+        };
+        let report = compare(&base, &cand, &cfg);
+        assert!(!report.ok(), "prefixed counter drift must fail the gate");
+        let row = |id: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap_or_else(|| panic!("{id} row present"))
+        };
+        assert_eq!(
+            row("counter.solver.lockstep_runs.total").status,
+            RowStatus::Regression
+        );
+        assert_eq!(
+            row("counter.thermal.cg_iterations.total").status,
+            RowStatus::Info,
+            "unmatched counters stay informational"
+        );
+        // A prefix that matches nothing leaves every counter informational.
+        let inert = GateConfig {
+            gate_counter_prefixes: vec!["analysis.simd_rows".to_string()],
+            ..GateConfig::default()
+        };
+        assert!(compare(&base, &cand, &inert).ok());
+    }
+
+    #[test]
+    fn counter_prefix_passes_when_counters_are_stable() {
+        let m = with_counter(manifest_with(2.0, 0.03, 10_000), "solver.batch_width", 17.0);
+        let cfg = GateConfig {
+            gate_counter_prefixes: vec!["solver.".to_string()],
+            ..GateConfig::default()
+        };
+        let report = compare(&m, &m.clone(), &cfg);
+        assert!(report.ok());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "counter.solver.batch_width.total")
+            .expect("batch_width row present");
+        assert_eq!(row.status, RowStatus::Pass, "gated and equal means Pass");
+    }
+
     #[test]
     fn cli_args_parse_and_reject() {
         let ok = parse_args(&[
@@ -812,6 +929,10 @@ mod tests {
             "stage.thermal.p99_s=50".to_string(),
             "--slowdown".to_string(),
             "1.5".to_string(),
+            "--gate-counter".to_string(),
+            "solver.".to_string(),
+            "--gate-counter".to_string(),
+            "analysis.simd_rows".to_string(),
             "--quiet".to_string(),
         ]);
         let parsed = match ok {
@@ -820,9 +941,24 @@ mod tests {
         };
         assert!((parsed.cfg.time_rel - 0.30).abs() < 1e-12);
         assert_eq!(parsed.cfg.overrides.len(), 1);
+        assert_eq!(
+            parsed.cfg.gate_counter_prefixes,
+            vec!["solver.".to_string(), "analysis.simd_rows".to_string()]
+        );
+        assert!(
+            !parsed.cfg.gate_counters,
+            "prefixes must not gate everything"
+        );
         assert!((parsed.slowdown - 1.5).abs() < 1e-12);
         assert!(parsed.quiet);
         assert!(parse_args(&["one.json".to_string()]).is_err());
+        assert!(parse_args(&[
+            "a".to_string(),
+            "b".to_string(),
+            "--gate-counter".to_string(),
+            String::new(),
+        ])
+        .is_err());
         assert!(parse_args(&["a".to_string(), "b".to_string(), "--bogus".to_string()]).is_err());
         assert!(parse_args(&[
             "a".to_string(),

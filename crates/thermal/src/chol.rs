@@ -283,6 +283,86 @@ impl CholeskyFactor {
         }
     }
 
+    /// Solves `k` systems `A xₗ = bₗ` in one pair of blocked triangular
+    /// sweeps over node-major, lane-minor `[n × k]` blocks
+    /// (`b[node * k + lane]`). The envelope — the factor's entire memory
+    /// footprint — is streamed **once** for all `k` right-hand sides, and
+    /// the inner lane loops run over contiguous slices, so the per-solve
+    /// cost amortizes to `1/k` of the index/value traffic of `k` solo
+    /// sweeps.
+    ///
+    /// Per lane, the floating-point operation sequence (permute, ascending
+    /// forward dots, descending backward axpys, un-permute) is identical to
+    /// [`CholeskyFactor::solve`], so each lane's column of `x` is bitwise
+    /// equal to a solo solve of that lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > MAX_LOCKSTEP_WIDTH` (see
+    /// [`crate::solver::MAX_LOCKSTEP_WIDTH`]), or on length mismatches
+    /// (`b`, `x`, `work` must all be `n * k`).
+    pub fn solve_multi(&self, k: usize, b: &[f64], x: &mut [f64], work: &mut [f64]) {
+        use crate::solver::MAX_LOCKSTEP_WIDTH;
+        let n = self.n;
+        assert!((1..=MAX_LOCKSTEP_WIDTH).contains(&k));
+        assert_eq!(b.len(), n * k);
+        assert_eq!(x.len(), n * k);
+        assert_eq!(work.len(), n * k);
+        let _span = hotgauge_telemetry::span!("thermal.direct_solve");
+
+        // Permute b into the RCM ordering, all lanes at once.
+        for (i, wrow) in work.chunks_exact_mut(k).enumerate() {
+            let brow = &b[self.perm[i] as usize * k..self.perm[i] as usize * k + k];
+            wrow.copy_from_slice(brow);
+        }
+        // Forward sweep: L y = Pb. One pass over the envelope; each row's
+        // contiguous dot runs with k lane accumulators on the stack.
+        let mut s = [0.0f64; MAX_LOCKSTEP_WIDTH];
+        for i in 0..n {
+            let fi = self.first[i] as usize;
+            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+            let sl = &mut s[..k];
+            sl.fill(0.0);
+            for (j, &l) in (fi..i).zip(row) {
+                let wrow = &work[j * k..j * k + k];
+                for (acc, &w) in sl.iter_mut().zip(wrow) {
+                    *acc += l * w;
+                }
+            }
+            let di = self.inv_diag[i];
+            let wrow = &mut work[i * k..i * k + k];
+            for (w, &acc) in wrow.iter_mut().zip(sl.iter()) {
+                *w = (*w - acc) * di;
+            }
+        }
+        // Backward sweep: Lᵀ z = y, as per-row rank-1 lane-block updates.
+        let mut z = [0.0f64; MAX_LOCKSTEP_WIDTH];
+        for i in (0..n).rev() {
+            let fi = self.first[i] as usize;
+            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+            let di = self.inv_diag[i];
+            let zl = &mut z[..k];
+            {
+                let wrow = &mut work[i * k..i * k + k];
+                for (zi, w) in zl.iter_mut().zip(wrow.iter_mut()) {
+                    *zi = *w * di;
+                    *w = *zi;
+                }
+            }
+            for (j, &l) in (fi..i).zip(row) {
+                let wrow = &mut work[j * k..j * k + k];
+                for (w, &zi) in wrow.iter_mut().zip(zl.iter()) {
+                    *w -= l * zi;
+                }
+            }
+        }
+        // Un-permute into x.
+        for (i, wrow) in work.chunks_exact(k).enumerate() {
+            let xrow = &mut x[self.perm[i] as usize * k..self.perm[i] as usize * k + k];
+            xrow.copy_from_slice(wrow);
+        }
+    }
+
     /// [`CholeskyFactor::solve`] allocating its own scratch (convenience
     /// for one-off solves and tests).
     pub fn solve_alloc(&self, b: &[f64]) -> Vec<f64> {
@@ -550,6 +630,43 @@ mod tests {
         let x = f.solve_alloc(&b);
         for (got, want) in x.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_multi_is_bitwise_equal_per_lane() {
+        let mut a = grid3d(7, 6, 4);
+        let cdt: Vec<f64> = (0..a.n()).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+        a.add_to_diagonal(&cdt);
+        let n = a.n();
+        let f = CholeskyFactor::factor(&a, &CholOptions::unbounded()).unwrap();
+        for k in [1usize, 2, 4, 8] {
+            let lanes: Vec<Vec<f64>> = (0..k)
+                .map(|l| {
+                    (0..n)
+                        .map(|i| (((i * 17 + l * 5) % 31) as f64) - 15.0)
+                        .collect()
+                })
+                .collect();
+            let mut b = vec![0.0; n * k];
+            for (l, lane) in lanes.iter().enumerate() {
+                for i in 0..n {
+                    b[i * k + l] = lane[i];
+                }
+            }
+            let mut x = vec![f64::NAN; n * k];
+            let mut work = vec![0.0; n * k];
+            f.solve_multi(k, &b, &mut x, &mut work);
+            for (l, lane) in lanes.iter().enumerate() {
+                let solo = f.solve_alloc(lane);
+                for i in 0..n {
+                    assert_eq!(
+                        x[i * k + l].to_bits(),
+                        solo[i].to_bits(),
+                        "k={k} lane={l} node={i}"
+                    );
+                }
+            }
         }
     }
 

@@ -59,8 +59,11 @@ pub use crate::chol::{CholOptions, CholeskyFactor, FactorError};
 pub use crate::export::{frame_to_csv, frame_to_ppm, write_ppm, ColorMap};
 pub use crate::frame::ThermalFrame;
 pub use crate::materials::Material;
-pub use crate::model::{SolverStrategy, ThermalModel, ThermalSim};
-pub use crate::solver::{solve_cg, solve_cg_with, CgConfig, CgWorkspace, SolveStats};
+pub use crate::model::{step_lockstep, LockstepScratch, SolverStrategy, ThermalModel, ThermalSim};
+pub use crate::solver::{
+    solve_cg, solve_cg_multi, solve_cg_with, CgConfig, CgWorkspace, MultiCgWorkspace, SolveStats,
+    MAX_LOCKSTEP_WIDTH,
+};
 pub use crate::stack::{Layer, StackDescription, DEFAULT_BORDER_M, HS483_FILM_COEFF};
 pub use crate::warmup::{initial_state, Warmup};
 

@@ -25,7 +25,10 @@ use std::sync::Arc;
 
 use crate::chol::{CholOptions, CholeskyFactor};
 use crate::frame::ThermalFrame;
-use crate::solver::{solve_cg, solve_cg_with, CgConfig, CgWorkspace, SolveStats};
+use crate::solver::{
+    solve_cg, solve_cg_multi, solve_cg_with, CgConfig, CgWorkspace, MultiCgWorkspace, SolveStats,
+    MAX_LOCKSTEP_WIDTH,
+};
 use crate::sparse::{CsrMatrix, TripletBuilder};
 use crate::stack::StackDescription;
 use serde::{Deserialize, Serialize};
@@ -229,13 +232,28 @@ impl ThermalModel {
     ///
     /// Panics if `die_power.len() != nx_die * ny_die`.
     pub fn inject_die_power(&self, die_power: &[f64]) -> Vec<f64> {
+        let mut q = vec![0.0; self.node_count()];
+        self.inject_die_power_into(die_power, &mut q);
+        q
+    }
+
+    /// Allocation-free variant of [`ThermalModel::inject_die_power`]: fills
+    /// a caller-owned full-domain buffer (used by the lockstep stepper,
+    /// which rebuilds the heat vector once per lane per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_power.len() != nx_die * ny_die` or `q` is not
+    /// full-domain sized.
+    pub fn inject_die_power_into(&self, die_power: &[f64], q: &mut [f64]) {
         let s = &self.stack;
         assert_eq!(
             die_power.len(),
             s.nx_die * s.ny_die,
             "power map must cover the die grid"
         );
-        let mut q = vec![0.0; self.node_count()];
+        assert_eq!(q.len(), self.node_count(), "q must be full-domain sized");
+        q.fill(0.0);
         let b = s.border_cells;
         for dy in 0..s.ny_die {
             for dx in 0..s.nx_die {
@@ -243,7 +261,6 @@ impl ThermalModel {
                 q[i] = die_power[dy * s.nx_die + dx];
             }
         }
-        q
     }
 
     /// Steady-state temperatures for the given die power map (°C, full
@@ -296,10 +313,12 @@ enum SysSolver {
 }
 
 /// Per-`Δt` cache: the assembled system matrix and its prepared solver.
+/// The matrix is `Arc`-shared so cloned lockstep lanes (and the lane-shared
+/// multi-RHS solve) reference one copy instead of duplicating it per lane.
 #[derive(Debug, Clone)]
 struct SysCache {
     dt: f64,
-    m: CsrMatrix,
+    m: Arc<CsrMatrix>,
     solver: SysSolver,
 }
 
@@ -417,6 +436,7 @@ impl ThermalSim {
         let mut m = self.model.g.clone();
         let cdt: Vec<f64> = self.model.cap.iter().map(|c| c / dt).collect();
         m.add_to_diagonal(&cdt);
+        let m = Arc::new(m);
         let solver = match self.strategy {
             SolverStrategy::Cg => SysSolver::Cg(CgWorkspace::new(&m)),
             SolverStrategy::DirectCholesky => match CholeskyFactor::factor(&m, &self.chol) {
@@ -538,6 +558,181 @@ impl ThermalSim {
             .map(|(t, c)| (t - ref_c) * c)
             .sum()
     }
+}
+
+/// Reusable scratch for [`step_lockstep`]: the node-major lane-minor SoA
+/// right-hand-side and solution blocks, the triangular-sweep work buffer,
+/// and the lane-shared multi-RHS CG workspace. Buffers are sized lazily on
+/// first use and grown whenever the lane count or grid changes, so one
+/// scratch serves a whole sweep of lockstep batches.
+#[derive(Debug, Default)]
+pub struct LockstepScratch {
+    /// `[n × k]` SoA right-hand sides, `rhs[node*k + lane]`.
+    rhs: Vec<f64>,
+    /// `[n × k]` SoA solutions / warm-start guesses.
+    x: Vec<f64>,
+    /// `[n × k]` permuted scratch for the direct triangular sweeps.
+    work: Vec<f64>,
+    /// Full-domain heat-vector staging for one lane at a time.
+    q: Vec<f64>,
+    /// CG workspace keyed by the system matrix it was preconditioned for
+    /// (rebuilt when the batch's `Δt` — and hence the matrix — changes).
+    cg: Option<(Arc<CsrMatrix>, MultiCgWorkspace)>,
+    /// Per-lane outcomes of the last step.
+    stats: Vec<SolveStats>,
+}
+
+impl LockstepScratch {
+    /// An empty scratch; buffers are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Advances `k` same-system simulations by `dt` in lockstep: one multi-RHS
+/// solve over a `[n × k]` SoA temperature block instead of `k` independent
+/// solves, streaming the factor / matrix index lists once for all lanes.
+///
+/// Every lane replicates the exact floating-point operation sequence of a
+/// solo [`ThermalSim::step`] — the rhs build, the CG warm-start
+/// extrapolation, and the per-lane solve columns (see [`solve_cg_multi`] and
+/// [`CholeskyFactor::solve_multi`]) — so each lane's state and stats are
+/// bitwise identical to stepping that lane alone. Lanes whose prepared
+/// systems turn out heterogeneous (different grid, solver arm, or CG
+/// config) fall back to per-lane solo steps, which is trivially exact.
+///
+/// The solve is shared through lane 0's cached system; lanes must have been
+/// built from the same model and solver configuration, which makes every
+/// lane's assembled matrix (and factor) bitwise identical by deterministic
+/// construction.
+///
+/// Returns per-lane stats borrowed from `scratch`.
+///
+/// # Panics
+///
+/// Panics if `sims` is empty, lane counts mismatch, `k` exceeds
+/// [`MAX_LOCKSTEP_WIDTH`], or `dt` is not finite and positive.
+pub fn step_lockstep<'a>(
+    sims: &mut [&mut ThermalSim],
+    die_powers: &[&[f64]],
+    dt: f64,
+    scratch: &'a mut LockstepScratch,
+) -> &'a [SolveStats] {
+    let k = sims.len();
+    assert!(k >= 1, "lockstep step needs at least one lane");
+    assert!(
+        k <= MAX_LOCKSTEP_WIDTH,
+        "lane count over MAX_LOCKSTEP_WIDTH"
+    );
+    assert_eq!(k, die_powers.len(), "one power map per lane");
+    scratch.stats.clear();
+    if k == 1 {
+        let stats = sims[0].step(die_powers[0], dt);
+        scratch.stats.push(stats);
+        return &scratch.stats;
+    }
+    for sim in sims.iter_mut() {
+        sim.prepare(dt);
+    }
+    let n = sims[0].model.node_count();
+    let solver0 = sims[0].active_solver();
+    let cg0 = sims[0].cg;
+    let homogeneous = sims
+        .iter()
+        .all(|s| s.model.node_count() == n && s.active_solver() == solver0 && s.cg == cg0);
+    if !homogeneous {
+        for (sim, power) in sims.iter_mut().zip(die_powers) {
+            let stats = sim.step(power, dt);
+            scratch.stats.push(stats);
+        }
+        return &scratch.stats;
+    }
+
+    let direct = solver0 == Some(SolverStrategy::DirectCholesky);
+    let nk = n * k;
+    scratch.rhs.resize(nk, 0.0);
+    scratch.x.resize(nk, 0.0);
+    scratch.q.resize(n, 0.0);
+    for (l, (sim, power)) in sims.iter_mut().zip(die_powers).enumerate() {
+        sim.model.inject_die_power_into(power, &mut scratch.q);
+        let amb = sim.model.stack.ambient_c;
+        // Same per-element arithmetic (and association) as the solo rhs
+        // build: q[i] += cap[i]/dt·t[i] + conv[i]·ambient.
+        for (i, &qi) in scratch.q.iter().enumerate() {
+            scratch.rhs[i * k + l] =
+                qi + (sim.model.cap[i] / dt * sim.t[i] + sim.model.conv[i] * amb);
+        }
+        if direct {
+            sim.have_prev = false;
+        } else {
+            // The solo warm start, verbatim: extrapolate 2·Tₙ − Tₙ₋₁ and
+            // save Tₙ in the same pass.
+            for (ti, pi) in sim.t.iter_mut().zip(sim.prev.iter_mut()) {
+                let tn = *ti;
+                if sim.have_prev {
+                    *ti = 2.0 * tn - *pi;
+                }
+                *pi = tn;
+            }
+            sim.have_prev = true;
+            for (i, &ti) in sim.t.iter().enumerate() {
+                scratch.x[i * k + l] = ti;
+            }
+        }
+    }
+
+    {
+        let _span = hotgauge_telemetry::span!("solver.multi_rhs");
+        if direct {
+            let Some(SysCache {
+                solver: SysSolver::Direct { factor, .. },
+                ..
+            }) = &sims[0].sys
+            else {
+                // hotgauge-lint: allow(L001, "prepare() above filled sys for every lane and the homogeneity check pinned the solver arm to Direct")
+                unreachable!("homogeneity check pinned the direct arm")
+            };
+            let factor = Arc::clone(factor);
+            scratch.work.resize(nk, 0.0);
+            factor.solve_multi(k, &scratch.rhs, &mut scratch.x, &mut scratch.work);
+            hotgauge_telemetry::counter!("thermal.direct_solves", k);
+            for _ in 0..k {
+                scratch.stats.push(SolveStats {
+                    iterations: 0,
+                    relative_residual: 0.0,
+                    converged: true,
+                });
+            }
+        } else {
+            let Some(cache) = &sims[0].sys else {
+                // hotgauge-lint: allow(L001, "prepare() above filled sys for every lane")
+                unreachable!("system prepared above")
+            };
+            let m = Arc::clone(&cache.m);
+            let rebuild = match &scratch.cg {
+                Some((prev_m, ws)) => !Arc::ptr_eq(prev_m, &m) || ws.k() != k,
+                None => true,
+            };
+            if rebuild {
+                scratch.cg = Some((Arc::clone(&m), MultiCgWorkspace::new(&m, k)));
+            }
+            // hotgauge-lint: allow(L001, "the rebuild branch above just filled scratch.cg")
+            let (_, ws) = scratch.cg.as_mut().expect("workspace built above");
+            solve_cg_multi(&m, &scratch.rhs, &mut scratch.x, &cg0, ws);
+            for stats in ws.stats() {
+                hotgauge_telemetry::counter!("thermal.cg_iterations", stats.iterations);
+                hotgauge_telemetry::counter!("thermal.cg_residual", stats.relative_residual);
+            }
+            scratch.stats.extend_from_slice(ws.stats());
+        }
+    }
+
+    for (l, sim) in sims.iter_mut().enumerate() {
+        for (i, ti) in sim.t.iter_mut().enumerate() {
+            *ti = scratch.x[i * k + l];
+        }
+    }
+    &scratch.stats
 }
 
 #[cfg(test)]
@@ -834,6 +1029,126 @@ mod tests {
         assert_eq!(sim.active_solver(), None);
         sim.prepare(1e-3);
         assert_eq!(sim.active_solver(), Some(SolverStrategy::DirectCholesky));
+    }
+
+    /// Distinct per-lane power maps so lanes diverge immediately.
+    fn lane_powers(k: usize, cells: usize) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|l| {
+                (0..cells)
+                    .map(|i| 0.01 + 0.004 * ((i * (l + 3) + l) % 11) as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Steps `k` lockstep lanes and `k` solo twins through `steps` steps and
+    /// asserts bitwise-equal states and equal stats after every step.
+    fn assert_lockstep_matches_solo(strategy: SolverStrategy, k: usize, steps: usize) {
+        let s = stack_1d(9, 8);
+        let model = ThermalModel::new(s);
+        let cells = 9 * 8;
+        let powers = lane_powers(k, cells);
+        let make = |init: f64| {
+            let mut sim = ThermalSim::new(model.clone(), init);
+            sim.chol = CholOptions::unbounded();
+            sim.set_strategy(strategy);
+            sim
+        };
+        let mut lock: Vec<ThermalSim> = (0..k).map(|l| make(40.0 + l as f64)).collect();
+        let mut solo: Vec<ThermalSim> = (0..k).map(|l| make(40.0 + l as f64)).collect();
+        let mut scratch = LockstepScratch::new();
+        for step in 0..steps {
+            let solo_stats: Vec<SolveStats> = solo
+                .iter_mut()
+                .zip(&powers)
+                .map(|(sim, p)| sim.step(p, 1e-3))
+                .collect();
+            let mut lanes: Vec<&mut ThermalSim> = lock.iter_mut().collect();
+            let maps: Vec<&[f64]> = powers.iter().map(|p| p.as_slice()).collect();
+            let lock_stats = step_lockstep(&mut lanes, &maps, 1e-3, &mut scratch).to_vec();
+            assert_eq!(lock_stats, solo_stats, "stats diverged at step {step}");
+            for (l, (a, b)) in lock.iter().zip(&solo).enumerate() {
+                assert_eq!(a.active_solver(), b.active_solver());
+                for (i, (x, y)) in a.state().iter().zip(b.state()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "lane {l} node {i} diverged at step {step}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_cg_steps_are_bitwise_equal_to_solo_steps() {
+        for k in [1, 2, 4, 8] {
+            assert_lockstep_matches_solo(SolverStrategy::Cg, k, 5);
+        }
+    }
+
+    #[test]
+    fn lockstep_direct_steps_are_bitwise_equal_to_solo_steps() {
+        for k in [1, 2, 4, 8] {
+            assert_lockstep_matches_solo(SolverStrategy::DirectCholesky, k, 5);
+        }
+    }
+
+    #[test]
+    fn lockstep_falls_back_to_solo_on_heterogeneous_lanes() {
+        let model = ThermalModel::new(stack_1d(6, 6));
+        let powers = lane_powers(2, 36);
+        let mut a = ThermalSim::new(model.clone(), 40.0);
+        a.chol = CholOptions::unbounded();
+        a.set_strategy(SolverStrategy::DirectCholesky);
+        let mut b = ThermalSim::new(model.clone(), 41.0);
+        b.set_strategy(SolverStrategy::Cg);
+        let mut solo_a = a.clone();
+        let mut solo_b = b.clone();
+
+        let mut scratch = LockstepScratch::new();
+        for _ in 0..3 {
+            let mut lanes: Vec<&mut ThermalSim> = vec![&mut a, &mut b];
+            let maps: Vec<&[f64]> = powers.iter().map(|p| p.as_slice()).collect();
+            step_lockstep(&mut lanes, &maps, 1e-3, &mut scratch);
+            solo_a.step(&powers[0], 1e-3);
+            solo_b.step(&powers[1], 1e-3);
+        }
+        assert_eq!(a.active_solver(), Some(SolverStrategy::DirectCholesky));
+        assert_eq!(b.active_solver(), Some(SolverStrategy::Cg));
+        for (x, y) in a.state().iter().zip(solo_a.state()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in b.state().iter().zip(solo_b.state()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn lockstep_scratch_survives_dt_and_width_changes() {
+        let model = ThermalModel::new(stack_1d(6, 6));
+        let powers = lane_powers(4, 36);
+        let mut lock: Vec<ThermalSim> = (0..4)
+            .map(|l| ThermalSim::new(model.clone(), 40.0 + l as f64))
+            .collect();
+        let mut solo: Vec<ThermalSim> = lock.clone();
+        let mut scratch = LockstepScratch::new();
+        // Width 4 at dt=1e-3, then width 3 at dt=2e-3 (forces workspace and
+        // buffer rebuilds), then back: the scratch must re-key correctly.
+        for (width, dt) in [(4usize, 1e-3), (3, 2e-3), (4, 1e-3)] {
+            let maps: Vec<&[f64]> = powers[..width].iter().map(|p| p.as_slice()).collect();
+            let mut lanes: Vec<&mut ThermalSim> = lock[..width].iter_mut().collect();
+            step_lockstep(&mut lanes, &maps, dt, &mut scratch);
+            for (sim, p) in solo[..width].iter_mut().zip(&powers) {
+                sim.step(p, dt);
+            }
+        }
+        for (a, b) in lock.iter().zip(&solo) {
+            for (x, y) in a.state().iter().zip(b.state()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub struct SolveStats {
 }
 
 /// Configuration for the CG solver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgConfig {
     /// Relative residual tolerance (applied to the preconditioned residual
     /// norm `√(r·D⁻¹r) / √(b·D⁻¹b)` that the iteration tracks for free).
@@ -202,6 +202,271 @@ pub fn solve_cg_with(
 
     finish(&ws.r, cfg.max_iterations, false)
 }
+
+/// Reusable state for [`solve_cg_multi`]: the shared Jacobi preconditioner
+/// plus the four iteration blocks and per-lane scalars for `k` lockstep
+/// right-hand sides. All `[n × k]` blocks are node-major, lane-minor
+/// (`r[node * k + lane]`), so the per-node lane loops run over contiguous
+/// memory and auto-vectorize.
+#[derive(Debug, Clone)]
+pub struct MultiCgWorkspace {
+    k: usize,
+    inv_diag: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    pap: Vec<f64>,
+    alpha: Vec<f64>,
+    rz: Vec<f64>,
+    nb2: Vec<f64>,
+    nb2_prec: Vec<f64>,
+    active: Vec<bool>,
+    stats: Vec<SolveStats>,
+}
+
+impl MultiCgWorkspace {
+    /// Builds a workspace for `k` lockstep solves against `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the matrix has a non-positive diagonal entry.
+    pub fn new(a: &CsrMatrix, k: usize) -> Self {
+        assert!((1..=MAX_LOCKSTEP_WIDTH).contains(&k));
+        let n = a.n();
+        let inv_diag: Vec<f64> = a
+            .diagonal()
+            .into_iter()
+            .map(|d| {
+                assert!(d > 0.0, "matrix diagonal must be positive for CG");
+                1.0 / d
+            })
+            .collect();
+        Self {
+            k,
+            inv_diag,
+            r: vec![0.0; n * k],
+            z: vec![0.0; n * k],
+            p: vec![0.0; n * k],
+            ap: vec![0.0; n * k],
+            pap: vec![0.0; k],
+            alpha: vec![0.0; k],
+            rz: vec![0.0; k],
+            nb2: vec![0.0; k],
+            nb2_prec: vec![0.0; k],
+            active: vec![false; k],
+            stats: vec![
+                SolveStats {
+                    iterations: 0,
+                    relative_residual: 0.0,
+                    converged: false,
+                };
+                k
+            ],
+        }
+    }
+
+    /// Dimension this workspace was built for.
+    pub fn n(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    /// Lane count this workspace was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-lane outcomes of the last [`solve_cg_multi`] call.
+    pub fn stats(&self) -> &[SolveStats] {
+        &self.stats
+    }
+}
+
+/// Solves `k` systems `A xₗ = bₗ` in lockstep over `[n × k]` node-major,
+/// lane-minor blocks, streaming each matrix row's index list once for all
+/// lanes per iteration. Each lane starts from the warm-start guess already
+/// in its column of `x` and iterates until *its own* preconditioned residual
+/// meets `cfg.tolerance`; converged lanes are masked out (their columns are
+/// never touched again) while the rest keep iterating.
+///
+/// **Bit-exactness:** every lane performs exactly the floating-point
+/// operation sequence of a solo [`solve_cg_with`] call on the serial
+/// (sub-[`PARALLEL_LEN_CROSSOVER`]) path — same accumulation orders in the
+/// norm folds, SpMV, fused update, and `p` update, same per-lane
+/// `α`/`β`/convergence decisions — so each column of `x` and each
+/// [`SolveStats`] is bitwise identical to its solo counterpart for all
+/// `n < PARALLEL_LEN_CROSSOVER` (every grid this workspace targets).
+/// Per-lane outcomes land in [`MultiCgWorkspace::stats`].
+///
+/// # Panics
+///
+/// Panics if block lengths disagree with the workspace shape.
+pub fn solve_cg_multi(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &CgConfig,
+    ws: &mut MultiCgWorkspace,
+) {
+    let n = a.n();
+    let k = ws.k;
+    assert_eq!(b.len(), n * k);
+    assert_eq!(x.len(), n * k);
+    assert_eq!(ws.n(), n, "workspace built for a different matrix size");
+    let _span = hotgauge_telemetry::span!("thermal.cg_solve");
+    let tol2 = cfg.tolerance * cfg.tolerance;
+
+    // ‖b‖² per lane in the reporting and preconditioned norms, accumulated
+    // ascending-node exactly like the solo fold.
+    ws.nb2.fill(0.0);
+    ws.nb2_prec.fill(0.0);
+    for (brow, &di) in b.chunks_exact(k).zip(&ws.inv_diag) {
+        for ((s2, sp), &bi) in ws.nb2.iter_mut().zip(&mut ws.nb2_prec).zip(brow) {
+            *s2 += bi * bi;
+            *sp += bi * bi * di;
+        }
+    }
+    for l in 0..k {
+        ws.active[l] = ws.nb2[l] != 0.0;
+        if !ws.active[l] {
+            for xrow in x.chunks_exact_mut(k) {
+                xrow[l] = 0.0;
+            }
+            ws.stats[l] = SolveStats {
+                iterations: 0,
+                relative_residual: 0.0,
+                converged: true,
+            };
+        }
+    }
+
+    // r = b − A x, z = D⁻¹ r, p = z, rz = r·z per lane. Zero-rhs lanes have
+    // x zeroed above, so touching their (never again read) r/z/p is inert.
+    a.mul_vec_multi(k, x, &mut ws.r);
+    ws.rz.fill(0.0);
+    for (((brow, &di), (rrow, zrow)), prow) in b
+        .chunks_exact(k)
+        .zip(&ws.inv_diag)
+        .zip(ws.r.chunks_exact_mut(k).zip(ws.z.chunks_exact_mut(k)))
+        .zip(ws.p.chunks_exact_mut(k))
+    {
+        for l in 0..k {
+            let ri = brow[l] - rrow[l];
+            let zi = ri * di;
+            rrow[l] = ri;
+            zrow[l] = zi;
+            prow[l] = zi;
+            ws.rz[l] += ri * zi;
+        }
+    }
+
+    let finish = |r: &[f64], nb2: f64, l: usize, iterations: usize, converged: bool| {
+        let rr: f64 = r.chunks_exact(k).map(|row| row[l] * row[l]).sum();
+        SolveStats {
+            iterations,
+            relative_residual: rr.sqrt() / nb2.sqrt(),
+            converged,
+        }
+    };
+
+    for l in 0..k {
+        if ws.active[l] && ws.rz[l] <= tol2 * ws.nb2_prec[l] {
+            ws.stats[l] = finish(&ws.r, ws.nb2[l], l, 0, true);
+            ws.active[l] = false;
+        }
+    }
+
+    for it in 1..=cfg.max_iterations {
+        if !ws.active.iter().any(|&a| a) {
+            return;
+        }
+        // One traversal of the row structure serves every lane.
+        a.mul_vec_dot_multi(k, &ws.p, &mut ws.ap, &mut ws.pap);
+        for l in 0..k {
+            if ws.active[l] {
+                if ws.pap[l] <= 0.0 {
+                    // Should not happen for SPD systems; bail this lane out.
+                    ws.stats[l] = finish(&ws.r, ws.nb2[l], l, it, false);
+                    ws.active[l] = false;
+                } else {
+                    ws.alpha[l] = ws.rz[l] / ws.pap[l];
+                }
+            }
+        }
+        // Fused update: x += α p, r −= α ap, z = D⁻¹ r, reducing r·z, with
+        // masked lanes frozen. The unguarded loop runs while all lanes are
+        // live (the common case), keeping the lane loop branch-free.
+        let all = ws.active.iter().all(|&a| a);
+        let mut rz_new = [0.0f64; MAX_LOCKSTEP_WIDTH];
+        let rz_new = &mut rz_new[..k];
+        for (i, ((xrow, (rrow, zrow)), &di)) in x
+            .chunks_exact_mut(k)
+            .zip(ws.r.chunks_exact_mut(k).zip(ws.z.chunks_exact_mut(k)))
+            .zip(&ws.inv_diag)
+            .enumerate()
+        {
+            let prow = &ws.p[i * k..i * k + k];
+            let aprow = &ws.ap[i * k..i * k + k];
+            if all {
+                for l in 0..k {
+                    xrow[l] += ws.alpha[l] * prow[l];
+                    let ri = rrow[l] - ws.alpha[l] * aprow[l];
+                    let zi = ri * di;
+                    rrow[l] = ri;
+                    zrow[l] = zi;
+                    rz_new[l] += ri * zi;
+                }
+            } else {
+                for l in 0..k {
+                    if ws.active[l] {
+                        xrow[l] += ws.alpha[l] * prow[l];
+                        let ri = rrow[l] - ws.alpha[l] * aprow[l];
+                        let zi = ri * di;
+                        rrow[l] = ri;
+                        zrow[l] = zi;
+                        rz_new[l] += ri * zi;
+                    }
+                }
+            }
+        }
+        for (l, &rz) in rz_new.iter().enumerate() {
+            if ws.active[l] {
+                if rz <= tol2 * ws.nb2_prec[l] {
+                    ws.stats[l] = finish(&ws.r, ws.nb2[l], l, it, true);
+                    ws.active[l] = false;
+                } else {
+                    // Reuse alpha as this iteration's per-lane β.
+                    ws.alpha[l] = rz / ws.rz[l];
+                    ws.rz[l] = rz;
+                }
+            }
+        }
+        let all = ws.active.iter().all(|&a| a);
+        for (prow, zrow) in ws.p.chunks_exact_mut(k).zip(ws.z.chunks_exact(k)) {
+            if all {
+                for l in 0..k {
+                    prow[l] = zrow[l] + ws.alpha[l] * prow[l];
+                }
+            } else {
+                for l in 0..k {
+                    if ws.active[l] {
+                        prow[l] = zrow[l] + ws.alpha[l] * prow[l];
+                    }
+                }
+            }
+        }
+    }
+    for l in 0..k {
+        if ws.active[l] {
+            ws.stats[l] = finish(&ws.r, ws.nb2[l], l, cfg.max_iterations, false);
+            ws.active[l] = false;
+        }
+    }
+}
+
+/// Widest lockstep batch the stack-allocated per-iteration lane accumulators
+/// support. The sweep executor batches at 4 or 8; 16 leaves headroom.
+pub const MAX_LOCKSTEP_WIDTH: usize = 16;
 
 fn threads_for_len(n: usize) -> usize {
     if n < PARALLEL_LEN_CROSSOVER {
@@ -447,6 +712,102 @@ mod tests {
             stats.relative_residual,
             true_res
         );
+    }
+
+    /// Pack per-lane vectors into a node-major lane-minor SoA block.
+    fn pack(lanes: &[Vec<f64>]) -> Vec<f64> {
+        let k = lanes.len();
+        let n = lanes[0].len();
+        let mut out = vec![0.0; n * k];
+        for (l, lane) in lanes.iter().enumerate() {
+            for (i, &v) in lane.iter().enumerate() {
+                out[i * k + l] = v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lockstep_cg_is_bitwise_equal_to_solo_solves() {
+        let n = 400;
+        let a = poisson(n);
+        let cfg = CgConfig {
+            tolerance: 1e-8,
+            max_iterations: 20_000,
+        };
+        for k in [1usize, 2, 4, 8] {
+            // Distinct rhs and warm starts per lane so lanes converge at
+            // different iterations and the masking path is exercised.
+            let bs: Vec<Vec<f64>> = (0..k)
+                .map(|l| {
+                    (0..n)
+                        .map(|i| (((i * 13 + l * 7) % 23) as f64) - 11.0 * (l as f64 + 1.0) / 4.0)
+                        .collect()
+                })
+                .collect();
+            let x0s: Vec<Vec<f64>> = (0..k)
+                .map(|l| (0..n).map(|i| ((i + l) as f64 * 0.01).sin()).collect())
+                .collect();
+            let b = pack(&bs);
+            let mut x = pack(&x0s);
+            let mut ws = MultiCgWorkspace::new(&a, k);
+            solve_cg_multi(&a, &b, &mut x, &cfg, &mut ws);
+            for l in 0..k {
+                let mut solo_x = x0s[l].clone();
+                let solo = solve_cg(&a, &bs[l], &mut solo_x, &cfg);
+                let stats = ws.stats()[l];
+                assert_eq!(stats.iterations, solo.iterations, "k={k} lane={l}");
+                assert_eq!(stats.converged, solo.converged);
+                assert_eq!(
+                    stats.relative_residual.to_bits(),
+                    solo.relative_residual.to_bits()
+                );
+                for i in 0..n {
+                    assert_eq!(
+                        x[i * k + l].to_bits(),
+                        solo_x[i].to_bits(),
+                        "k={k} lane={l} node={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_cg_masks_zero_rhs_and_capped_lanes() {
+        let n = 200;
+        let a = poisson(n);
+        // Lane 0: zero rhs (instant exact solution). Lane 1: real system.
+        let bs = vec![
+            vec![0.0; n],
+            (0..n).map(|i| ((i % 5) as f64) - 2.0).collect(),
+        ];
+        let b = pack(&bs);
+        let mut x = pack(&[vec![3.0; n], vec![0.0; n]]);
+        let cfg = CgConfig {
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+        };
+        let mut ws = MultiCgWorkspace::new(&a, 2);
+        solve_cg_multi(&a, &b, &mut x, &cfg, &mut ws);
+        assert!(ws.stats()[0].converged);
+        assert_eq!(ws.stats()[0].iterations, 0);
+        assert!((0..n).all(|i| x[i * 2] == 0.0));
+        assert!(ws.stats()[1].converged);
+
+        // An iteration cap hits every lane with the solo count.
+        let capped = CgConfig {
+            tolerance: 1e-14,
+            max_iterations: 2,
+        };
+        let mut x2 = pack(&[bs[1].clone(), bs[1].clone()]);
+        let b2 = pack(&[bs[1].clone(), bs[1].clone()]);
+        let mut ws2 = MultiCgWorkspace::new(&a, 2);
+        solve_cg_multi(&a, &b2, &mut x2, &capped, &mut ws2);
+        for s in ws2.stats() {
+            assert!(!s.converged);
+            assert_eq!(s.iterations, 2);
+        }
     }
 
     #[test]

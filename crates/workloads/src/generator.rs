@@ -1,7 +1,7 @@
 //! Deterministic micro-op stream generation from a [`WorkloadProfile`].
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use hotgauge_perf::instr::{Instr, InstrClass, InstrSource};
 
@@ -32,6 +32,45 @@ pub struct WorkloadGen {
     region_base: u64,
     /// Salt for the per-PC static-instruction hash.
     class_salt: u64,
+    /// `ceil(stream_fraction * 2^53)` — see [`bool_threshold`].
+    stream_thresh: u64,
+    /// `ceil(predictability * 2^53)` — see [`bool_threshold`].
+    pred_thresh: u64,
+    /// `static_branches - 1` when the count is a power of two (every shipped
+    /// profile), else `u64::MAX` to select the modulo fallback.
+    bias_mask: u64,
+    /// Phase-constant values hoisted out of the per-instruction path, valid
+    /// for `derived_phase`. Phases run for tens of thousands of
+    /// instructions, so recomputing the scaled mix and cumulative class
+    /// thresholds per instruction was pure waste — co-simulation warm-up
+    /// alone draws millions of instructions per run.
+    derived: PhaseDerived,
+    /// Which `phase_idx` `derived` was computed for (`usize::MAX` = stale).
+    derived_phase: usize,
+}
+
+/// Per-phase constants of the instruction stream: the cumulative class
+/// thresholds (in the exact f64 accumulation order of the original
+/// per-instruction walk, so streams are bit-identical), the scaled serial
+/// fraction, and the scaled cold-set fraction.
+#[derive(Clone, Copy, Debug, Default)]
+struct PhaseDerived {
+    /// Cumulative thresholds: loads, +stores, +branches, +int_simple,
+    /// +int_complex, +fp. A class roll `r` falls in the first class whose
+    /// threshold exceeds it; `r >= fp_cum` is AVX.
+    loads_cum: f64,
+    stores_cum: f64,
+    branches_cum: f64,
+    int_simple_cum: f64,
+    int_complex_cum: f64,
+    fp_cum: f64,
+    /// `ceil((serial_fraction * serial_scale).min(1.0) * 2^53)`.
+    serial_thresh: u64,
+    /// `ceil((mem.big_fraction * mem_scale).min(1.0) * 2^53)`.
+    big_thresh: u64,
+    /// The phase's `length_instrs`, so the per-instruction phase advance
+    /// does not re-index the phase table.
+    phase_len: u64,
 }
 
 /// Base of the data segment for generated addresses.
@@ -40,6 +79,28 @@ const DATA_BASE: u64 = 0x1000_0000;
 const BIG_BASE: u64 = 0x8000_0000;
 /// Base of the code segment.
 const CODE_BASE: u64 = 0x40_0000;
+
+/// `ceil(5e-4 * 2^53)`: the hot-region migration probability as a
+/// [`bool_threshold`] (pinned against the computed value by a test).
+const REGION_MIGRATE_THRESH: u64 = 4_503_599_627_371;
+
+/// `ceil(p * 2^53)`, the integer acceptance threshold equivalent to
+/// `Rng::gen_bool(p)`: `gen_bool` draws 53 mantissa bits `x` and tests
+/// `x * 2^-53 < p`. Both the int→float conversion of `x` and the
+/// power-of-two scalings are exact, so the comparison over the reals is
+/// `x < p * 2^53`, i.e. `x < ceil(p * 2^53)` for integer `x`. Comparing the
+/// raw draw against a precomputed threshold accepts bit-for-bit the same
+/// samples while keeping float conversions off the per-instruction path.
+fn bool_threshold(p: f64) -> u64 {
+    (p * (1u64 << 53) as f64).ceil().max(0.0) as u64
+}
+
+/// Integer-threshold form of `gen_bool` — consumes exactly one `next_u64`,
+/// like the floating-point version it replaces.
+#[inline]
+fn draw_bool(rng: &mut SmallRng, thresh: u64) -> bool {
+    (rng.next_u64() >> 11) < thresh
+}
 
 impl WorkloadGen {
     /// Creates a generator for `profile` with the given seed.
@@ -53,9 +114,17 @@ impl WorkloadGen {
             // hotgauge-lint: allow(L001, "profiles come from the compile-time SPEC2006/idle tables or from callers that validated them; documented panic")
             .unwrap_or_else(|e| panic!("invalid profile {}: {e}", profile.name));
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-        let branch_bias = (0..profile.branch.static_branches)
+        let branch_bias: Vec<bool> = (0..profile.branch.static_branches)
             .map(|_| rng.gen_bool(0.5))
             .collect();
+        let bias_len = branch_bias.len() as u64;
+        let bias_mask = if bias_len.is_power_of_two() {
+            bias_len - 1
+        } else {
+            u64::MAX
+        };
+        let stream_thresh = bool_threshold(profile.mem.stream_fraction);
+        let pred_thresh = bool_threshold(profile.branch.predictability);
         Self {
             profile,
             rng,
@@ -67,7 +136,45 @@ impl WorkloadGen {
             pc: CODE_BASE,
             region_base: CODE_BASE,
             class_salt: seed.wrapping_mul(0xA076_1D64_78BD_642F) | 1,
+            stream_thresh,
+            pred_thresh,
+            bias_mask,
+            derived: PhaseDerived::default(),
+            derived_phase: usize::MAX,
         }
+    }
+
+    /// Recomputes the phase-constant values for the current phase. Every
+    /// arithmetic step mirrors the original per-instruction computation —
+    /// same operations, same order — so the generated stream is bit-exact.
+    fn refresh_derived(&mut self) {
+        let phase = self.profile.phases[self.phase_idx];
+        let mix = self.profile.mix;
+        // Phase-scaled FP share: hot phases shift weight from int to FP/AVX.
+        let fp = (mix.fp * phase.fp_scale).min(0.9);
+        let avx = (mix.avx * phase.fp_scale).min(0.9 - fp);
+        let shift = (fp - mix.fp) + (avx - mix.avx);
+        let int_simple = (mix.int_simple - shift).max(0.0);
+        let loads_cum = mix.loads;
+        let stores_cum = loads_cum + mix.stores;
+        let branches_cum = stores_cum + mix.branches;
+        let int_simple_cum = branches_cum + int_simple;
+        let int_complex_cum = int_simple_cum + mix.int_complex;
+        let fp_cum = int_complex_cum + fp;
+        self.derived = PhaseDerived {
+            loads_cum,
+            stores_cum,
+            branches_cum,
+            int_simple_cum,
+            int_complex_cum,
+            fp_cum,
+            serial_thresh: bool_threshold(
+                (self.profile.serial_fraction * phase.serial_scale).min(1.0),
+            ),
+            big_thresh: bool_threshold((self.profile.mem.big_fraction * phase.mem_scale).min(1.0)),
+            phase_len: phase.length_instrs,
+        };
+        self.derived_phase = self.phase_idx;
     }
 
     /// The profile driving this stream.
@@ -102,14 +209,6 @@ impl WorkloadGen {
         }
     }
 
-    fn advance_phase(&mut self) {
-        self.phase_pos += 1;
-        if self.phase_pos >= self.profile.phases[self.phase_idx].length_instrs {
-            self.phase_pos = 0;
-            self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
-        }
-    }
-
     fn next_pc(&mut self) -> u64 {
         // Loop-dominated code model: execution stays inside a hot region
         // (an inner loop) and occasionally migrates to a different region of
@@ -120,7 +219,7 @@ impl WorkloadGen {
         const HOT_REGION_BYTES: u64 = 8 * 1024;
         let footprint = self.profile.code_footprint_bytes;
         let region = HOT_REGION_BYTES.min(footprint);
-        if self.rng.gen_bool(5e-4) {
+        if draw_bool(&mut self.rng, REGION_MIGRATE_THRESH) {
             // Migrate to a new hot region.
             let regions = (footprint / region).max(1);
             self.region_base = CODE_BASE + self.rng.gen_range(0..regions) * region;
@@ -132,14 +231,13 @@ impl WorkloadGen {
         self.pc
     }
 
-    fn data_address(&mut self, mem_scale: f64) -> u64 {
+    fn data_address(&mut self, big_thresh: u64) -> u64 {
         let mem = self.profile.mem;
-        let big_fraction = (mem.big_fraction * mem_scale).min(1.0);
-        if self.rng.gen_bool(big_fraction) {
+        if draw_bool(&mut self.rng, big_thresh) {
             // Cold/large set: random within big_set.
             let lines = (mem.big_set_bytes / 64).max(1);
             BIG_BASE + self.rng.gen_range(0..lines) * 64
-        } else if self.rng.gen_bool(mem.stream_fraction) {
+        } else if draw_bool(&mut self.rng, self.stream_thresh) {
             // Sequential streaming through the working set.
             self.stream_addr += 64;
             if self.stream_addr >= DATA_BASE + mem.working_set_bytes {
@@ -166,9 +264,16 @@ impl WorkloadGen {
     }
 
     fn branch_outcome(&mut self, pc: u64) -> bool {
-        let idx = ((pc / 4) % self.branch_bias.len() as u64) as usize;
+        // Every shipped profile has a power-of-two static-branch count, so
+        // the index is a mask; the modulo fallback keeps arbitrary counts
+        // working identically.
+        let idx = if self.bias_mask != u64::MAX {
+            ((pc / 4) & self.bias_mask) as usize
+        } else {
+            ((pc / 4) % self.branch_bias.len() as u64) as usize
+        };
         let bias = self.branch_bias[idx];
-        if self.rng.gen_bool(self.profile.branch.predictability) {
+        if draw_bool(&mut self.rng, self.pred_thresh) {
             bias
         } else {
             !bias
@@ -179,48 +284,45 @@ impl WorkloadGen {
 impl InstrSource for WorkloadGen {
     fn next_instr(&mut self) -> Instr {
         self.icount += 1;
-        let phase = self.profile.phases[self.phase_idx];
-        self.advance_phase();
-
-        let mix = self.profile.mix;
-        // Phase-scaled FP share: hot phases shift weight from int to FP/AVX.
-        let fp = (mix.fp * phase.fp_scale).min(0.9);
-        let avx = (mix.avx * phase.fp_scale).min(0.9 - fp);
-        let shift = (fp - mix.fp) + (avx - mix.avx);
-        let int_simple = (mix.int_simple - shift).max(0.0);
+        if self.derived_phase != self.phase_idx {
+            self.refresh_derived();
+        }
+        let d = self.derived;
+        // Inline phase advance against the cached length (`advance_phase`
+        // with the table lookup folded into `derived`).
+        self.phase_pos += 1;
+        if self.phase_pos >= d.phase_len {
+            self.phase_pos = 0;
+            self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
+        }
 
         let pc = self.next_pc();
         let r: f64 = self.class_roll(pc);
-        // Walk the cumulative class distribution: each call advances the
-        // running total and reports whether the roll lands in that class.
-        let mut acc = 0.0;
-        let mut falls_in = |weight: f64| {
-            acc += weight;
-            r < acc
-        };
-        let mut ins = if falls_in(mix.loads) {
-            Instr::load(pc, self.data_address(phase.mem_scale))
-        } else if falls_in(mix.stores) {
-            Instr::store(pc, self.data_address(phase.mem_scale))
-        } else if falls_in(mix.branches) {
+        // The roll lands in the first class whose cumulative threshold
+        // exceeds it (thresholds precomputed per phase in `refresh_derived`).
+        let mut ins = if r < d.loads_cum {
+            Instr::load(pc, self.data_address(d.big_thresh))
+        } else if r < d.stores_cum {
+            Instr::store(pc, self.data_address(d.big_thresh))
+        } else if r < d.branches_cum {
             let taken = self.branch_outcome(pc);
             Instr::branch(pc, taken)
-        } else if falls_in(int_simple) {
+        } else if r < d.int_simple_cum {
             Instr::compute(InstrClass::IntSimple, pc)
-        } else if falls_in(mix.int_complex) {
+        } else if r < d.int_complex_cum {
             let mut i = Instr::compute(InstrClass::IntComplex, pc);
             // Complex ops (mul/div) carry real latency.
             i.extra_latency = 2;
             i
-        } else if falls_in(fp) {
+        } else if r < d.fp_cum {
             Instr::compute(InstrClass::FpScalar, pc)
         } else {
             Instr::compute(InstrClass::Avx512, pc)
         };
 
         // Dependency-chain serialization, scaled by the phase.
-        let serial_p = (self.profile.serial_fraction * phase.serial_scale).min(1.0);
-        if !matches!(ins.class, InstrClass::IntComplex) && self.rng.gen_bool(serial_p) {
+        if !matches!(ins.class, InstrClass::IntComplex) && draw_bool(&mut self.rng, d.serial_thresh)
+        {
             ins.extra_latency = ins.extra_latency.max(self.rng.gen_range(1..=2));
         }
         ins
@@ -257,6 +359,42 @@ mod tests {
             serial_fraction: 0.15,
             code_footprint_bytes: 32 * 1024,
             phases: vec![Phase::neutral(100_000)],
+        }
+    }
+
+    #[test]
+    fn bool_threshold_matches_gen_bool_exactly() {
+        // draw_bool must accept bit-for-bit the same samples as gen_bool for
+        // any probability, including the scaled per-phase values and edge
+        // cases; both consume exactly one draw, so the streams stay aligned.
+        let ps = [
+            0.0, 1e-9, 5e-4, 0.02, 0.15, 0.3, 0.5, 0.93, 0.94, 0.9999, 1.0, 1.5,
+        ];
+        for (i, &p) in ps.iter().enumerate() {
+            let t = bool_threshold(p);
+            let mut a = SmallRng::seed_from_u64(i as u64);
+            let mut b = a.clone();
+            for _ in 0..50_000 {
+                assert_eq!(a.gen_bool(p), draw_bool(&mut b, t), "p = {p}");
+            }
+        }
+        assert_eq!(bool_threshold(5e-4), REGION_MIGRATE_THRESH);
+    }
+
+    #[test]
+    fn modulo_fallback_matches_mask_path() {
+        // A non-power-of-two static-branch count exercises the modulo
+        // fallback; the two index computations agree wherever both apply.
+        let mut p = profile();
+        p.branch.static_branches = 384;
+        let mut g = WorkloadGen::new(p, 11);
+        assert_eq!(g.bias_mask, u64::MAX);
+        for _ in 0..20_000 {
+            let i = g.next_instr();
+            if i.class == InstrClass::Branch {
+                // The modulo path indexed in bounds.
+                assert!(i.pc >= CODE_BASE);
+            }
         }
     }
 

@@ -17,6 +17,7 @@ fn mini() -> Fidelity {
         sample_instrs: 5_000,
         max_time_s: 1.2e-3,
         threads: 2,
+        batch: 8,
     }
 }
 

@@ -1,13 +1,15 @@
 //! Differential sweep-equivalence suite for the work-stealing executor.
 //!
 //! The contract under test (`hotgauge_core::sweep`): running a batch of
-//! configurations through the pooled executor — at any pool width, with any
-//! arena state — produces **bit-identical, order-preserving** results to
-//! running each configuration through the serial `run_sim` path, with the
-//! sweep's serial-forcing rule applied to `AnalysisConfig` whenever more
-//! than one thread is requested. Proptest generates heterogeneous batches
-//! (mixed benchmarks, nodes, grid geometries, seeds, analysis strategies)
-//! so the arenas see both cache hits and geometry churn.
+//! configurations through the pooled executor — at any pool width, any
+//! lockstep batch width, with any arena state — produces **bit-identical,
+//! order-preserving** results to running each configuration through the
+//! serial `run_sim` path, with the sweep's serial-forcing rule applied to
+//! `AnalysisConfig` whenever more than one thread is requested. Proptest
+//! generates heterogeneous batches (mixed benchmarks, nodes, grid
+//! geometries, seeds, analysis strategies) so the arenas see both cache
+//! hits and geometry churn, and the lockstep grouper sees full batches,
+//! stragglers, and singleton geometries that fall back to the per-run path.
 //!
 //! All tests share one process-wide gate: the telemetry recorder is global,
 //! so the counter-invariant checks must not interleave with other sweeps in
@@ -19,7 +21,7 @@ use proptest::prelude::*;
 
 use hotgauge_core::analysis::AnalysisConfig;
 use hotgauge_core::pipeline::{run_many, run_sim, RunResult, SimConfig};
-use hotgauge_core::{run_sim_in, SweepArena};
+use hotgauge_core::{run_many_batched_with, run_sim_in, SweepArena};
 use hotgauge_floorplan::tech::TechNode;
 use hotgauge_thermal::warmup::Warmup;
 
@@ -115,6 +117,27 @@ proptest! {
         }
     }
 
+    // The lockstep differential: explicit batch widths (full batches,
+    // stragglers, singleton-geometry fallbacks — whatever the generated
+    // geometry mix produces) against the same serial `run_sim` reference.
+    // `threads = 1` exercises batching *without* the serial-forcing rule,
+    // the path the existing width sweep above never takes.
+    #[test]
+    fn lockstep_batches_match_serial_reference_at_all_widths(
+        entropy in prop::collection::vec(0u64..u64::MAX, 2..5),
+    ) {
+        let _g = lock();
+        let cfgs: Vec<SimConfig> = entropy.into_iter().map(cfg_from_entropy).collect();
+        let ref_plain: Vec<RunResult> = cfgs.iter().cloned().map(run_sim).collect();
+        for batch in [2usize, 3, 8] {
+            let got = run_many_batched_with(cfgs.clone(), 1, batch, None);
+            prop_assert_eq!(got.len(), cfgs.len());
+            for (g, w) in got.iter().zip(&ref_plain) {
+                assert_same_run(g, w);
+            }
+        }
+    }
+
     // A dirty arena (random geometry churn from preceding runs) never
     // changes a result: every run equals the same run on a fresh arena.
     #[test]
@@ -182,9 +205,53 @@ fn degenerate_batch_shapes() {
     assert_eq!(two[1].config.benchmark, "povray");
 }
 
+/// Per-lane stop and prefilter behaviour inside a lockstep batch: a lane
+/// that trips its hotspot threshold stops early (a straggler the rest of
+/// the batch keeps running past), a prefiltered sub-threshold stop lane
+/// skips its per-substep analysis, and a lane whose geometry matches no one
+/// falls back to the classic per-run path — all bit-identical to serial.
+#[test]
+fn lockstep_stop_prefilter_and_fallback_lanes_match_serial() {
+    let _g = lock();
+    // Lane 0: thresholds low enough to fire mid-run (early-stop straggler).
+    let mut hot = base_cfg("hmmer");
+    hot.stop_at_first_hotspot = true;
+    hot.detect.t_threshold_c = 48.0;
+    hot.detect.mltd_threshold_c = 0.05;
+    hot.analysis.prefilter = true;
+    // Lane 1: stop mode at the paper's 80 °C — never fires, so the
+    // prefilter skips every substep's analysis for this lane alone.
+    let mut cold_stop = base_cfg("povray");
+    cold_stop.stop_at_first_hotspot = true;
+    cold_stop.analysis.prefilter = true;
+    // Lanes 2-3: plain full-horizon runs sharing the batch.
+    let mut plain_a = base_cfg("gcc");
+    plain_a.seed = 3;
+    let plain_b = base_cfg("server_web");
+    // Lane 4: unique geometry — a singleton group, per-run fallback.
+    let mut odd_geom = base_cfg("server_kv");
+    odd_geom.cell_um = 420.0;
+    let cfgs = vec![hot, cold_stop, plain_a, plain_b, odd_geom];
+    let want: Vec<RunResult> = cfgs.iter().cloned().map(run_sim).collect();
+    assert!(
+        want[0].tuh_s.is_some() && want[0].records.len() < want[2].records.len(),
+        "premise: lane 0 must stop early while its batch mates run on"
+    );
+    assert!(
+        want[1].tuh_s.is_none(),
+        "premise: lane 1 must stay sub-threshold so its prefilter engages"
+    );
+    let got = run_many_batched_with(cfgs, 1, 8, None);
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert_same_run(g, w);
+    }
+}
+
 /// Executor telemetry is self-consistent: every scheduled job completes
-/// exactly once, steals never exceed jobs, and same-geometry batches reuse
-/// arenas for all but each worker's first run.
+/// exactly once, steals never exceed work items, lockstep batches account
+/// for every run they carry, and same-geometry batches reuse arenas for
+/// all but each worker's first item.
 // hotgauge-lint: allow(L002, "this test reads the recorder's snapshot API directly, which only exists under the feature; the facade macros cannot gate a whole #[test] fn")
 #[cfg(feature = "telemetry")]
 #[test]
@@ -192,6 +259,12 @@ fn executor_telemetry_counters_are_consistent() {
     let _g = lock();
     const JOBS: usize = 6;
     const WIDTH: usize = 3;
+    const BATCH: usize = 2;
+    // One geometry, so the lockstep grouper chunks all six runs into three
+    // width-2 batch items; the realized pool is capped by hardware, items,
+    // and the requested width exactly as the executor computes it.
+    const ITEMS: usize = JOBS / BATCH;
+    let workers = hotgauge_core::pool_workers(WIDTH, JOBS).clamp(1, ITEMS);
     let cfgs: Vec<SimConfig> = (0..JOBS)
         .map(|i| {
             let mut c = base_cfg("hmmer");
@@ -200,7 +273,7 @@ fn executor_telemetry_counters_are_consistent() {
         })
         .collect();
     let before = hotgauge_telemetry::snapshot();
-    let rs = run_many(cfgs, WIDTH);
+    let rs = run_many_batched_with(cfgs, WIDTH, BATCH, None);
     let after = hotgauge_telemetry::snapshot();
     assert_eq!(rs.len(), JOBS);
 
@@ -210,16 +283,21 @@ fn executor_telemetry_counters_are_consistent() {
     let delta = |label: &str| total(&after, label) - total(&before, label);
     assert_eq!(delta("sweep.jobs"), JOBS as f64);
     assert_eq!(delta("sweep.completions"), JOBS as f64);
+    // Every run went through a lockstep batch, and batch widths sum to the
+    // run count (three full width-2 batches).
+    assert_eq!(delta("solver.lockstep_runs"), JOBS as f64);
+    assert_eq!(delta("solver.batch_width"), JOBS as f64);
     let steals = delta("sweep.steal");
     assert!(
-        (0.0..=JOBS as f64).contains(&steals),
+        (0.0..=ITEMS as f64).contains(&steals),
         "steals {steals} out of range"
     );
-    // One geometry: each worker misses its arena at most once.
+    // One geometry: each worker misses its arena at most once, and only
+    // lane 0 of each batch item touches the arena at all.
     let reuse = delta("sweep.arena_reuse");
     assert!(
-        ((JOBS - WIDTH) as f64..=JOBS as f64).contains(&reuse),
-        "arena reuse {reuse} out of range"
+        ((ITEMS - workers) as f64..=(ITEMS - 1) as f64).contains(&reuse),
+        "arena reuse {reuse} out of range for {workers} worker(s)"
     );
     let span_calls =
         |snap: &hotgauge_telemetry::Snapshot| snap.span("sweep.executor").map_or(0, |s| s.calls);
