@@ -1,0 +1,130 @@
+//! Level-scheduled triangular-sweep cost: forward/backward substitution
+//! through the skyline Cholesky factor at several shard budgets, single
+//! and multi-RHS. Two matrix shapes bracket the plan's behaviour:
+//!
+//! * `chains` — a block-diagonal system of disconnected grounded chains,
+//!   whose dependency levels are as wide as the component count, so the
+//!   level-parallel sweeps genuinely shard (this is the shape lockstep
+//!   batches of independent dies produce);
+//! * `grid` — a connected 3-D grid, whose RCM envelope degenerates to one
+//!   row per level; the plan detects this at factor time and falls back
+//!   to the serial sweeps, so the threaded entry points measure pure
+//!   fallback overhead (ideally zero).
+//!
+//! Results are bit-identical across every (shape, threads, K) cell; the
+//! bench exists to price the parallel plan, not to validate it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hotgauge_thermal::chol::{CholOptions, CholeskyFactor};
+use hotgauge_thermal::sparse::{CsrMatrix, TripletBuilder};
+
+/// Block-diagonal SPD system of `components` disconnected grounded chains
+/// of `len` nodes: level `d` of the schedule holds node `d` of every chain.
+fn chains(components: usize, len: usize) -> CsrMatrix {
+    let n = components * len;
+    let mut b = TripletBuilder::new(n);
+    for c in 0..components {
+        let base = c * len;
+        for i in 1..len {
+            b.add_conductance(base + i - 1, base + i, 1.0 + (i % 7) as f64 * 0.1);
+        }
+        for i in 0..len {
+            b.add_grounded_conductance(base + i, 0.5 + (c % 5) as f64 * 0.05);
+            b.add_grounded_conductance(base + i, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Connected 3-D grid Laplacian plus grounded lumps (the thermal-model
+/// shape): the RCM envelope chains every row to its predecessor.
+fn grid3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut b = TripletBuilder::new(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    b.add_conductance(id(x, y, z), id(x + 1, y, z), 1.0);
+                }
+                if y + 1 < ny {
+                    b.add_conductance(id(x, y, z), id(x, y + 1, z), 1.0);
+                }
+                if z + 1 < nz {
+                    b.add_conductance(id(x, y, z), id(x, y, z + 1), 0.5);
+                }
+                b.add_grounded_conductance(id(x, y, z), 1.2);
+            }
+        }
+    }
+    b.build()
+}
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 + 1).wrapping_mul(0x2545F4914F6CDD1D);
+            -1.0 + (x % 2048) as f64 / 1024.0
+        })
+        .collect()
+}
+
+fn bench_shape(c: &mut Criterion, name: &str, a: &CsrMatrix) {
+    let f = CholeskyFactor::factor(a, &CholOptions::unbounded()).expect("factors");
+    let n = f.n();
+    let b = rhs(n);
+    let mut group = c.benchmark_group("tri_solve_levels");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let mut x = vec![0.0; n];
+        let mut work = vec![0.0; n];
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}_t{threads}"), n),
+            &b,
+            |bench, bv| {
+                bench.iter(|| {
+                    f.solve_with_threads(black_box(bv), &mut x, &mut work, threads);
+                    x[0]
+                })
+            },
+        );
+    }
+    // K-wide lockstep block through the same plan.
+    for threads in [1usize, 2, 4] {
+        const K: usize = 8;
+        let mut bk = vec![0.0; n * K];
+        for lane in 0..K {
+            for node in 0..n {
+                bk[node * K + lane] = b[node] * (1.0 + lane as f64 * 0.01);
+            }
+        }
+        let mut x = vec![0.0; n * K];
+        let mut work = vec![0.0; n * K];
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}_k{K}_t{threads}"), n),
+            &bk,
+            |bench, bv| {
+                bench.iter(|| {
+                    f.solve_multi_with_threads(K, black_box(bv), &mut x, &mut work, threads);
+                    x[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn tri_solve_levels(c: &mut Criterion) {
+    // 4096 components x 8 nodes: 8 levels of width 4096, wide enough for
+    // the sharder to split at every benched thread count.
+    let wide = chains(4096, 8);
+    bench_shape(c, "chains", &wide);
+    // Connected grid of comparable size: degenerate levels, serial
+    // fallback at every thread count.
+    let connected = grid3d(32, 32, 8);
+    bench_shape(c, "grid", &connected);
+}
+
+criterion_group!(benches, tri_solve_levels);
+criterion_main!(benches);

@@ -2,16 +2,100 @@
 //! proxy — the bit-exactness harness for generator refactors. Build this
 //! bin in two trees (e.g. a worktree at the pre-change commit and the
 //! working tree) and diff the output: identical lines prove the full
-//! (pc, addr, class, taken, extra_latency) stream is unchanged over
-//! 5 M instructions per benchmark, which is how the PR 7 fast paths
-//! (integer-threshold draws, cached phase thresholds, bias masking)
-//! were verified against the prior floating-point formulation.
+//! (pc, addr, class, taken, extra_latency) stream is unchanged, which is
+//! how the PR 7 fast paths (integer-threshold draws, cached phase
+//! thresholds, bias masking) were verified against the prior
+//! floating-point formulation.
+//!
+//! ```text
+//! stream_hash [--profiles GLOB] [--instrs N]
+//! ```
+//!
+//! `--profiles` narrows the run to benchmarks matching a `*`-wildcard
+//! pattern (e.g. `server_*`, `*mmer`); `--instrs` overrides the 5 M
+//! instructions hashed per benchmark — drop it to ~100k for a quick
+//! inner-loop check, raise it to deepen the differential before a
+//! sign-off run. Unknown flags and patterns matching nothing exit 2.
 use hotgauge_perf::instr::InstrSource;
 use hotgauge_workloads::generator::WorkloadGen;
 use hotgauge_workloads::spec2006;
 
+/// `*`-wildcard match (no other metacharacters): `*` spans any substring.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    fn inner(p: &[u8], n: &[u8]) -> bool {
+        match p.first() {
+            None => n.is_empty(),
+            Some(b'*') => (0..=n.len()).any(|k| inner(&p[1..], &n[k..])),
+            Some(&c) => n.first() == Some(&c) && inner(&p[1..], &n[1..]),
+        }
+    }
+    inner(pattern.as_bytes(), name.as_bytes())
+}
+
 fn main() {
-    for bench in spec2006::ALL_BENCHMARKS {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pattern: Option<String> = None;
+    let mut instrs: u64 = 5_000_000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: stream_hash [--profiles GLOB] [--instrs N]\n\
+                     \x20 --profiles GLOB  only benchmarks matching a *-wildcard pattern\n\
+                     \x20 --instrs N       instructions hashed per benchmark (default 5000000)"
+                );
+                return;
+            }
+            "--profiles" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => pattern = Some(p.clone()),
+                    None => {
+                        eprintln!("error: --profiles needs a value");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--instrs" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("error: --instrs needs a value");
+                    std::process::exit(2);
+                };
+                match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => instrs = n,
+                    _ => {
+                        eprintln!(
+                            "error: invalid instruction count {v} (expected an integer >= 1)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument {other} (see stream_hash --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let selected: Vec<&str> = spec2006::ALL_BENCHMARKS
+        .iter()
+        .copied()
+        .filter(|b| pattern.as_deref().is_none_or(|p| glob_match(p, b)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "error: --profiles {} matches no benchmark (known: {})",
+            pattern.as_deref().unwrap_or("*"),
+            spec2006::ALL_BENCHMARKS.join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    for bench in selected {
         for seed in [7u64] {
             let profile = spec2006::profile(bench).unwrap();
             let mut g = WorkloadGen::new(profile, seed);
@@ -20,7 +104,7 @@ fn main() {
                 h ^= v;
                 h = h.wrapping_mul(0x100_0000_01b3);
             };
-            for _ in 0..5_000_000 {
+            for _ in 0..instrs {
                 let i = g.next_instr();
                 fnv(i.pc);
                 fnv(i.addr);

@@ -13,6 +13,10 @@
 //!   are solved up to `K` at a time through the multi-RHS thermal path
 //!   (default: [`hotgauge_core::DEFAULT_BATCH_WIDTH`]; `1` disables
 //!   batching; results are bit-identical at every width).
+//! * `--solver-threads N` — shard width for the level-scheduled triangular
+//!   sweeps of the direct (skyline Cholesky) thermal solver (`0` = one per
+//!   hardware thread, default `1` = serial sweeps; results are bit-identical
+//!   at every setting — see DESIGN.md "Threading model").
 //! * `--quiet` — suppress the human-readable tables (useful with `--json`).
 //! * `--help` — print the shared usage text.
 //!
@@ -36,6 +40,7 @@ pub struct BinArgs {
     quiet: bool,
     threads: Option<usize>,
     batch: Option<usize>,
+    solver_threads: Option<usize>,
     /// `(jobs, realized pool width)` of the bin's sweep, when noted.
     sweep_shape: std::cell::Cell<Option<(usize, usize)>>,
     _report: TelemetryReport,
@@ -50,17 +55,20 @@ impl BinArgs {
         let mut quiet = false;
         let mut threads = None;
         let mut batch = None;
+        let mut solver_threads = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--help" | "-h" => {
                     println!(
-                        "usage: {tool} [--json PATH] [--threads N] [--batch K] [--quiet]\n\
-                         \x20 --json PATH  write the run manifest to PATH (`-` for stdout)\n\
-                         \x20 --threads N  analysis threads per run (default: all hardware threads)\n\
-                         \x20 --batch K    lockstep batch width for sweeps (default: {}; 1 disables)\n\
-                         \x20 --quiet      suppress the human-readable tables",
+                        "usage: {tool} [--json PATH] [--threads N] [--batch K] [--solver-threads N] [--quiet]\n\
+                         \x20 --json PATH        write the run manifest to PATH (`-` for stdout)\n\
+                         \x20 --threads N        analysis threads per run (default: all hardware threads)\n\
+                         \x20 --batch K          lockstep batch width for sweeps (default: {}; 1 disables)\n\
+                         \x20 --solver-threads N shards for the direct solver's triangular sweeps\n\
+                         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (0 = auto, default 1 = serial; bit-identical results)\n\
+                         \x20 --quiet            suppress the human-readable tables",
                         hotgauge_core::DEFAULT_BATCH_WIDTH
                     );
                     std::process::exit(0);
@@ -108,6 +116,22 @@ impl BinArgs {
                         }
                     }
                 }
+                "--solver-threads" => {
+                    i += 1;
+                    let Some(v) = args.get(i) else {
+                        eprintln!("error: --solver-threads needs a value");
+                        std::process::exit(2);
+                    };
+                    match v.parse::<usize>() {
+                        Ok(n) => solver_threads = Some(n),
+                        _ => {
+                            eprintln!(
+                                "error: invalid solver thread count {v} (expected an integer; 0 = auto)"
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--quiet" => quiet = true,
                 other => {
                     eprintln!("error: unknown argument {other} (see {tool} --help)");
@@ -123,6 +147,7 @@ impl BinArgs {
             quiet,
             threads,
             batch,
+            solver_threads,
             sweep_shape: std::cell::Cell::new(None),
             _report,
         }
@@ -158,6 +183,9 @@ impl BinArgs {
         if let Some(k) = self.batch {
             fid.batch = k;
         }
+        if let Some(n) = self.solver_threads {
+            fid.solver_threads = n;
+        }
         fid
     }
 
@@ -186,6 +214,9 @@ impl BinArgs {
         }
         if let Some(k) = self.batch {
             manifest = manifest.with_config("batch", k);
+        }
+        if let Some(n) = self.solver_threads {
+            manifest = manifest.with_config("solver_threads", n);
         }
         if let Some((jobs, workers)) = self.sweep_shape.get() {
             manifest = manifest

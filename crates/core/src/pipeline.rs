@@ -115,6 +115,11 @@ pub struct SimConfig {
     /// solve/analysis overlap, sub-threshold prefilter). Never changes any
     /// result — only how fast it is computed.
     pub analysis: AnalysisConfig,
+    /// Thread budget for the direct solver's level-scheduled triangular
+    /// sweeps (`0` = one per hardware thread, `1` = serial). Like
+    /// `analysis`, this never changes any result — the sweeps are
+    /// bit-identical at every budget (see DESIGN.md, "Threading model").
+    pub solver_threads: usize,
 }
 
 impl SimConfig {
@@ -144,6 +149,7 @@ impl SimConfig {
             temp_histogram: None,
             delta_histogram: None,
             analysis: AnalysisConfig::default(),
+            solver_threads: 1,
         }
     }
 
@@ -479,6 +485,10 @@ impl CoSimulation {
         // below per-step temperature changes; tighter tolerances cost CG
         // iterations without changing any metric.
         thermal.cg.tolerance = 1e-6;
+        // Applied to recycled solvers too: the sweep thread budget is a
+        // per-run knob, not part of the geometry key (it never changes
+        // results, so recycling across budgets is sound).
+        thermal.set_solver_threads(cfg.solver_threads);
         if cfg.warmup == Warmup::Idle {
             let state = warmup_state_cached(&cfg, &fp, &grid, &power, &thermal, &idle_act);
             thermal.set_state(state);
@@ -573,9 +583,13 @@ impl CoSimulation {
     /// detection + severity with reusable buffers and optional row sharding).
     /// With `cfg.analysis.overlap` it moves to a dedicated worker thread fed
     /// by a bounded two-frame channel, so the analysis of substep *t*
-    /// overlaps the thermal solve of substep *t + 1*; frames are processed
-    /// in send order, so every record, census entry, and series value is
-    /// bit-identical to the serial schedule.
+    /// overlaps the thermal solve of substep *t + 1* — and, because retired
+    /// frame buffers flow back to the producer for reuse, the solver can run
+    /// ahead to *t + 2* while the analyzer is still consuming *t* without
+    /// allocating fresh state (`pipeline.depth2_advances` counts those deep
+    /// advances); frames are processed in send order, so every record,
+    /// census entry, and series value is bit-identical to the serial
+    /// schedule.
     pub fn run_with_progress(self, on_window: Option<&dyn Fn(WindowProgress)>) -> RunResult {
         let analyzer = FrameAnalyzer::new(
             self.cfg.detect,
@@ -641,6 +655,12 @@ impl CoSimulation {
         let overlap =
             cfg.analysis.overlap && !(cfg.stop_at_first_hotspot && cfg.delta_histogram.is_some());
 
+        // Frame-storage return path: the analysis side retires each frame's
+        // buffer once it moves on, and the producer extracts the next
+        // substep into it. Same-thread in the serial schedule, cross-thread
+        // under overlap; either way the recycled values are overwritten in
+        // full, so results are bit-identical to fresh allocation.
+        let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<ThermalFrame>();
         let mut ctx = AnalysisCtx {
             analyzer,
             cfg: &cfg,
@@ -654,6 +674,7 @@ impl CoSimulation {
             tuh: None,
             last_frame: None,
             last_instructions: 0,
+            recycle: Some(recycle_tx),
         };
 
         let mut time_s = 0.0;
@@ -687,7 +708,10 @@ impl CoSimulation {
                         thermal.step(&w.power_map, dt_sub);
                     }
                     time_s += dt_sub;
-                    let (frame, frame_max) = thermal.die_frame_with_max();
+                    let (frame, frame_max) = match recycle_rx.try_recv() {
+                        Ok(retired) => thermal.die_frame_with_max_into(retired.temps),
+                        Err(_) => thermal.die_frame_with_max(),
+                    };
                     let proceed = {
                         let _stage = span!("stage.detect");
                         ctx.process(SubstepMsg {
@@ -737,6 +761,16 @@ impl CoSimulation {
                         }
                     }
                 });
+                // Frames owned by the analysis side (in the channel, in
+                // flight, or held as `last_frame`), i.e. sends minus
+                // reclaims. Three outstanding frames at solve time means
+                // the analyzer is still consuming substep t while this
+                // thread solves t + 2: the worker holds t (plus the retired
+                // t − 1 it has not released yet) and t + 1 waits in the
+                // channel — the deep-overlap state the buffer pool exists
+                // for.
+                let mut outstanding = 0usize;
+                let mut spares: Vec<ThermalFrame> = Vec::new();
                 'outer: while instructions < cfg.max_instructions && time_s < cfg.max_time_s {
                     if stop.load(std::sync::atomic::Ordering::Acquire) {
                         break;
@@ -758,12 +792,22 @@ impl CoSimulation {
                         if stop.load(std::sync::atomic::Ordering::Acquire) {
                             break 'outer;
                         }
+                        while let Ok(retired) = recycle_rx.try_recv() {
+                            spares.push(retired);
+                            outstanding -= 1;
+                        }
+                        if outstanding >= 3 {
+                            counter!("pipeline.depth2_advances", 1);
+                        }
                         {
                             let _stage = span!("stage.thermal");
                             thermal.step(&w.power_map, dt_sub);
                         }
                         time_s += dt_sub;
-                        let (frame, frame_max) = thermal.die_frame_with_max();
+                        let (frame, frame_max) = match spares.pop() {
+                            Some(retired) => thermal.die_frame_with_max_into(retired.temps),
+                            None => thermal.die_frame_with_max(),
+                        };
                         let msg = SubstepMsg {
                             frame,
                             frame_max,
@@ -773,7 +817,7 @@ impl CoSimulation {
                             instructions,
                         };
                         match tx.try_send(msg) {
-                            Ok(()) => {}
+                            Ok(()) => outstanding += 1,
                             Err(std::sync::mpsc::TrySendError::Full(m)) => {
                                 // The analysis is the bottleneck right now;
                                 // block until it frees a slot.
@@ -781,6 +825,7 @@ impl CoSimulation {
                                 if tx.send(m).is_err() {
                                     break 'outer;
                                 }
+                                outstanding += 1;
                             }
                             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => break 'outer,
                         }
@@ -1031,6 +1076,10 @@ pub(crate) fn run_batch_with_analyzers(
         lanes.push(LaneMut { thermal, core, gen });
     }
 
+    // Per-lane frame-storage return paths, the batched counterpart of the
+    // serial schedule's buffer pool: each lane re-extracts into the buffer
+    // its own analysis retired two substeps ago.
+    let mut recycle_rxs = Vec::with_capacity(k);
     let mut ctxs: Vec<AnalysisCtx<'_>> = ro
         .iter()
         .zip(analyzers)
@@ -1040,6 +1089,8 @@ pub(crate) fn run_batch_with_analyzers(
             // `run_with_analyzer`): TUH runs without tracked units.
             let prefilter =
                 r.cfg.analysis.prefilter && r.cfg.stop_at_first_hotspot && r.track_idx.is_empty();
+            let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<ThermalFrame>();
+            recycle_rxs.push(recycle_rx);
             AnalysisCtx {
                 analyzer,
                 cfg: &r.cfg,
@@ -1053,6 +1104,7 @@ pub(crate) fn run_batch_with_analyzers(
                 tuh: None,
                 last_frame: None,
                 last_instructions: 0,
+                recycle: Some(recycle_tx),
             }
         })
         .collect();
@@ -1149,7 +1201,10 @@ pub(crate) fn run_batch_with_analyzers(
                     continue;
                 };
                 runs[i].time_s += dt_sub;
-                let (frame, frame_max) = lanes[i].thermal.die_frame_with_max();
+                let (frame, frame_max) = match recycle_rxs[i].try_recv() {
+                    Ok(retired) => lanes[i].thermal.die_frame_with_max_into(retired.temps),
+                    Err(_) => lanes[i].thermal.die_frame_with_max(),
+                };
                 let proceed = {
                     let _stage = span!("stage.detect");
                     ctxs[i].process(SubstepMsg {
@@ -1348,6 +1403,12 @@ struct AnalysisCtx<'a> {
     last_frame: Option<ThermalFrame>,
     /// Producer instruction counter at the last analyzed substep.
     last_instructions: u64,
+    /// Hands analyzed frames back to the producer for storage reuse. With
+    /// the depth-2 channel this gives the pipeline its second (and third)
+    /// state buffer: the producer extracts substep `t + 2` into the buffer
+    /// the analyzer retired at substep `t`, so steady-state overlap
+    /// allocates no frames at all.
+    recycle: Option<std::sync::mpsc::Sender<ThermalFrame>>,
 }
 
 impl AnalysisCtx<'_> {
@@ -1416,7 +1477,14 @@ impl AnalysisCtx<'_> {
             temp_hist,
         });
         self.last_instructions = instructions;
-        self.last_frame = Some(frame);
+        // Retire the previously analyzed frame to the producer; the newest
+        // frame is always kept (it is the stopping frame in TUH mode).
+        if let Some(prev) = self.last_frame.replace(frame) {
+            if let Some(tx) = &self.recycle {
+                // A closed return channel only means the producer is done.
+                let _ = tx.send(prev);
+            }
+        }
         !(self.cfg.stop_at_first_hotspot && self.tuh.is_some())
     }
 }

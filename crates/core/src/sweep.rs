@@ -31,12 +31,16 @@
 //! finished runs (always equal), `sweep.steal` counts cross-worker steals
 //! (≤ work items), `sweep.arena_reuse` counts geometry-cache hits,
 //! `sweep.queue_depth` samples the injector backlog at each chunk grab,
+//! `sweep.donations` counts workers that retired from the all-empty scan
+//! and donated their thread to the in-flight runs' triangular-solve shards,
 //! and `solver.batch_width` / `solver.lockstep_runs` record the widths of
 //! scheduled lockstep batches and the runs executed through them; the
 //! whole pool runs under a `sweep.executor` span.
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use hotgauge_telemetry::{counter, span};
 use hotgauge_thermal::MAX_LOCKSTEP_WIDTH;
@@ -68,6 +72,11 @@ pub struct SweepArena {
     /// FIFO of `(geometry key, parts)`; linear scan (≤ 8 entries).
     geoms: Vec<(String, GeomParts)>,
     analyzer: Option<FrameAnalyzer>,
+    /// Pool-shared count of retired (donated) workers; installed on every
+    /// run's thermal solver so the runs still in flight when the backlog
+    /// drains can widen their triangular-solve shards by that many threads
+    /// (see [`run_many_batched_with`]).
+    donated: Option<Arc<AtomicUsize>>,
 }
 
 impl SweepArena {
@@ -76,6 +85,16 @@ impl SweepArena {
         Self {
             geoms: Vec::new(),
             analyzer: None,
+            donated: None,
+        }
+    }
+
+    /// An empty arena wired to a pool's donation counter.
+    fn with_donated(donated: Arc<AtomicUsize>) -> Self {
+        Self {
+            geoms: Vec::new(),
+            analyzer: None,
+            donated: Some(donated),
         }
     }
 
@@ -150,9 +169,10 @@ pub fn run_sim_in(cfg: SimConfig, arena: &mut SweepArena) -> RunResult {
     if geom.is_some() {
         counter!("sweep.arena_reuse", 1);
     }
-    let sim = CoSimulation::try_new_reusing(cfg, geom)
+    let mut sim = CoSimulation::try_new_reusing(cfg, geom)
         // hotgauge-lint: allow(L001, "programmatic entry point mirroring run_sim/CoSimulation::new; user-input paths validate through try_new and exit 2")
         .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+    sim.thermal_mut().set_donated_workers(arena.donated.clone());
     let analyzer = arena
         .analyzer
         .take()
@@ -201,9 +221,10 @@ pub fn run_batch_in(
                 g
             }
         };
-        let sim = CoSimulation::try_new_reusing(cfg, geom)
+        let mut sim = CoSimulation::try_new_reusing(cfg, geom)
             // hotgauge-lint: allow(L001, "programmatic entry point mirroring run_sim/CoSimulation::new; user-input paths validate through try_new and exit 2")
             .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+        sim.thermal_mut().set_donated_workers(arena.donated.clone());
         lanes.push(sim);
     }
     let analyzers: Vec<FrameAnalyzer> = lanes
@@ -405,13 +426,22 @@ pub fn run_many_batched_with(
         let results_mutex = parking_lot::Mutex::new(&mut results);
         let items_ref = &items;
         let run_item_ref = &run_item;
+        // Worker donation: a worker whose all-empty scan finds no job left
+        // retires — every remaining run is already claimed — and bumps this
+        // counter on its way out. Each in-flight run's thermal solver reads
+        // the counter at solve time and widens its triangular-solve shard
+        // budget by that many threads, so the runs on the critical path
+        // inherit the pool's idle capacity instead of leaving it parked.
+        // Purely a thread-budget transfer: results are bit-identical.
+        let donated = Arc::new(AtomicUsize::new(0));
         std::thread::scope(|scope| {
             for me in 0..workers {
                 let injector = &injector;
                 let locals = &locals;
                 let results_mutex = &results_mutex;
+                let donated = Arc::clone(&donated);
                 scope.spawn(move || {
-                    let mut arena = SweepArena::new();
+                    let mut arena = SweepArena::with_donated(Arc::clone(&donated));
                     while let Some(it) = next_job(me, injector, locals) {
                         let out = run_item_ref(&items_ref[it], &mut arena);
                         let mut slots = results_mutex.lock();
@@ -419,6 +449,8 @@ pub fn run_many_batched_with(
                             slots[i] = Some(r);
                         }
                     }
+                    donated.fetch_add(1, Ordering::Relaxed);
+                    counter!("sweep.donations", 1);
                 });
             }
         });

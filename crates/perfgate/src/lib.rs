@@ -26,6 +26,14 @@
 //! shape and `analysis.simd_rows` the vectorized-row coverage — while CG
 //! iteration counts stay informational.
 //!
+//! Span tail latency can be made a hard promise with
+//! `--gate-span-p99 SPAN=PCT` (repeatable): the span's `p99_s` is gated at
+//! the given tolerance and the gate fails outright if the span is missing
+//! from either manifest. Percentile metrics are histogram-derived, so
+//! their noise threshold is the baseline's log-bucket width (a constant
+//! relative fraction of the baseline value), not a fixed epsilon — see
+//! [`compare`].
+//!
 //! The library is pure (no process exit, no printing); [`run_cli`] layers
 //! argument parsing, file IO, and table rendering on top and returns the
 //! process exit code: 0 pass, 1 regression, 2 usage or IO error.
@@ -58,6 +66,12 @@ pub struct GateConfig {
     pub gate_counter_prefixes: Vec<String>,
     /// Exact-id tolerance overrides, checked before the kind-level ones.
     pub overrides: Vec<(String, f64)>,
+    /// Required span-p99 gates (repeatable `--gate-span-p99 SPAN=PCT`):
+    /// `<span>.p99_s` is compared at the given relative tolerance, and the
+    /// gate *fails* when the span is missing from either manifest — unlike
+    /// ordinary metrics, which inform on one-sided presence. Use this to
+    /// pin tail latency of a hot span (e.g. `solver.tri_sweep`) in CI.
+    pub gate_span_p99: Vec<(String, f64)>,
 }
 
 impl Default for GateConfig {
@@ -73,6 +87,7 @@ impl Default for GateConfig {
             gate_counters: false,
             gate_counter_prefixes: Vec::new(),
             overrides: Vec::new(),
+            gate_span_p99: Vec::new(),
         }
     }
 }
@@ -83,6 +98,13 @@ impl GateConfig {
         for (name, tol) in &self.overrides {
             if name == id {
                 return *tol;
+            }
+        }
+        if let Some(label) = id.strip_suffix(".p99_s") {
+            for (span, tol) in &self.gate_span_p99 {
+                if span == label {
+                    return *tol;
+                }
             }
         }
         match kind {
@@ -294,7 +316,21 @@ impl GateReport {
     }
 }
 
+/// Whether a metric id is a histogram-derived percentile (`p50_s`/`p90_s`/
+/// `p99_s`): its value is quantized to the recorder's log-bucket grid, so
+/// deltas within one bucket width are noise regardless of tolerance.
+fn is_percentile(id: &str) -> bool {
+    id.ends_with(".p50_s") || id.ends_with(".p90_s") || id.ends_with(".p99_s")
+}
+
 /// Compares `candidate` against `baseline` under `cfg`.
+///
+/// Percentile metrics come out of a log-bucketed histogram, so their noise
+/// threshold is the *baseline's bucket width* — a constant relative
+/// fraction ([`hotgauge_telemetry::hist::RELATIVE_BUCKET_WIDTH`]) of the
+/// baseline value, not a fixed epsilon: the effective tolerance for those
+/// rows widens by one bucket so quantization jitter alone can never trip
+/// (or fake) a verdict.
 pub fn compare(baseline: &RunManifest, candidate: &RunManifest, cfg: &GateConfig) -> GateReport {
     let base = extract_metrics(baseline);
     let cand = extract_metrics(candidate);
@@ -311,7 +347,10 @@ pub fn compare(baseline: &RunManifest, candidate: &RunManifest, cfg: &GateConfig
                 status: RowStatus::BaselineOnly,
             },
             Some(c) => {
-                let tol = cfg.tolerance(&b.id, b.kind);
+                let mut tol = cfg.tolerance(&b.id, b.kind);
+                if is_percentile(&b.id) {
+                    tol += hotgauge_telemetry::hist::RELATIVE_BUCKET_WIDTH;
+                }
                 let delta = if b.value == 0.0 {
                     if c.value == 0.0 {
                         0.0
@@ -361,6 +400,37 @@ pub fn compare(baseline: &RunManifest, candidate: &RunManifest, cfg: &GateConfig
                 tolerance_pct: 0.0,
                 status: RowStatus::CandidateOnly,
             });
+        }
+    }
+    // Required span-p99 gates: a span named on the command line must be
+    // present (two-sided) — a build that silently drops the span would
+    // otherwise pass vacuously.
+    for (span, tol) in &cfg.gate_span_p99 {
+        let id = format!("{span}.p99_s");
+        let two_sided = rows.iter().any(|r| {
+            r.id == id
+                && matches!(
+                    r.status,
+                    RowStatus::Pass
+                        | RowStatus::Regression
+                        | RowStatus::Improvement
+                        | RowStatus::Skipped
+                )
+        });
+        if !two_sided {
+            if let Some(r) = rows.iter_mut().find(|r| r.id == id) {
+                r.status = RowStatus::Regression;
+            } else {
+                rows.push(GateRow {
+                    id,
+                    kind: MetricKind::Time,
+                    baseline: 0.0,
+                    candidate: 0.0,
+                    delta_pct: 0.0,
+                    tolerance_pct: tol * 100.0,
+                    status: RowStatus::Regression,
+                });
+            }
         }
     }
     let count = |st: RowStatus| rows.iter().filter(|r| r.status == st).count() as u64;
@@ -479,8 +549,8 @@ struct CliArgs {
 
 const USAGE: &str = "usage: hotgauge-perfgate <baseline.json> <candidate.json> \
 [--time-tol-pct P] [--alloc-tol-pct P] [--time-floor-ms MS] [--gate-counters] \
-[--gate-counter PREFIX]... [--override METRIC=PCT] [--slowdown FACTOR] \
-[--json PATH] [--quiet]";
+[--gate-counter PREFIX]... [--gate-span-p99 SPAN=PCT]... \
+[--override METRIC=PCT] [--slowdown FACTOR] [--json PATH] [--quiet]";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, GateError> {
     let mut positional: Vec<PathBuf> = Vec::new();
@@ -513,6 +583,19 @@ fn parse_args(args: &[String]) -> Result<CliArgs, GateError> {
                     ));
                 }
                 cfg.gate_counter_prefixes.push(prefix.clone());
+            }
+            "--gate-span-p99" => {
+                let spec = take("--gate-span-p99")?;
+                let (span, pct) = spec.split_once('=').ok_or_else(|| {
+                    GateError::Usage(format!("--gate-span-p99 expects SPAN=PCT, got `{spec}`"))
+                })?;
+                if span.is_empty() {
+                    return Err(GateError::Usage(
+                        "--gate-span-p99 expects a non-empty span label".to_string(),
+                    ));
+                }
+                cfg.gate_span_p99
+                    .push((span.to_string(), parse_f64(pct, "--gate-span-p99")? / 100.0));
             }
             "--override" => {
                 let spec = take("--override")?;
@@ -919,6 +1002,81 @@ mod tests {
     }
 
     #[test]
+    fn percentile_deltas_within_bucket_width_are_noise() {
+        // +2% on p99 with a 0% tolerance override: below the histogram's
+        // ~3.1% bucket width, so it must read as quantization, not signal.
+        let base = manifest_with(2.0, 0.0300, 10_000);
+        let cand = manifest_with(2.0, 0.0306, 10_000);
+        let mut cfg = GateConfig::default();
+        cfg.overrides.push(("stage.thermal.p99_s".to_string(), 0.0));
+        let report = compare(&base, &cand, &cfg);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "stage.thermal.p99_s")
+            .expect("p99 row");
+        assert_eq!(row.status, RowStatus::Pass, "sub-bucket delta must pass");
+        // A delta clearly past tolerance + bucket width still regresses.
+        let cand = manifest_with(2.0, 0.0320, 10_000); // +6.7%
+        let report = compare(&base, &cand, &cfg);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "stage.thermal.p99_s")
+            .expect("p99 row");
+        assert_eq!(row.status, RowStatus::Regression);
+        // Non-percentile timings keep the exact tolerance: +2% total_s
+        // against a 0% override is a regression, no bucket allowance.
+        let mut cfg = GateConfig::default();
+        cfg.overrides
+            .push(("stage.thermal.total_s".to_string(), 0.0));
+        let cand = manifest_with(2.04, 0.03, 10_000);
+        let report = compare(&base, &cand, &cfg);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "stage.thermal.total_s")
+            .expect("total_s row");
+        assert_eq!(row.status, RowStatus::Regression);
+    }
+
+    #[test]
+    fn span_p99_gate_applies_and_requires_presence() {
+        let base = manifest_with(2.0, 0.030, 10_000);
+        let cand = manifest_with(2.0, 0.035, 10_000); // +16.7% p99
+        let cfg = GateConfig {
+            gate_span_p99: vec![("stage.thermal".to_string(), 0.05)],
+            ..GateConfig::default()
+        };
+        // 5% tolerance + 3.1% bucket width < 16.7%: regression.
+        let report = compare(&base, &cand, &cfg);
+        assert!(!report.ok());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "stage.thermal.p99_s")
+            .expect("p99 row");
+        assert_eq!(row.status, RowStatus::Regression);
+        // The default 25% tolerance would have let that through.
+        assert!(compare(&base, &cand, &GateConfig::default()).ok());
+        // A gated span missing from the candidate fails instead of
+        // informing as BaselineOnly.
+        let mut dropped = base.clone();
+        if let Some(metrics) = &mut dropped.metrics {
+            metrics.stages.clear();
+        }
+        let report = compare(&base, &dropped, &cfg);
+        assert!(!report.ok(), "missing gated span must fail");
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.id == "stage.thermal.p99_s" && r.status == RowStatus::Regression));
+        // A span absent from both manifests fails too.
+        let report = compare(&dropped, &dropped.clone(), &cfg);
+        assert!(!report.ok(), "span absent everywhere must fail");
+    }
+
+    #[test]
     fn cli_args_parse_and_reject() {
         let ok = parse_args(&[
             "a.json".to_string(),
@@ -933,6 +1091,8 @@ mod tests {
             "solver.".to_string(),
             "--gate-counter".to_string(),
             "analysis.simd_rows".to_string(),
+            "--gate-span-p99".to_string(),
+            "solver.tri_sweep=10".to_string(),
             "--quiet".to_string(),
         ]);
         let parsed = match ok {
@@ -949,6 +1109,9 @@ mod tests {
             !parsed.cfg.gate_counters,
             "prefixes must not gate everything"
         );
+        assert_eq!(parsed.cfg.gate_span_p99.len(), 1);
+        assert_eq!(parsed.cfg.gate_span_p99[0].0, "solver.tri_sweep");
+        assert!((parsed.cfg.gate_span_p99[0].1 - 0.10).abs() < 1e-12);
         assert!((parsed.slowdown - 1.5).abs() < 1e-12);
         assert!(parsed.quiet);
         assert!(parse_args(&["one.json".to_string()]).is_err());
@@ -960,6 +1123,20 @@ mod tests {
         ])
         .is_err());
         assert!(parse_args(&["a".to_string(), "b".to_string(), "--bogus".to_string()]).is_err());
+        assert!(parse_args(&[
+            "a".to_string(),
+            "b".to_string(),
+            "--gate-span-p99".to_string(),
+            "no-equals-sign".to_string(),
+        ])
+        .is_err());
+        assert!(parse_args(&[
+            "a".to_string(),
+            "b".to_string(),
+            "--gate-span-p99".to_string(),
+            "=10".to_string(),
+        ])
+        .is_err());
         assert!(parse_args(&[
             "a".to_string(),
             "b".to_string(),

@@ -24,6 +24,13 @@ const LINEAR_BUCKETS: u64 = SUB_BUCKETS;
 /// 32 linear + 32 per octave for octaves 5..=63 (59 octaves).
 const BUCKETS: usize = (LINEAR_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
 
+/// The histogram's relative bucket width (`1/SUB_BUCKETS` ≈ 3.1%): any two
+/// samples within this relative distance can land in the same bucket, so a
+/// reported percentile is only trustworthy to within this fraction.
+/// Consumers comparing percentile metrics (e.g. the perf gate) should treat
+/// deltas below this as quantization noise, not signal.
+pub const RELATIVE_BUCKET_WIDTH: f64 = 1.0 / SUB_BUCKETS as f64;
+
 /// A fixed-size log-bucketed histogram of `u64` nanosecond samples.
 #[derive(Clone)]
 pub struct LatencyHistogram {

@@ -23,6 +23,131 @@
 
 use crate::sparse::CsrMatrix;
 
+/// Hard cap on triangular-solve shards per dependency level. Matches
+/// [`crate::solver::MAX_LOCKSTEP_WIDTH`] in spirit: enough for any machine
+/// this targets while keeping the per-level partition table on the stack.
+pub const MAX_SOLVE_SHARDS: usize = 16;
+
+/// Minimum rows a dependency level must hand *each* shard before a scoped
+/// spawn pays for itself: a worker spawn costs tens of microseconds while a
+/// skyline row op costs tens of nanoseconds, so narrow levels run inline on
+/// the calling thread even when the whole schedule is parallel-worthwhile.
+const LEVEL_SHARD_MIN_ROWS: usize = 1024;
+
+/// Average rows/level below which [`CholeskyFactor::solve_with_threads`]
+/// stands down to the serial sweeps. Connected RCM envelopes degenerate to
+/// near-singleton levels (each row's envelope reaches its immediate
+/// predecessor), where level-by-level execution only adds scheduling
+/// overhead; wide levels only arise from independent blocks — disconnected
+/// components such as multi-die fleets, or envelope breaks. The crossover
+/// was measured with the `tri_solve_levels` bench group (see DESIGN.md,
+/// "Threading model").
+pub const LEVEL_PARALLEL_MIN_AVG_ROWS: f64 = 64.0;
+
+/// Dependency levels of the skyline triangular sweeps, derived from the RCM
+/// envelope at factor time.
+///
+/// Row `i`'s forward dot reads `work[first[i] .. i]`, so it depends on every
+/// row of that interval; its level is one past the deepest level among them
+/// (`0` when the envelope row is empty). Rows sharing a level therefore have
+/// pairwise disjoint `first[i] ..= i` intervals — if row `r` lay inside row
+/// `r'`'s envelope they could not share a level — which is what lets the
+/// executor hand each shard an exclusive, contiguous `work` slice with no
+/// aliasing and no unsafe code. The backward sweep runs the same levels in
+/// reverse: row `i`'s axpy targets `work[first[i] .. i]`, and every row
+/// whose envelope covers `i` sits in a strictly deeper level, so
+/// deeper-levels-first replays the serial descending-row update order for
+/// every element exactly.
+#[derive(Debug, Clone)]
+pub struct LevelSchedule {
+    /// Row indices grouped by level, ascending within each level.
+    rows: Vec<u32>,
+    /// Level `l` spans `rows[level_ptr[l] .. level_ptr[l + 1]]`.
+    level_ptr: Vec<usize>,
+    /// Widest level, in rows.
+    max_width: usize,
+}
+
+impl LevelSchedule {
+    /// Builds the schedule from the envelope extents (`first[i]` = leftmost
+    /// stored column of row `i`). Cost is one pass over the envelope — the
+    /// same order as a single triangular sweep.
+    fn build(first: &[u32]) -> Self {
+        let n = first.len();
+        let mut level = vec![0u32; n];
+        let mut n_levels = 1usize;
+        for i in 0..n {
+            let fi = first[i] as usize;
+            let l = if fi == i {
+                0
+            } else {
+                // Non-empty range: every in-envelope predecessor must sit in
+                // a strictly earlier level.
+                level[fi..i].iter().copied().fold(0, u32::max) + 1
+            };
+            level[i] = l;
+            n_levels = n_levels.max(l as usize + 1);
+        }
+        // Counting sort, stable in row order, so rows ascend within a level
+        // (ascending rows ⇒ ascending disjoint envelope intervals, which the
+        // shard partitioner relies on).
+        let mut level_ptr = vec![0usize; n_levels + 1];
+        for &l in &level {
+            level_ptr[l as usize + 1] += 1;
+        }
+        for l in 0..n_levels {
+            level_ptr[l + 1] += level_ptr[l];
+        }
+        let mut cursor: Vec<usize> = level_ptr[..n_levels].to_vec();
+        let mut rows = vec![0u32; n];
+        for (i, &l) in level.iter().enumerate() {
+            rows[cursor[l as usize]] = i as u32;
+            cursor[l as usize] += 1;
+        }
+        let max_width = (0..n_levels)
+            .map(|l| level_ptr[l + 1] - level_ptr[l])
+            .max()
+            .unwrap_or(0);
+        Self {
+            rows,
+            level_ptr,
+            max_width,
+        }
+    }
+
+    /// Number of dependency levels (`n` for a fully chained envelope, `1`
+    /// for a diagonal matrix).
+    pub fn levels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// Scheduled rows (= the matrix dimension).
+    pub fn scheduled_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows of level `l`, ascending.
+    pub fn level_rows(&self, l: usize) -> &[u32] {
+        &self.rows[self.level_ptr[l]..self.level_ptr[l + 1]]
+    }
+
+    /// Rows per level on average — the schedule's available parallelism.
+    pub fn avg_rows_per_level(&self) -> f64 {
+        self.rows.len() as f64 / self.levels() as f64
+    }
+
+    /// Widest level, in rows.
+    pub fn max_level_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Whether level-parallel execution can beat the serial sweeps on this
+    /// schedule (see [`LEVEL_PARALLEL_MIN_AVG_ROWS`]).
+    pub fn parallel_worthwhile(&self) -> bool {
+        self.avg_rows_per_level() >= LEVEL_PARALLEL_MIN_AVG_ROWS
+    }
+}
+
 /// Why a matrix could not be factorized.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FactorError {
@@ -117,6 +242,9 @@ pub struct CholeskyFactor {
     vals: Vec<f64>,
     /// `1 / L[i][i]`, so the sweeps multiply instead of divide.
     inv_diag: Vec<f64>,
+    /// Dependency levels of the triangular sweeps, derived once at factor
+    /// time from the envelope extents.
+    schedule: LevelSchedule,
 }
 
 impl CholeskyFactor {
@@ -218,6 +346,9 @@ impl CholeskyFactor {
             inv_diag[i] = 1.0 / l;
         }
 
+        let schedule = LevelSchedule::build(&first);
+        hotgauge_telemetry::counter!("solver.levels", schedule.levels());
+        hotgauge_telemetry::counter!("solver.level_rows", schedule.scheduled_rows());
         Ok(Self {
             n,
             perm,
@@ -225,6 +356,7 @@ impl CholeskyFactor {
             row_start,
             vals,
             inv_diag,
+            schedule,
         })
     }
 
@@ -239,13 +371,41 @@ impl CholeskyFactor {
         self.vals.len()
     }
 
+    /// The factor-time dependency-level schedule of the triangular sweeps.
+    pub fn schedule(&self) -> &LevelSchedule {
+        &self.schedule
+    }
+
+    /// First stored column of each skyline row (in the RCM ordering): row
+    /// `i` of `L` covers `envelope_first()[i] ..= i`. Exposed so tests can
+    /// check the level schedule's dependency invariant from outside.
+    pub fn envelope_first(&self) -> &[u32] {
+        &self.first
+    }
+
     /// Solves `A x = b` via the two triangular sweeps. `work` is caller
     /// scratch of length `n` so repeated solves allocate nothing.
+    /// Equivalent to [`CholeskyFactor::solve_with_threads`] at one thread.
     ///
     /// # Panics
     ///
     /// Panics on length mismatches.
     pub fn solve(&self, b: &[f64], x: &mut [f64], work: &mut [f64]) {
+        self.solve_with_threads(b, x, work, 1);
+    }
+
+    /// [`CholeskyFactor::solve`] with a thread budget for the
+    /// level-scheduled sweeps: rows within a dependency level are sharded
+    /// across scoped threads, each row replaying its exact serial operation
+    /// sequence on an exclusive `work` span, so the result is bitwise equal
+    /// to the serial sweeps at every budget. Stands down to serial when
+    /// `threads <= 1` or the schedule is too shallow
+    /// ([`LevelSchedule::parallel_worthwhile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn solve_with_threads(&self, b: &[f64], x: &mut [f64], work: &mut [f64], threads: usize) {
         let n = self.n;
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -256,25 +416,32 @@ impl CholeskyFactor {
         for (i, w) in work.iter_mut().enumerate() {
             *w = b[self.perm[i] as usize];
         }
-        // Forward sweep: L y = Pb. Each row is a contiguous dot.
-        for i in 0..n {
-            let fi = self.first[i] as usize;
-            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
-            let s: f64 = row[..i - fi]
-                .iter()
-                .zip(&work[fi..i])
-                .map(|(l, w)| l * w)
-                .sum();
-            work[i] = (work[i] - s) * self.inv_diag[i];
-        }
-        // Backward sweep: Lᵀ z = y, as per-row axpy updates.
-        for i in (0..n).rev() {
-            let fi = self.first[i] as usize;
-            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
-            let zi = work[i] * self.inv_diag[i];
-            work[i] = zi;
-            for (w, &l) in work[fi..i].iter_mut().zip(row) {
-                *w -= l * zi;
+        {
+            let _sweep = hotgauge_telemetry::span!("solver.tri_sweep");
+            if self.use_levels(threads) {
+                let sched = &self.schedule;
+                // Forward sweep, level by level.
+                for l in 0..sched.levels() {
+                    self.run_level(sched.level_rows(l), work, threads, 1, &|i, base, w| {
+                        self.fwd_row(i, base, w)
+                    });
+                }
+                // Backward sweep: deepest level first replays the serial
+                // descending-row update order for every element.
+                for l in (0..sched.levels()).rev() {
+                    self.run_level(sched.level_rows(l), work, threads, 1, &|i, base, w| {
+                        self.bwd_row(i, base, w)
+                    });
+                }
+            } else {
+                // Forward sweep: L y = Pb. Each row is a contiguous dot.
+                for i in 0..n {
+                    self.fwd_row(i, 0, work);
+                }
+                // Backward sweep: Lᵀ z = y, as per-row axpy updates.
+                for i in (0..n).rev() {
+                    self.bwd_row(i, 0, work);
+                }
             }
         }
         // Un-permute into x.
@@ -289,7 +456,8 @@ impl CholeskyFactor {
     /// footprint — is streamed **once** for all `k` right-hand sides, and
     /// the inner lane loops run over contiguous slices, so the per-solve
     /// cost amortizes to `1/k` of the index/value traffic of `k` solo
-    /// sweeps.
+    /// sweeps. Equivalent to [`CholeskyFactor::solve_multi_with_threads`]
+    /// at one thread.
     ///
     /// Per lane, the floating-point operation sequence (permute, ascending
     /// forward dots, descending backward axpys, un-permute) is identical to
@@ -302,6 +470,25 @@ impl CholeskyFactor {
     /// [`crate::solver::MAX_LOCKSTEP_WIDTH`]), or on length mismatches
     /// (`b`, `x`, `work` must all be `n * k`).
     pub fn solve_multi(&self, k: usize, b: &[f64], x: &mut [f64], work: &mut [f64]) {
+        self.solve_multi_with_threads(k, b, x, work, 1);
+    }
+
+    /// [`CholeskyFactor::solve_multi`] with a thread budget for the
+    /// level-scheduled sweeps (same plan and bitwise guarantee as
+    /// [`CholeskyFactor::solve_with_threads`], applied to the K-wide
+    /// lockstep block).
+    ///
+    /// # Panics
+    ///
+    /// As [`CholeskyFactor::solve_multi`].
+    pub fn solve_multi_with_threads(
+        &self,
+        k: usize,
+        b: &[f64],
+        x: &mut [f64],
+        work: &mut [f64],
+        threads: usize,
+    ) {
         use crate::solver::MAX_LOCKSTEP_WIDTH;
         let n = self.n;
         assert!((1..=MAX_LOCKSTEP_WIDTH).contains(&k));
@@ -315,45 +502,19 @@ impl CholeskyFactor {
             let brow = &b[self.perm[i] as usize * k..self.perm[i] as usize * k + k];
             wrow.copy_from_slice(brow);
         }
-        // Forward sweep: L y = Pb. One pass over the envelope; each row's
-        // contiguous dot runs with k lane accumulators on the stack.
-        let mut s = [0.0f64; MAX_LOCKSTEP_WIDTH];
-        for i in 0..n {
-            let fi = self.first[i] as usize;
-            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
-            let sl = &mut s[..k];
-            sl.fill(0.0);
-            for (j, &l) in (fi..i).zip(row) {
-                let wrow = &work[j * k..j * k + k];
-                for (acc, &w) in sl.iter_mut().zip(wrow) {
-                    *acc += l * w;
-                }
-            }
-            let di = self.inv_diag[i];
-            let wrow = &mut work[i * k..i * k + k];
-            for (w, &acc) in wrow.iter_mut().zip(sl.iter()) {
-                *w = (*w - acc) * di;
-            }
-        }
-        // Backward sweep: Lᵀ z = y, as per-row rank-1 lane-block updates.
-        let mut z = [0.0f64; MAX_LOCKSTEP_WIDTH];
-        for i in (0..n).rev() {
-            let fi = self.first[i] as usize;
-            let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
-            let di = self.inv_diag[i];
-            let zl = &mut z[..k];
-            {
-                let wrow = &mut work[i * k..i * k + k];
-                for (zi, w) in zl.iter_mut().zip(wrow.iter_mut()) {
-                    *zi = *w * di;
-                    *w = *zi;
-                }
-            }
-            for (j, &l) in (fi..i).zip(row) {
-                let wrow = &mut work[j * k..j * k + k];
-                for (w, &zi) in wrow.iter_mut().zip(zl.iter()) {
-                    *w -= l * zi;
-                }
+        {
+            let _sweep = hotgauge_telemetry::span!("solver.tri_sweep");
+            // Monomorphized sweeps for the power-of-two widths the lockstep
+            // batcher produces: a compile-time lane count turns the inner
+            // lane loops into straight vector code. The per-lane operation
+            // order is identical at every width, specialized or not.
+            match k {
+                1 => self.multi_sweeps_k::<1>(work, threads),
+                2 => self.multi_sweeps_k::<2>(work, threads),
+                4 => self.multi_sweeps_k::<4>(work, threads),
+                8 => self.multi_sweeps_k::<8>(work, threads),
+                16 => self.multi_sweeps_k::<16>(work, threads),
+                _ => self.multi_sweeps_any(k, work, threads),
             }
         }
         // Un-permute into x.
@@ -361,6 +522,228 @@ impl CholeskyFactor {
             let xrow = &mut x[self.perm[i] as usize * k..self.perm[i] as usize * k + k];
             xrow.copy_from_slice(wrow);
         }
+    }
+
+    /// Whether the level-parallel sweeps should run for this thread budget.
+    fn use_levels(&self, threads: usize) -> bool {
+        threads > 1 && self.schedule.parallel_worthwhile()
+    }
+
+    /// Forward-substitution op of row `i` on a work slice whose element 0
+    /// is node `base`: a contiguous dot over the envelope row. The
+    /// operation sequence is independent of `base`.
+    #[inline]
+    fn fwd_row(&self, i: usize, base: usize, w: &mut [f64]) {
+        let fi = self.first[i] as usize;
+        let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+        let s: f64 = row[..i - fi]
+            .iter()
+            .zip(&w[fi - base..i - base])
+            .map(|(l, wv)| l * wv)
+            .sum();
+        w[i - base] = (w[i - base] - s) * self.inv_diag[i];
+    }
+
+    /// Backward-substitution op of row `i`: scale the diagonal element,
+    /// then axpy the envelope row into `w[first[i]..i]`.
+    #[inline]
+    fn bwd_row(&self, i: usize, base: usize, w: &mut [f64]) {
+        let fi = self.first[i] as usize;
+        let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+        let zi = w[i - base] * self.inv_diag[i];
+        w[i - base] = zi;
+        for (wv, &l) in w[fi - base..i - base].iter_mut().zip(row) {
+            *wv -= l * zi;
+        }
+    }
+
+    /// [`CholeskyFactor::fwd_row`] for `K` lockstep lanes over a node-major
+    /// lane-minor slice (accumulators on the stack, lane loops unrolled at
+    /// compile time).
+    #[inline]
+    fn fwd_row_k<const K: usize>(&self, i: usize, base: usize, w: &mut [f64]) {
+        let fi = self.first[i] as usize;
+        let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+        let mut s = [0.0f64; K];
+        for (j, &l) in (fi..i).zip(row) {
+            let wrow = &w[(j - base) * K..(j - base) * K + K];
+            for (acc, &wv) in s.iter_mut().zip(wrow) {
+                *acc += l * wv;
+            }
+        }
+        let di = self.inv_diag[i];
+        let wrow = &mut w[(i - base) * K..(i - base) * K + K];
+        for (wv, &acc) in wrow.iter_mut().zip(s.iter()) {
+            *wv = (*wv - acc) * di;
+        }
+    }
+
+    /// [`CholeskyFactor::bwd_row`] for `K` lockstep lanes: per-row rank-1
+    /// lane-block update.
+    #[inline]
+    fn bwd_row_k<const K: usize>(&self, i: usize, base: usize, w: &mut [f64]) {
+        let fi = self.first[i] as usize;
+        let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+        let di = self.inv_diag[i];
+        let mut z = [0.0f64; K];
+        {
+            let wrow = &mut w[(i - base) * K..(i - base) * K + K];
+            for (zi, wv) in z.iter_mut().zip(wrow.iter_mut()) {
+                *zi = *wv * di;
+                *wv = *zi;
+            }
+        }
+        for (j, &l) in (fi..i).zip(row) {
+            let wrow = &mut w[(j - base) * K..(j - base) * K + K];
+            for (wv, &zi) in wrow.iter_mut().zip(z.iter()) {
+                *wv -= l * zi;
+            }
+        }
+    }
+
+    /// Runtime-width variant of [`CholeskyFactor::fwd_row_k`] for the odd
+    /// lane counts (straggler batches) the monomorphized dispatch skips.
+    #[inline]
+    fn fwd_row_any(&self, k: usize, i: usize, base: usize, w: &mut [f64]) {
+        use crate::solver::MAX_LOCKSTEP_WIDTH;
+        let fi = self.first[i] as usize;
+        let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+        let mut s = [0.0f64; MAX_LOCKSTEP_WIDTH];
+        let sl = &mut s[..k];
+        for (j, &l) in (fi..i).zip(row) {
+            let wrow = &w[(j - base) * k..(j - base) * k + k];
+            for (acc, &wv) in sl.iter_mut().zip(wrow) {
+                *acc += l * wv;
+            }
+        }
+        let di = self.inv_diag[i];
+        let wrow = &mut w[(i - base) * k..(i - base) * k + k];
+        for (wv, &acc) in wrow.iter_mut().zip(sl.iter()) {
+            *wv = (*wv - acc) * di;
+        }
+    }
+
+    /// Runtime-width variant of [`CholeskyFactor::bwd_row_k`].
+    #[inline]
+    fn bwd_row_any(&self, k: usize, i: usize, base: usize, w: &mut [f64]) {
+        use crate::solver::MAX_LOCKSTEP_WIDTH;
+        let fi = self.first[i] as usize;
+        let row = &self.vals[self.row_start[i]..self.row_start[i + 1]];
+        let di = self.inv_diag[i];
+        let mut z = [0.0f64; MAX_LOCKSTEP_WIDTH];
+        let zl = &mut z[..k];
+        {
+            let wrow = &mut w[(i - base) * k..(i - base) * k + k];
+            for (zi, wv) in zl.iter_mut().zip(wrow.iter_mut()) {
+                *zi = *wv * di;
+                *wv = *zi;
+            }
+        }
+        for (j, &l) in (fi..i).zip(row) {
+            let wrow = &mut w[(j - base) * k..(j - base) * k + k];
+            for (wv, &zi) in wrow.iter_mut().zip(zl.iter()) {
+                *wv -= l * zi;
+            }
+        }
+    }
+
+    /// Both multi-RHS sweeps at compile-time width `K`, level-scheduled
+    /// when the budget and schedule allow.
+    fn multi_sweeps_k<const K: usize>(&self, work: &mut [f64], threads: usize) {
+        if self.use_levels(threads) {
+            let sched = &self.schedule;
+            for l in 0..sched.levels() {
+                self.run_level(sched.level_rows(l), work, threads, K, &|i, base, w| {
+                    self.fwd_row_k::<K>(i, base, w)
+                });
+            }
+            for l in (0..sched.levels()).rev() {
+                self.run_level(sched.level_rows(l), work, threads, K, &|i, base, w| {
+                    self.bwd_row_k::<K>(i, base, w)
+                });
+            }
+        } else {
+            for i in 0..self.n {
+                self.fwd_row_k::<K>(i, 0, work);
+            }
+            for i in (0..self.n).rev() {
+                self.bwd_row_k::<K>(i, 0, work);
+            }
+        }
+    }
+
+    /// Both multi-RHS sweeps at runtime width `k`.
+    fn multi_sweeps_any(&self, k: usize, work: &mut [f64], threads: usize) {
+        if self.use_levels(threads) {
+            let sched = &self.schedule;
+            for l in 0..sched.levels() {
+                self.run_level(sched.level_rows(l), work, threads, k, &|i, base, w| {
+                    self.fwd_row_any(k, i, base, w)
+                });
+            }
+            for l in (0..sched.levels()).rev() {
+                self.run_level(sched.level_rows(l), work, threads, k, &|i, base, w| {
+                    self.bwd_row_any(k, i, base, w)
+                });
+            }
+        } else {
+            for i in 0..self.n {
+                self.fwd_row_any(k, i, 0, work);
+            }
+            for i in (0..self.n).rev() {
+                self.bwd_row_any(k, i, 0, work);
+            }
+        }
+    }
+
+    /// Executes one dependency level: rows split into near-equal contiguous
+    /// runs, each run owning the exclusive `work` span its rows touch
+    /// (disjoint by the level invariant — see [`LevelSchedule`]), with
+    /// narrow levels running inline on the calling thread. `stride` is the
+    /// lane count (elements per node) of `work`.
+    fn run_level<F>(
+        &self,
+        rows: &[u32],
+        work: &mut [f64],
+        threads: usize,
+        stride: usize,
+        row_op: &F,
+    ) where
+        F: Fn(usize, usize, &mut [f64]) + Sync,
+    {
+        let m = rows.len();
+        let shards = threads
+            .min(MAX_SOLVE_SHARDS)
+            .min(m / LEVEL_SHARD_MIN_ROWS)
+            .max(1);
+        if shards <= 1 {
+            for &i in rows {
+                row_op(i as usize, 0, work);
+            }
+            return;
+        }
+        // Same-level rows have ascending, pairwise disjoint envelope
+        // intervals `[first[i], i]`, so consecutive runs split `work` into
+        // non-overlapping spans; the gaps between spans belong to rows of
+        // other levels and are not touched here.
+        let chunk = m.div_ceil(shards);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f64] = work;
+            let mut consumed = 0usize; // node index where `rest` begins
+            for run in rows.chunks(chunk) {
+                let base = self.first[run[0] as usize] as usize;
+                let end = run[run.len() - 1] as usize + 1;
+                let (_, tail) = rest.split_at_mut((base - consumed) * stride);
+                let (span, tail) = tail.split_at_mut((end - base) * stride);
+                rest = tail;
+                consumed = end;
+                scope.spawn(move || {
+                    for &i in run {
+                        row_op(i as usize, base, span);
+                    }
+                });
+            }
+        });
     }
 
     /// [`CholeskyFactor::solve`] allocating its own scratch (convenience
@@ -640,7 +1023,9 @@ mod tests {
         a.add_to_diagonal(&cdt);
         let n = a.n();
         let f = CholeskyFactor::factor(&a, &CholOptions::unbounded()).unwrap();
-        for k in [1usize, 2, 4, 8] {
+        // Odd widths take the runtime-k sweep, the rest the monomorphized
+        // dispatch; both must match solo solves bitwise.
+        for k in [1usize, 2, 3, 4, 5, 8, 16] {
             let lanes: Vec<Vec<f64>> = (0..k)
                 .map(|l| {
                     (0..n)
@@ -664,6 +1049,133 @@ mod tests {
                         x[i * k + l].to_bits(),
                         solo[i].to_bits(),
                         "k={k} lane={l} node={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `count` disconnected grounded chains of `len` nodes each — a
+    /// block-diagonal system whose level schedule is `len` levels of width
+    /// `count`, wide enough to engage the sharded sweeps.
+    fn chains(count: usize, len: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(count * len);
+        for c in 0..count {
+            let base = c * len;
+            for i in 0..len - 1 {
+                b.add_conductance(base + i, base + i + 1, 1.0 + (c % 3) as f64 * 0.25);
+            }
+            b.add_grounded_conductance(base, 1.0);
+            b.add_grounded_conductance(base + len - 1, 0.5);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn level_schedule_invariant_holds() {
+        for a in [grid3d(7, 6, 4), chains(40, 5), poisson(64)] {
+            let f = CholeskyFactor::factor(&a, &CholOptions::unbounded()).unwrap();
+            let s = f.schedule();
+            assert_eq!(s.scheduled_rows(), a.n());
+            let mut level = vec![usize::MAX; a.n()];
+            for l in 0..s.levels() {
+                let rows = s.level_rows(l);
+                assert!(!rows.is_empty(), "empty level {l}");
+                for w in rows.windows(2) {
+                    assert!(w[0] < w[1], "rows not ascending within level");
+                    // Same-level envelopes must be pairwise disjoint — this
+                    // is what lets run_level split `work` into exclusive
+                    // spans.
+                    assert!(
+                        f.first[w[1] as usize] > w[0],
+                        "same-level envelopes overlap: rows {} and {}",
+                        w[0],
+                        w[1]
+                    );
+                }
+                for &r in rows {
+                    level[r as usize] = l;
+                }
+            }
+            // Every in-envelope predecessor sits in a strictly earlier level.
+            for i in 0..a.n() {
+                for j in f.first[i] as usize..i {
+                    assert!(
+                        level[j] < level[i],
+                        "row {i} (level {}) depends on row {j} (level {})",
+                        level[i],
+                        level[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_grid_schedule_degenerates_to_a_chain() {
+        // On a connected RCM-ordered grid every row's envelope reaches its
+        // immediate predecessor, so the schedule is one row per level and
+        // the parallel path must stand down.
+        let a = grid3d(9, 7, 4);
+        let f = CholeskyFactor::factor(&a, &CholOptions::unbounded()).unwrap();
+        let s = f.schedule();
+        assert_eq!(s.levels(), a.n());
+        assert_eq!(s.max_level_width(), 1);
+        assert!(!s.parallel_worthwhile());
+    }
+
+    #[test]
+    fn threaded_solve_is_bitwise_equal_to_serial() {
+        let mut a = chains(2500, 4);
+        let cdt: Vec<f64> = (0..a.n()).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
+        a.add_to_diagonal(&cdt);
+        let n = a.n();
+        let f = CholeskyFactor::factor(&a, &CholOptions::default()).unwrap();
+        let s = f.schedule();
+        assert!(s.parallel_worthwhile(), "avg {}", s.avg_rows_per_level());
+        assert!(
+            s.max_level_width() >= 2 * LEVEL_SHARD_MIN_ROWS,
+            "width {} too narrow to spawn shards",
+            s.max_level_width()
+        );
+        let b: Vec<f64> = (0..n).map(|i| (((i * 13) % 37) as f64) - 18.0).collect();
+        let serial = f.solve_alloc(&b);
+        let mut x = vec![f64::NAN; n];
+        let mut work = vec![0.0; n];
+        for threads in [2usize, 4, 16] {
+            f.solve_with_threads(&b, &mut x, &mut work, threads);
+            for i in 0..n {
+                assert_eq!(
+                    x[i].to_bits(),
+                    serial[i].to_bits(),
+                    "threads={threads} node={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_solve_multi_is_bitwise_equal_to_serial() {
+        let mut a = chains(2500, 4);
+        let cdt: Vec<f64> = (0..a.n()).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+        a.add_to_diagonal(&cdt);
+        let n = a.n();
+        let f = CholeskyFactor::factor(&a, &CholOptions::default()).unwrap();
+        for k in [1usize, 2, 3, 8] {
+            let b: Vec<f64> = (0..n * k)
+                .map(|i| (((i * 29) % 41) as f64) - 20.0)
+                .collect();
+            let mut serial = vec![f64::NAN; n * k];
+            let mut work = vec![0.0; n * k];
+            f.solve_multi(k, &b, &mut serial, &mut work);
+            let mut x = vec![f64::NAN; n * k];
+            for threads in [2usize, 4] {
+                f.solve_multi_with_threads(k, &b, &mut x, &mut work, threads);
+                for i in 0..n * k {
+                    assert_eq!(
+                        x[i].to_bits(),
+                        serial[i].to_bits(),
+                        "k={k} threads={threads} slot={i}"
                     );
                 }
             }

@@ -21,6 +21,7 @@
 //! automatically falls back to CG when the factorization rejects the matrix
 //! (envelope over budget — see DESIGN.md, "Solver strategy").
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::chol::{CholOptions, CholeskyFactor};
@@ -286,18 +287,32 @@ impl ThermalModel {
     /// [`ThermalFrame::max`]) so callers that need the peak — e.g. the
     /// pipeline's sub-threshold analysis prefilter — avoid a second pass.
     pub fn die_frame_of_with_max(&self, state: &[f64]) -> (ThermalFrame, f64) {
+        self.die_frame_of_with_max_into(state, Vec::new())
+    }
+
+    /// [`ThermalModel::die_frame_of_with_max`] recycling a retired frame's
+    /// storage: `buf` is cleared and refilled in place, so steady-state
+    /// extraction (e.g. the pipeline's per-substep frames) allocates
+    /// nothing once the buffer pool is primed. The returned frame is
+    /// bit-identical to a fresh extraction.
+    pub fn die_frame_of_with_max_into(
+        &self,
+        state: &[f64],
+        mut buf: Vec<f64>,
+    ) -> (ThermalFrame, f64) {
         let s = &self.stack;
         let b = s.border_cells;
-        let mut temps = Vec::with_capacity(s.nx_die * s.ny_die);
+        buf.clear();
+        buf.reserve(s.nx_die * s.ny_die);
         let mut max = f64::NEG_INFINITY;
         for dy in 0..s.ny_die {
             for dx in 0..s.nx_die {
                 let t = state[self.node_index(self.active_level, dy + b, dx + b)];
                 max = max.max(t);
-                temps.push(t);
+                buf.push(t);
             }
         }
-        (ThermalFrame::new(s.nx_die, s.ny_die, s.cell, temps), max)
+        (ThermalFrame::new(s.nx_die, s.ny_die, s.cell, buf), max)
     }
 }
 
@@ -341,6 +356,16 @@ pub struct ThermalSim {
     pub cg: CgConfig,
     /// Factorization budget for the direct strategy.
     pub chol: CholOptions,
+    /// Thread budget for the level-scheduled triangular sweeps of the
+    /// direct solver (`0` = one per hardware thread, `1` = serial).
+    /// Threading never changes results — the sweeps are bit-identical at
+    /// every budget — so this is purely a performance knob.
+    solver_threads: usize,
+    /// Live count of sweep-executor workers donated to this simulation's
+    /// solves (see `hotgauge-core`'s sweep executor): added on top of
+    /// `solver_threads` at solve time so the run on the critical path can
+    /// use threads that have already retired from the work-stealing scan.
+    donated: Option<Arc<AtomicUsize>>,
 }
 
 impl ThermalSim {
@@ -363,7 +388,44 @@ impl ThermalSim {
                 max_iterations: 20_000,
             },
             chol: CholOptions::default(),
+            solver_threads: 1,
+            donated: None,
         }
+    }
+
+    /// The configured triangular-sweep thread budget (`0` = auto).
+    pub fn solver_threads(&self) -> usize {
+        self.solver_threads
+    }
+
+    /// Sets the triangular-sweep thread budget: `0` resolves to one thread
+    /// per hardware thread, `1` forces the serial sweeps, `N` allows up to
+    /// `N` scoped shards per dependency level. Results are bit-identical at
+    /// every setting, so no prepared state is invalidated.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.solver_threads = threads;
+    }
+
+    /// Installs (or clears) the idle-worker donation counter shared with a
+    /// sweep executor. The current value of the counter is added to the
+    /// solve-time thread budget, letting retired sweep workers boost the
+    /// run still on the critical path.
+    pub fn set_donated_workers(&mut self, donated: Option<Arc<AtomicUsize>>) {
+        self.donated = donated;
+    }
+
+    /// The thread budget for the next triangular sweep: the configured
+    /// budget (auto-resolved) plus any donated idle sweep workers.
+    fn effective_solver_threads(&self) -> usize {
+        let base = match self.solver_threads {
+            0 => crate::sparse::hardware_threads(),
+            n => n,
+        };
+        let donated = self
+            .donated
+            .as_ref()
+            .map_or(0, |d| d.load(Ordering::Relaxed));
+        base.saturating_add(donated)
     }
 
     /// The configured solver strategy (what was requested, not necessarily
@@ -476,12 +538,13 @@ impl ThermalSim {
         for (i, r) in rhs.iter_mut().enumerate() {
             *r += self.model.cap[i] / dt * self.t[i] + self.model.conv[i] * amb;
         }
+        let solve_threads = self.effective_solver_threads();
         // hotgauge-lint: allow(L001, "prepare(dt) on the line above always fills self.sys")
         let cache = self.sys.as_mut().expect("system prepared above");
         match &mut cache.solver {
             SysSolver::Direct { factor, work } => {
                 self.have_prev = false;
-                factor.solve(&rhs, &mut self.t, work);
+                factor.solve_with_threads(&rhs, &mut self.t, work, solve_threads);
                 hotgauge_telemetry::counter!("thermal.direct_solves", 1);
                 SolveStats {
                     iterations: 0,
@@ -548,6 +611,12 @@ impl ThermalSim {
     /// tracked during extraction (no second pass over the grid).
     pub fn die_frame_with_max(&self) -> (ThermalFrame, f64) {
         self.model.die_frame_of_with_max(&self.t)
+    }
+
+    /// [`ThermalSim::die_frame_with_max`] recycling a retired frame's
+    /// storage (see [`ThermalModel::die_frame_of_with_max_into`]).
+    pub fn die_frame_with_max_into(&self, buf: Vec<f64>) -> (ThermalFrame, f64) {
+        self.model.die_frame_of_with_max_into(&self.t, buf)
     }
 
     /// Total thermal energy stored relative to a reference temperature, J.
@@ -693,8 +762,15 @@ pub fn step_lockstep<'a>(
                 unreachable!("homogeneity check pinned the direct arm")
             };
             let factor = Arc::clone(factor);
+            let solve_threads = sims[0].effective_solver_threads();
             scratch.work.resize(nk, 0.0);
-            factor.solve_multi(k, &scratch.rhs, &mut scratch.x, &mut scratch.work);
+            factor.solve_multi_with_threads(
+                k,
+                &scratch.rhs,
+                &mut scratch.x,
+                &mut scratch.work,
+                solve_threads,
+            );
             hotgauge_telemetry::counter!("thermal.direct_solves", k);
             for _ in 0..k {
                 scratch.stats.push(SolveStats {
