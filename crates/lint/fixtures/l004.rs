@@ -38,3 +38,15 @@ pub fn ok_plain_load(r: &Replay) -> u64 {
 pub fn ok_ordering(hits: &AtomicU64) -> u64 {
     hits.fetch_add(1, Ordering::Relaxed)
 }
+
+pub fn bad_cas(state: &AtomicU64) {
+    let _ = state.compare_exchange(0, 1, Ordering::AcqRel); // line 43: fires (failure ordering missing)
+}
+
+pub fn ok_cas(state: &AtomicU64) {
+    let _ = state.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+}
+
+pub fn ok_fetch_update(state: &AtomicU64) {
+    let _ = state.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v + 1));
+}

@@ -1,0 +1,23 @@
+// L008 fixture: unsafe hygiene. Linted under a synthetic crates/<lib>/src
+// path; never compiled.
+
+pub fn bad_unsafe(p: *const u8) -> u8 {
+    unsafe { *p } // line 5: fires (no SAFETY comment)
+}
+
+pub fn ok_unsafe(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture).
+    unsafe { *p }
+}
+
+pub struct AcrossThreads(pub *const u8);
+
+// SAFETY: the pointer is never dereferenced off its owning thread; an
+// attribute line between comment and item must not break the association.
+#[allow(clippy::non_send_fields_in_send_ty)]
+unsafe impl Send for AcrossThreads {}
+
+pub fn ok_in_prose() -> &'static str {
+    // unsafe { *p } mentioned in a comment never fires
+    "unsafe { *p }"
+}

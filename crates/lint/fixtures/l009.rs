@@ -1,0 +1,23 @@
+// L009 fixture: hash-container iteration in a numeric kernel crate. Linted
+// under a synthetic crates/core/src path; never compiled.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn bad_hash_iteration(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum() // line 7: fires (hash iteration order)
+}
+
+pub fn ok_keyed_access(weights: &HashMap<u32, f64>, key: u32) -> f64 {
+    // get/insert/entry are keyed and deterministic: not policed.
+    weights.get(&key).copied().unwrap_or(0.0)
+}
+
+pub fn ok_btree_iteration(ordered: &BTreeMap<u32, f64>) -> f64 {
+    // BTreeMap iterates in key order: exactly the demanded replacement.
+    ordered.values().sum()
+}
+
+pub fn ok_vec_iteration(rows: &[f64]) -> f64 {
+    let values: Vec<f64> = rows.to_vec();
+    values.iter().sum()
+}

@@ -1,0 +1,25 @@
+// L010 fixture: scoped-concurrency hygiene. Linted under a synthetic
+// crates/thermal/src path (kernel scope); never compiled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub fn bad_seqcst(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::SeqCst) // line 8: fires (SeqCst without pragma)
+}
+
+pub fn ok_counter_relaxed(iter_count: &AtomicU64) {
+    // Counter-named atomics tally telemetry; Relaxed is the demanded order.
+    iter_count.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn ok_hoisted_lock(shared: &Mutex<f64>, n: usize) -> f64 {
+    // Guard acquired once outside the loop: the demanded shape.
+    let guard = shared.lock();
+    let base = guard.map(|g| *g).unwrap_or_default();
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += base + i as f64;
+    }
+    acc
+}

@@ -1,0 +1,40 @@
+// L011 fixture: per-iteration heap allocation, token-aware. Linted under a
+// synthetic crates/thermal/src path; never compiled. The old masked-text
+// L007 only saw `for` bodies; the firing line below sits in a `while` body
+// the substring matcher was blind to.
+
+pub fn bad_alloc_in_while(n: usize) -> usize {
+    let mut i = 0;
+    let mut total = 0;
+    while i < n {
+        let scratch: Vec<usize> = (0..i).collect(); // line 10: fires
+        total += scratch.len();
+        i += 1;
+    }
+    total
+}
+
+pub fn ok_alloc_outside_loop(n: usize) -> f64 {
+    // Hoisted scratch is exactly the pattern the rule demands.
+    let mut scratch: Vec<f64> = Vec::with_capacity(n);
+    let seed: Vec<usize> = (0..n).collect();
+    for &i in &seed {
+        scratch.push(i as f64);
+    }
+    scratch.iter().sum()
+}
+
+pub fn ok_pragma(rows: &[f64]) -> f64 {
+    rows.iter()
+        .map(|&r| {
+            // hotgauge-lint: allow(L011, "fixture: per-row scratch on the geometry-rebuild slow path")
+            let cold: Vec<f64> = vec![r];
+            cold.iter().sum::<f64>()
+        })
+        .sum()
+}
+
+pub fn ok_in_prose() -> &'static str {
+    // while i < n { Vec::new() } mentioned in a comment never fires
+    "loop { let v = vec![1]; }"
+}

@@ -1,0 +1,13 @@
+// L012 fixture: pragma hygiene. Linted under a synthetic crates/core/src
+// path; never compiled.
+
+// hotgauge-lint: allow(L003, "fixture: stale grant, nothing below uses f32")
+pub fn stale_grant() -> f64 {
+    // The grant above suppresses nothing: line 4 fires L012.
+    0.5
+}
+
+pub fn used_grant() -> f64 {
+    // hotgauge-lint: allow(L005, "fixture: quarantined literal kept for doc parity")
+    80.0
+}

@@ -1,9 +1,14 @@
 //! `hotgauge-lint`: registry-free static analysis for the HotGauge workspace.
 //!
-//! Scans workspace Rust sources with a comment/string/raw-string-aware token
-//! scanner (no `syn` offline) and enforces the project policy rules
-//! L001–L007 with `file:line` diagnostics, `--json` output, and a
-//! `// hotgauge-lint: allow(RULE, "justification")` pragma escape hatch.
+//! Policy v4 runs two independent views of every source file: the masking
+//! scanner in [`scan`] (comments/strings blanked, geometry preserved) and a
+//! real token-stream lexer with a brace-tree scope layer in [`lex`] (no
+//! `syn`), differential-tested against each other. Rules L001–L006 and
+//! L008–L012 get tokens with spans and enclosing-scope kinds, emit
+//! `file:line` diagnostics with severities, and support text/JSON/SARIF
+//! output plus baseline diffing ([`report`]). The
+//! `// hotgauge-lint: allow(RULE, "justification")` pragma escape hatch is
+//! itself policed: a grant that suppresses nothing is an L012 finding.
 //! See DESIGN.md "Static analysis & code policy" for the rule catalogue.
 
 #![forbid(unsafe_code)]
@@ -15,15 +20,17 @@ use std::path::{Path, PathBuf};
 
 use serde::Serialize;
 
+pub mod lex;
+pub mod report;
 pub mod rules;
 pub mod scan;
 
-pub use rules::{LabelUse, RuleInfo, RULES};
+pub use rules::{severity_of, LabelUse, RuleInfo, Severity, RULES};
 
 /// Version of the policy the tool enforces; recorded in run manifests so
 /// sweep artifacts state what code policy they were built under. Bump on any
 /// rule addition, removal, or scope change.
-pub const POLICY_VERSION: &str = "3";
+pub const POLICY_VERSION: &str = "4";
 
 /// Number of policy rules (excludes the L000 malformed-pragma diagnostic).
 pub const RULE_COUNT: usize = RULES.len();
@@ -35,8 +42,10 @@ pub struct Diagnostic {
     pub file: String,
     /// One-based line number.
     pub line: usize,
-    /// Rule id (`L001`..`L007`, or `L000` for a malformed pragma).
+    /// Rule id (`L001`..`L012`, or `L000` for a malformed pragma).
     pub rule: String,
+    /// Severity as a SARIF level string: `error`, `warning`, or `note`.
+    pub severity: String,
     /// Human-readable description.
     pub message: String,
 }
@@ -47,6 +56,7 @@ impl Diagnostic {
             file: file.to_string(),
             line,
             rule: rule.to_string(),
+            severity: rules::severity_of(rule).as_str().to_string(),
             message,
         }
     }
@@ -77,8 +87,13 @@ pub struct FileClass {
     /// Preset/units modules where raw unit literals are the point.
     pub units_exempt: bool,
     /// Thermal solver kernel modules where per-iteration heap allocation is
-    /// forbidden (L007 applies).
+    /// forbidden (L011 applies).
     pub thermal_kernel: bool,
+    /// Kernel modules in the hot numeric path (thermal solver plus the core
+    /// analysis/detection kernels); L010's lock-in-loop check applies.
+    pub kernel: bool,
+    /// The `lib.rs` of a library crate (L008's forbid(unsafe_code) check).
+    pub lib_crate_root: bool,
     /// Whole file is test/bench/example context (L001/L003/L005 skip).
     pub test_context: bool,
 }
@@ -104,8 +119,21 @@ const L005_EXEMPT_FILES: &[&str] = &[
     "crates/thermal/src/materials.rs",
 ];
 
+/// Core modules that sit on the hot analysis path; together with the thermal
+/// solver they form the "kernel" scope for L010's lock-in-loop check.
+const CORE_KERNEL_FILES: &[&str] = &[
+    "crates/core/src/analysis.rs",
+    "crates/core/src/mltd.rs",
+    "crates/core/src/detect.rs",
+    "crates/core/src/severity.rs",
+];
+
 /// Classify a workspace-relative, `/`-separated path.
 pub fn classify(rel: &str) -> FileClass {
+    let lib_crate = LIB_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    let thermal_kernel = rel.starts_with("crates/thermal/src/");
     FileClass {
         test_context: rel.contains("/tests/")
             || rel.contains("/benches/")
@@ -113,21 +141,29 @@ pub fn classify(rel: &str) -> FileClass {
             || rel.starts_with("examples/"),
         bench_crate: rel.starts_with("crates/bench/"),
         telemetry_crate: rel.starts_with("crates/telemetry/"),
-        lib_crate: LIB_CRATES
-            .iter()
-            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        lib_crate,
         numeric: rel.starts_with("crates/core/src/") || rel.starts_with("crates/thermal/src/"),
         units_exempt: L005_EXEMPT_FILES.contains(&rel),
-        thermal_kernel: rel.starts_with("crates/thermal/src/"),
+        thermal_kernel,
+        kernel: thermal_kernel || CORE_KERNEL_FILES.contains(&rel),
+        lib_crate_root: lib_crate && rel.ends_with("/src/lib.rs"),
     }
 }
 
 /// Lint a single source text under a synthetic workspace-relative path.
-/// This is the seam the fixture tests use.
+/// This is the seam the fixture tests use. Runs the full per-file pipeline
+/// including the L012 unused-pragma pass (cross-crate label duplication is
+/// the one check that cannot fire here).
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let class = classify(rel_path);
     let scanned = scan::ScannedFile::scan(src);
-    rules::check_file(rel_path, &class, &scanned)
+    let model = lex::FileModel::build(src);
+    let mut diagnostics = rules::check_file(rel_path, &class, &scanned, &model);
+    diagnostics.extend(rules::check_unused_pragmas(rel_path, &scanned));
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    diagnostics
 }
 
 /// An I/O failure while walking or reading the workspace.
@@ -212,11 +248,14 @@ fn relative_slash(root: &Path, path: &Path) -> Option<String> {
     Some(parts.join("/"))
 }
 
-/// Lint the whole workspace rooted at `root`. Diagnostics come back sorted
-/// by (file, line, rule).
+/// Lint the whole workspace rooted at `root`. Three passes: per-file rules
+/// (which mark the pragmas they consume), the cross-crate label-duplicate
+/// check, and finally the L012 unused-pragma sweep — which must run last so
+/// every legitimate suppression has had its chance to mark its grant.
+/// Diagnostics come back sorted by (file, line, rule).
 pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
     let mut diagnostics = Vec::new();
-    let mut label_uses: Vec<(String, Vec<rules::LabelUse>)> = Vec::new();
+    let mut scanned_files: Vec<(String, scan::ScannedFile)> = Vec::new();
     for rel in discover_files(root)? {
         let full = root.join(&rel);
         let src = fs::read_to_string(&full).map_err(|e| LintError {
@@ -225,14 +264,29 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
         })?;
         let class = classify(&rel);
         let scanned = scan::ScannedFile::scan(&src);
-        diagnostics.extend(rules::check_file(&rel, &class, &scanned));
-        let uses = rules::extract_labels(&scanned);
-        if !uses.is_empty() {
-            label_uses.push((rel, uses));
-        }
+        let model = lex::FileModel::build(&src);
+        diagnostics.extend(rules::check_file(&rel, &class, &scanned, &model));
+        scanned_files.push((rel, scanned));
     }
     // L006's duplicate half needs the whole workspace's labels at once.
+    let label_uses: Vec<(String, Vec<rules::LabelUse>)> = scanned_files
+        .iter()
+        .map(|(rel, scanned)| (rel.clone(), rules::extract_labels(scanned)))
+        .collect();
     diagnostics.extend(rules::check_label_duplicates(&label_uses));
+    // An allow(L006) grant on a label that *would* be a cross-crate
+    // duplicate has done real work: mark it used so L012 leaves it alone.
+    let dups = rules::duplicate_labels_including_allowed(&label_uses);
+    for ((_, scanned), (_, uses)) in scanned_files.iter().zip(&label_uses) {
+        for u in uses {
+            if u.allowed && !u.in_test && dups.iter().any(|d| d == &u.label) {
+                scanned.allow(u.line, "L006");
+            }
+        }
+    }
+    for (rel, scanned) in &scanned_files {
+        diagnostics.extend(rules::check_unused_pragmas(rel, scanned));
+    }
     diagnostics.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
     });

@@ -10,6 +10,8 @@
 //! from comments and brace-matches `#[cfg(test)]` regions so rules that only
 //! apply to production code can skip inline test modules.
 
+use std::cell::Cell;
+
 /// A parsed `hotgauge-lint: allow(...)` pragma.
 #[derive(Debug, Clone)]
 pub struct Pragma {
@@ -19,6 +21,36 @@ pub struct Pragma {
     pub justification: String,
     /// Zero-based line the pragma comment appears on.
     pub line: usize,
+    /// Set when the grant actually suppressed a diagnostic; L012 flags
+    /// grants that never fire so the suppression set stays tight.
+    pub used: Cell<bool>,
+}
+
+/// What kind of region the masker blanked out. The lexer produces the same
+/// taxonomy, and the agreement proptest compares the two extent streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskKind {
+    /// `//` comment (incl. doc comments).
+    LineComment,
+    /// `/* ... */` comment.
+    BlockComment,
+    /// Plain or byte string, prefix and quotes included.
+    Str,
+    /// Raw or raw-byte string, prefix, hashes, and quotes included.
+    RawStr,
+    /// Char or byte-char literal, prefix and quotes included.
+    Char,
+}
+
+/// One masked region, as char offsets into the source (`end` exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskExtent {
+    /// Char offset of the region's first char.
+    pub start: usize,
+    /// Char offset one past the region's last char.
+    pub end: usize,
+    /// Region classification.
+    pub kind: MaskKind,
 }
 
 /// A malformed pragma found during scanning (reported as a diagnostic).
@@ -44,6 +76,8 @@ pub struct ScannedFile {
     pub pragmas: Vec<Pragma>,
     /// Malformed pragmas.
     pub pragma_errors: Vec<PragmaError>,
+    /// Every region the masker blanked, in source order (char offsets).
+    pub mask_extents: Vec<MaskExtent>,
     /// Per-line list of (rule) grants derived from pragmas.
     allows: Vec<Vec<usize>>,
 }
@@ -51,7 +85,7 @@ pub struct ScannedFile {
 impl ScannedFile {
     /// Scan `src`, producing masked text, pragmas, and test-region marks.
     pub fn scan(src: &str) -> ScannedFile {
-        let (masked_text, comments) = mask(src);
+        let (masked_text, comments, mask_extents) = mask(src);
         let raw: Vec<String> = split_lines(src);
         let masked: Vec<String> = split_lines(&masked_text);
         debug_assert_eq!(raw.len(), masked.len());
@@ -88,6 +122,7 @@ impl ScannedFile {
             in_test,
             pragmas,
             pragma_errors,
+            mask_extents,
             allows,
         }
     }
@@ -98,6 +133,22 @@ impl ScannedFile {
             .get(line)
             .map(|grants| grants.iter().any(|&i| self.pragmas[i].rule == rule))
             .unwrap_or(false)
+    }
+
+    /// Like [`is_allowed`](Self::is_allowed), but records that the grant
+    /// suppressed a real diagnostic. Rules call this *after* detecting a
+    /// violation, so an unfired grant stays unused and L012 can flag it.
+    pub fn allow(&self, line: usize, rule: &str) -> bool {
+        let mut hit = false;
+        if let Some(grants) = self.allows.get(line) {
+            for &i in grants {
+                if self.pragmas[i].rule == rule {
+                    self.pragmas[i].used.set(true);
+                    hit = true;
+                }
+            }
+        }
+        hit
     }
 
     /// Full masked text re-joined (used by rules that need to brace-match
@@ -114,11 +165,13 @@ fn split_lines(s: &str) -> Vec<String> {
 }
 
 /// Mask comments, strings, raw strings, and char literals to spaces.
-/// Returns the masked text plus every comment's (zero-based line, text).
-fn mask(src: &str) -> (String, Vec<(usize, String)>) {
+/// Returns the masked text, every comment's (zero-based line, text), and
+/// the char-offset extent of every masked region.
+fn mask(src: &str) -> (String, Vec<(usize, String)>, Vec<MaskExtent>) {
     let chars: Vec<char> = src.chars().collect();
     let mut out = String::with_capacity(src.len());
     let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut extents: Vec<MaskExtent> = Vec::new();
     let mut line = 0usize;
     let mut i = 0usize;
 
@@ -144,11 +197,17 @@ fn mask(src: &str) -> (String, Vec<(usize, String)>) {
                 i += 1;
             }
             comments.push((line, chars[start..i].iter().collect()));
+            extents.push(MaskExtent {
+                start,
+                end: i,
+                kind: MaskKind::LineComment,
+            });
             blank(&mut out, i - start);
             continue;
         }
         // Block comment, nesting-aware.
         if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
             let mut depth = 1usize;
             blank(&mut out, 2);
             i += 2;
@@ -170,6 +229,11 @@ fn mask(src: &str) -> (String, Vec<(usize, String)>) {
                     i += 1;
                 }
             }
+            extents.push(MaskExtent {
+                start,
+                end: i,
+                kind: MaskKind::BlockComment,
+            });
             continue;
         }
         // Raw / byte-string prefixes. Only when the previous char can't be
@@ -189,6 +253,7 @@ fn mask(src: &str) -> (String, Vec<(usize, String)>) {
                     j += 1;
                 }
                 if chars.get(j) == Some(&'"') {
+                    let start = i;
                     // Mask prefix + opening quote.
                     blank(&mut out, j + 1 - i);
                     i = j + 1;
@@ -213,23 +278,46 @@ fn mask(src: &str) -> (String, Vec<(usize, String)>) {
                         }
                         i += 1;
                     }
+                    extents.push(MaskExtent {
+                        start,
+                        end: i,
+                        kind: MaskKind::RawStr,
+                    });
                     continue;
                 }
                 // `r` / `br` not followed by a raw string: plain identifier.
             } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                let start = i;
                 blank(&mut out, 1); // the `b`
                 i += 1;
                 consume_string(&chars, &mut i, &mut line, &mut out);
+                extents.push(MaskExtent {
+                    start,
+                    end: i,
+                    kind: MaskKind::Str,
+                });
                 continue;
             } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                let start = i;
                 blank(&mut out, 1); // the `b`
                 i += 1;
                 consume_char_literal(&chars, &mut i, &mut out);
+                extents.push(MaskExtent {
+                    start,
+                    end: i,
+                    kind: MaskKind::Char,
+                });
                 continue;
             }
         }
         if c == '"' {
+            let start = i;
             consume_string(&chars, &mut i, &mut line, &mut out);
+            extents.push(MaskExtent {
+                start,
+                end: i,
+                kind: MaskKind::Str,
+            });
             continue;
         }
         if c == '\'' {
@@ -238,7 +326,13 @@ fn mask(src: &str) -> (String, Vec<(usize, String)>) {
             let is_escape = chars.get(i + 1) == Some(&'\\');
             let is_simple = chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'');
             if is_escape || is_simple {
+                let start = i;
                 consume_char_literal(&chars, &mut i, &mut out);
+                extents.push(MaskExtent {
+                    start,
+                    end: i,
+                    kind: MaskKind::Char,
+                });
             } else {
                 out.push('\'');
                 i += 1;
@@ -248,7 +342,7 @@ fn mask(src: &str) -> (String, Vec<(usize, String)>) {
         out.push(c);
         i += 1;
     }
-    (out, comments)
+    (out, comments, extents)
 }
 
 /// Consume a `"..."` string starting at the opening quote, masking it.
@@ -298,6 +392,13 @@ fn consume_char_literal(chars: &[char], i: &mut usize, out: &mut String) {
                 out.push(' ');
                 *i += 1;
                 if *i < chars.len() {
+                    // A newline directly after the backslash would be eaten
+                    // into the mask, shifting every subsequent line: bail on
+                    // the malformed literal instead (found by the
+                    // masker-vs-lexer agreement proptest).
+                    if chars[*i] == '\n' {
+                        return;
+                    }
                     out.push(' ');
                     *i += 1;
                 }
@@ -346,6 +447,7 @@ fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<Pragma>, Vec<PragmaError>
                         rule,
                         justification,
                         line: *line,
+                        used: Cell::new(false),
                     });
                     rest = &body[consumed..];
                 }

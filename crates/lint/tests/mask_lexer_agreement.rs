@@ -1,0 +1,148 @@
+//! Differential fuzz: the masking scanner (`scan.rs`) and the token lexer
+//! (`lex.rs`) implement Rust's literal/comment rules independently; on any
+//! input their masked-region extents must agree exactly. Sources are
+//! composed from a vocabulary of pathological fragments — raw/byte strings
+//! with varying hash counts, nested block comments, lifetime-vs-char
+//! traps, escapes, numbers that look like ranges — joined by random
+//! separators (including none, so fragments collide at char level).
+
+use hotgauge_lint::lex::{lex, TokenKind};
+use hotgauge_lint::scan::{MaskKind, ScannedFile};
+use proptest::prelude::*;
+
+/// Fragments chosen to stress every literal form and their interactions.
+const FRAGMENTS: &[&str] = &[
+    // Plain code.
+    "let x = 1;",
+    "fn f<'a>(s: &'a str) -> usize { s.len() }",
+    "for i in 0..n { acc += i; }",
+    "while let Some(v) = it.next() { }",
+    "Vec<Vec<f64>>",
+    "a..=b",
+    "1e-3 + 100e-6 - 0x1e",
+    "'outer: loop { break 'outer; }",
+    "let _ = 2.5f64;",
+    // Strings with embedded trouble.
+    "\"simple\"",
+    "\"with \\\" escaped quote\"",
+    "\"brace } and { and // slashes\"",
+    "\"multi\nline\nstring\"",
+    "\"ends with backslash \\\\\"",
+    "\"unicode \\u{1F525} escape\"",
+    // Raw strings, varying hash depth.
+    "r\"raw no hash\"",
+    "r#\"raw \"quoted\" inner\"#",
+    "r##\"outer r#\"nested-looking\"# still\"##",
+    "r#\"multi\nline raw\"#",
+    // Byte strings and byte chars.
+    "b\"bytes \\x00\"",
+    "br#\"raw bytes \"q\"\"#",
+    "b'x'",
+    "b'\\n'",
+    // Chars vs lifetimes.
+    "'a'",
+    "'\\''",
+    "'\\\\'",
+    "'\\u{41}'",
+    "&'static str",
+    "PhantomData<&'a ()>",
+    // Comments.
+    "// line comment with \"quote\" and 'tick'",
+    "/* block with \"string\" inside */",
+    "/* outer /* nested */ still outer */",
+    "/* multi\nline\nblock */",
+    "/// doc comment with r#\"raw-looking\"#",
+    // Identifiers that look like prefixes.
+    "var_r",
+    "rb_ident",
+    "br_name",
+    "b",
+    "r",
+];
+
+const SEPARATORS: &[&str] = &[" ", "\n", "\n\n", "; ", " + ", ""];
+
+/// Compose a source from entropy words: the low bits pick the fragment,
+/// the high bits the separator after it.
+fn compose(words: &[u64]) -> String {
+    let mut src = String::new();
+    for &w in words {
+        src.push_str(FRAGMENTS[(w as usize) % FRAGMENTS.len()]);
+        src.push_str(SEPARATORS[((w >> 32) as usize) % SEPARATORS.len()]);
+    }
+    src
+}
+
+fn mask_kind_of(kind: TokenKind) -> Option<MaskKind> {
+    match kind {
+        TokenKind::LineComment => Some(MaskKind::LineComment),
+        TokenKind::BlockComment => Some(MaskKind::BlockComment),
+        TokenKind::Str => Some(MaskKind::Str),
+        TokenKind::RawStr => Some(MaskKind::RawStr),
+        TokenKind::Char => Some(MaskKind::Char),
+        _ => None,
+    }
+}
+
+/// Both views of `src` must agree on every masked region.
+fn assert_agreement(src: &str) {
+    let scanned = ScannedFile::scan(src);
+    let tokens = lex(src);
+
+    // Geometry: masking is char-for-char, so line counts match the raw.
+    assert_eq!(
+        scanned.raw.len(),
+        scanned.masked.len(),
+        "masked line count diverged for {src:?}"
+    );
+    for (raw, masked) in scanned.raw.iter().zip(&scanned.masked) {
+        assert_eq!(
+            raw.chars().count(),
+            masked.chars().count(),
+            "masked line length diverged for {src:?}"
+        );
+    }
+
+    let lexed: Vec<(usize, usize, MaskKind)> = tokens
+        .iter()
+        .filter_map(|t| mask_kind_of(t.kind).map(|k| (t.start, t.end, k)))
+        .collect();
+    let masked: Vec<(usize, usize, MaskKind)> = scanned
+        .mask_extents
+        .iter()
+        .map(|e| (e.start, e.end, e.kind))
+        .collect();
+    assert_eq!(
+        lexed, masked,
+        "masker and lexer disagree on masked extents for {src:?}"
+    );
+}
+
+#[test]
+fn agreement_on_handpicked_traps() {
+    // Every fragment alone, and a few known-nasty pairings.
+    for f in FRAGMENTS {
+        assert_agreement(f);
+    }
+    assert_agreement("let s = r#\"a\"# ; let c = 'x'; // 'y'\n");
+    assert_agreement("r\"\" b\"\" br\"\" '\\n' 'a \"s\"");
+    // An escaped-newline char start at end of line must not eat the
+    // newline (the scan.rs divergence this suite exists to catch).
+    assert_agreement("let c = '\\\nx';\nlet y = 1;\n");
+    // Ident directly before a quote is not a prefix...
+    assert_agreement("var_r\"not raw\"");
+    // ...but a bare r/b is.
+    assert_agreement("r\"raw\" b\"bytes\"");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn masker_and_lexer_agree_on_composed_sources(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..40),
+    ) {
+        let src = compose(&words);
+        assert_agreement(&src);
+    }
+}

@@ -24,8 +24,12 @@ fn l001_panic_family() {
         fires("crates/perf/src/fixture_l001.rs", src),
         expected("L001", &[5, 9, 13, 17])
     );
-    // Test context is exempt wholesale.
-    assert!(fires("crates/perf/tests/fixture_l001.rs", src).is_empty());
+    // Test context is exempt wholesale — which strands the fixture's two
+    // L001 grants, so L012 flags them as suppressing nothing.
+    assert_eq!(
+        fires("crates/perf/tests/fixture_l001.rs", src),
+        expected("L012", &[31, 36])
+    );
 }
 
 #[test]
@@ -47,8 +51,12 @@ fn l003_f32_in_kernels() {
         fires("crates/thermal/src/fixture_l003.rs", src),
         expected("L003", &[4, 5])
     );
-    // Outside the numeric kernel crates f32 is not policed.
-    assert!(fires("crates/perf/src/fixture_l003.rs", src).is_empty());
+    // Outside the numeric kernel crates f32 is not policed — which strands
+    // the fixture's L003 grant, so L012 flags it.
+    assert_eq!(
+        fires("crates/perf/src/fixture_l003.rs", src),
+        expected("L012", &[18])
+    );
 }
 
 #[test]
@@ -56,7 +64,16 @@ fn l004_concurrency_policy() {
     let src = include_str!("../fixtures/l004.rs");
     assert_eq!(
         fires("crates/power/src/fixture_l004.rs", src),
-        expected("L004", &[9, 13, 17])
+        expected("L004", &[9, 13, 17, 43])
+    );
+    // fetch_update / compare_exchange take success AND failure orderings;
+    // a rustfmt-wrapped call must still be seen whole.
+    let wrapped = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         pub fn f(state: &AtomicU64) {\n    let _ = state.compare_exchange_weak(\n        0,\n        \
+         1,\n        Ordering::AcqRel,\n    );\n}\n";
+    assert_eq!(
+        fires("crates/power/src/fixture_l004b.rs", wrapped),
+        expected("L004", &[3])
     );
 }
 
@@ -67,8 +84,12 @@ fn l005_raw_unit_literals() {
         fires("crates/thermal/src/fixture_l005.rs", src),
         expected("L005", &[5, 9])
     );
-    // The preset modules are exactly where raw literals belong.
-    assert!(fires("crates/thermal/src/stack.rs", src).is_empty());
+    // The preset modules are exactly where raw literals belong — and the
+    // stranded L005 grant falls to L012 there.
+    assert_eq!(
+        fires("crates/thermal/src/stack.rs", src),
+        expected("L012", &[24])
+    );
 }
 
 #[test]
@@ -160,16 +181,137 @@ fn l006_extracts_wrapped_calls() {
 }
 
 #[test]
-fn l007_per_iteration_allocation() {
-    let src = include_str!("../fixtures/l007.rs");
+fn l008_unsafe_hygiene() {
+    let src = include_str!("../fixtures/l008.rs");
     assert_eq!(
-        fires("crates/thermal/src/fixture_l007.rs", src),
-        expected("L007", &[8, 9, 10])
+        fires("crates/power/src/fixture_l008.rs", src),
+        expected("L008", &[5])
+    );
+}
+
+#[test]
+fn l008_lib_crate_root_attr() {
+    // A lib crate root without forbid(unsafe_code) fires at line 1.
+    let bare = "//! A crate.\n\npub fn f() {}\n";
+    assert_eq!(
+        fires("crates/power/src/lib.rs", bare),
+        expected("L008", &[1])
+    );
+    // forbid satisfies the rule; so does cfg_attr-wrapped forbid.
+    let forbid = "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(fires("crates/power/src/lib.rs", forbid).is_empty());
+    // A deny downgrade fires on its own line unless pragma-justified.
+    let deny = "//! A crate.\n#![deny(unsafe_code)]\npub fn f() {}\n";
+    assert_eq!(
+        fires("crates/power/src/lib.rs", deny),
+        expected("L008", &[2])
+    );
+    let deny_justified = "//! A crate.\n\
+         // hotgauge-lint: allow(L008, \"one sanctioned block in m::f\")\n\
+         #![deny(unsafe_code)]\npub fn f() {}\n";
+    assert!(fires("crates/power/src/lib.rs", deny_justified).is_empty());
+    // Only lib crate roots are held to the attribute; other modules and
+    // binaries are not.
+    assert!(fires("crates/power/src/other.rs", bare).is_empty());
+    assert!(fires("src/bin/hotgauge.rs", bare).is_empty());
+}
+
+#[test]
+fn l009_hash_iteration() {
+    let src = include_str!("../fixtures/l009.rs");
+    assert_eq!(
+        fires("crates/core/src/fixture_l009.rs", src),
+        expected("L009", &[7])
+    );
+    // Outside the numeric kernel crates hash iteration is not policed, and
+    // test context is exempt.
+    assert!(fires("crates/perf/src/fixture_l009.rs", src).is_empty());
+    assert!(fires("crates/core/tests/fixture_l009.rs", src).is_empty());
+    // `for ... in` over a hash container fires too.
+    let for_iter = "use std::collections::HashMap;\n\
+         pub fn f(m: &HashMap<u32, f64>) -> f64 {\n    let mut acc = 0.0;\n    \
+         for (_, v) in m {\n        acc += v;\n    }\n    acc\n}\n";
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l009b.rs", for_iter),
+        expected("L009", &[4])
+    );
+}
+
+#[test]
+fn l010_scoped_concurrency() {
+    let src = include_str!("../fixtures/l010.rs");
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l010.rs", src),
+        expected("L010", &[8])
+    );
+    // A counter atomic on a non-Relaxed ordering fires the counter arm.
+    let acquire_counter = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+         pub fn f(iter_count: &AtomicU64) {\n    \
+         iter_count.fetch_add(1, Ordering::AcqRel);\n}\n";
+    assert_eq!(
+        fires("crates/core/src/fixture_l010b.rs", acquire_counter),
+        expected("L010", &[3])
+    );
+    // Lock acquisition inside a loop body fires in kernel modules only.
+    let lock_in_loop = "use std::sync::Mutex;\n\
+         pub fn f(m: &Mutex<f64>, n: usize) -> f64 {\n    let mut acc = 0.0;\n    \
+         for _ in 0..n {\n        acc += *m.lock().unwrap_or_else(|e| e.into_inner());\n    }\n    \
+         acc\n}\n";
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l010c.rs", lock_in_loop),
+        expected("L010", &[5])
+    );
+    assert!(fires("crates/workloads/src/fixture_l010c.rs", lock_in_loop).is_empty());
+}
+
+#[test]
+fn l011_per_iteration_allocation() {
+    let src = include_str!("../fixtures/l011.rs");
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l011.rs", src),
+        expected("L011", &[10])
     );
     // Only the thermal kernel modules are policed; the same allocations in
-    // another crate (or thermal's own tests) are fine.
-    assert!(fires("crates/core/src/fixture_l007.rs", src).is_empty());
-    assert!(fires("crates/thermal/tests/fixture_l007.rs", src).is_empty());
+    // another crate (or thermal's own tests) don't fire L011 — the
+    // stranded L011 grant falls to L012 instead.
+    assert_eq!(
+        fires("crates/core/src/fixture_l011.rs", src),
+        expected("L012", &[30])
+    );
+    assert_eq!(
+        fires("crates/thermal/tests/fixture_l011.rs", src),
+        expected("L012", &[30])
+    );
+    // Closure bodies count as per-iteration context (the old L007 was
+    // blind to them).
+    let in_closure = "pub fn f(rows: &[f64]) -> f64 {\n    rows.iter().map(|&r| {\n        \
+         let v = vec![r];\n        v[0]\n    }).sum()\n}\n";
+    assert_eq!(
+        fires("crates/thermal/src/fixture_l011b.rs", in_closure),
+        expected("L011", &[3])
+    );
+}
+
+#[test]
+fn l012_unused_pragma() {
+    let src = include_str!("../fixtures/l012.rs");
+    assert_eq!(
+        fires("crates/core/src/fixture_l012.rs", src),
+        expected("L012", &[4])
+    );
+}
+
+#[test]
+fn stale_l007_grant_is_an_unknown_rule() {
+    // L007 was retired in v4; a leftover grant must surface as L000, not
+    // silently grant nothing.
+    let src = "pub fn f(n: usize) -> usize {\n    let mut t = 0;\n    for i in 0..n {\n        \
+         // hotgauge-lint: allow(L007, \"stale\")\n        \
+         let v: Vec<usize> = (0..i).collect();\n        t += v.len();\n    }\n    t\n}\n";
+    assert_eq!(
+        fires("crates/thermal/src/fixture_stale.rs", src),
+        vec![("L000".to_string(), 4), ("L011".to_string(), 5),]
+    );
 }
 
 #[test]

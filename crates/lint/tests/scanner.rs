@@ -108,3 +108,20 @@ fn cfg_test_regions_are_marked() {
         "only the gated mod (attribute through closing brace) is marked"
     );
 }
+
+#[test]
+fn escaped_newline_in_char_position_keeps_line_geometry() {
+    // `'\` at end of line is not a char literal; the masker must not eat
+    // the newline (doing so shifted every later line's geometry — the
+    // divergence the masker-vs-lexer agreement suite caught).
+    let src = "let a = '\\\nx';\nb.unwrap();\n";
+    let s = ScannedFile::scan(src);
+    assert_eq!(s.raw.len(), s.masked.len());
+    for (raw, masked) in s.raw.iter().zip(&s.masked) {
+        assert_eq!(raw.chars().count(), masked.chars().count());
+    }
+    assert!(
+        s.masked[2].contains(".unwrap("),
+        "line 3 geometry preserved"
+    );
+}

@@ -38,6 +38,8 @@
 //! argument parsing, file IO, and table rendering on top and returns the
 //! process exit code: 0 pass, 1 regression, 2 usage or IO error.
 
+#![forbid(unsafe_code)]
+
 use hotgauge_telemetry::manifest::RunManifest;
 use serde::Serialize;
 use std::fmt;
