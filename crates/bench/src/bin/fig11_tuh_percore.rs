@@ -6,9 +6,10 @@
 //! benchmarks show order-of-magnitude core-to-core spread.
 
 use hotgauge_bench::cli::{sweep_ticker, BinArgs};
-use hotgauge_core::experiments::fig11_tuh_per_benchmark_with;
+use hotgauge_core::experiments::{fig11_fold, fig11_tuh_per_benchmark_with, tuh_grid};
 use hotgauge_core::report::{fmt_tuh, TextTable};
 use hotgauge_core::series::BoxStats;
+use hotgauge_floorplan::tech::TechNode;
 use hotgauge_thermal::warmup::Warmup;
 use hotgauge_workloads::spec2006::ALL_BENCHMARKS;
 
@@ -24,12 +25,37 @@ fn main() {
     let fid = args.fidelity();
     let cores: Vec<usize> = (0..7).collect();
     args.note_sweep(ALL_BENCHMARKS.len() * cores.len(), fid.threads);
+    let mut store = args.open_store();
+    let delta = args.delta_basis();
     let mut json_rows = Vec::new();
     for warmup in [Warmup::Cold, Warmup::Idle] {
         let printer = args.sweep_progress((ALL_BENCHMARKS.len() * cores.len()) as u64);
         let on_done = sweep_ticker(&printer);
-        let rows =
-            fig11_tuh_per_benchmark_with(&fid, warmup, &ALL_BENCHMARKS, &cores, Some(&on_done));
+        // With --store the same grid runs through the store-aware executor
+        // (bit-identical results, unchanged runs served from disk); without
+        // it, through the classic driver.
+        let rows = match store.as_mut() {
+            Some(store) => {
+                let grid = tuh_grid(&fid, TechNode::N7, warmup, &ALL_BENCHMARKS, &cores);
+                let outcome = hotgauge_store::run_many_stored_with(
+                    grid,
+                    fid.threads,
+                    fid.batch,
+                    store,
+                    delta.as_ref(),
+                    Some(&on_done),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("error: store sweep failed: {e}");
+                    std::process::exit(1);
+                });
+                args.note_store(outcome.stats);
+                fig11_fold(&outcome.results, &ALL_BENCHMARKS, &cores)
+            }
+            None => {
+                fig11_tuh_per_benchmark_with(&fid, warmup, &ALL_BENCHMARKS, &cores, Some(&on_done))
+            }
+        };
         for (bench, tuhs) in &rows {
             json_rows.push(TuhRow {
                 warmup: warmup.label().to_owned(),

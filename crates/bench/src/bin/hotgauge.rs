@@ -14,6 +14,10 @@
 //!
 //! `hotgauge gate <baseline.json> <candidate.json> [...]` runs the
 //! manifest-diff performance gate instead (see `hotgauge-perfgate`).
+//!
+//! `hotgauge serve --store DIR` and `hotgauge sweep [--spec PATH]` run the
+//! NDJSON sweep service over the content-addressed result store (see
+//! `hotgauge-store` and DESIGN.md "Sweep service & result store").
 
 use hotgauge_core::experiments::Fidelity;
 use hotgauge_core::pipeline::{CoSimulation, SimConfig, WindowProgress};
@@ -226,6 +230,14 @@ fn main() {
     // gate, shared with the standalone `hotgauge-perfgate` binary.
     if args.first().map(String::as_str) == Some("gate") {
         std::process::exit(hotgauge_perfgate::run_cli(&args[1..]));
+    }
+    // `hotgauge serve` / `hotgauge sweep` — the NDJSON sweep service over
+    // the content-addressed result store (see hotgauge-store).
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(hotgauge_bench::resident::run_serve(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("sweep") {
+        std::process::exit(hotgauge_bench::resident::run_sweep(&args[1..]));
     }
     let cli = parse_args(&args);
     let report = TelemetryReport::new("hotgauge").quiet(cli.quiet);

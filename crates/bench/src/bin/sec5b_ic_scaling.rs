@@ -5,7 +5,7 @@
 //! on the benchmark — static mitigation has a very large hurdle.
 
 use hotgauge_bench::cli::{sweep_ticker, BinArgs};
-use hotgauge_core::experiments::sec5b_ic_scaling_with;
+use hotgauge_core::experiments::{sec5b_fold, sec5b_grid, sec5b_ic_scaling_with};
 use hotgauge_core::report::TextTable;
 
 #[derive(serde::Serialize)]
@@ -31,7 +31,28 @@ fn main() {
     args.note_sweep(benches.len() * (factors.len() + 1), fid.threads);
     let printer = args.sweep_progress((benches.len() * (factors.len() + 1)) as u64);
     let on_done = sweep_ticker(&printer);
-    let rows = sec5b_ic_scaling_with(&fid, &benches, &factors, horizon, Some(&on_done));
+    // With --store the same grid runs through the store-aware executor
+    // (bit-identical results, unchanged runs served from disk).
+    let rows = match args.open_store().as_mut() {
+        Some(store) => {
+            let grid = sec5b_grid(&fid, &benches, &factors, horizon);
+            let outcome = hotgauge_store::run_many_stored_with(
+                grid,
+                fid.threads,
+                fid.batch,
+                store,
+                args.delta_basis().as_ref(),
+                Some(&on_done),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: store sweep failed: {e}");
+                std::process::exit(1);
+            });
+            args.note_store(outcome.stats);
+            sec5b_fold(&outcome.results, &benches, &factors)
+        }
+        None => sec5b_ic_scaling_with(&fid, &benches, &factors, horizon, Some(&on_done)),
+    };
 
     let json_rows: Vec<IcRow> = rows
         .iter()

@@ -17,6 +17,13 @@
 //!   sweeps of the direct (skyline Cholesky) thermal solver (`0` = one per
 //!   hardware thread, default `1` = serial sweeps; results are bit-identical
 //!   at every setting — see DESIGN.md "Threading model").
+//! * `--store DIR` — route sweeps through the content-addressed result
+//!   store at DIR: unchanged runs are served from disk bit-identically,
+//!   fresh runs are persisted, and the manifest gains a `store` block with
+//!   the hit/miss counters.
+//! * `--delta PREV` — with `--store`: serve only runs whose key appears in
+//!   the previous sweep's index (PREV is an `index.json` or a store
+//!   directory); everything else re-simulates.
 //! * `--quiet` — suppress the human-readable tables (useful with `--json`).
 //! * `--help` — print the shared usage text.
 //!
@@ -24,6 +31,7 @@
 
 use hotgauge_core::experiments::Fidelity;
 use hotgauge_core::pipeline::SweepProgress;
+use hotgauge_store::{DeltaBasis, ResultStore, StoreStats};
 use hotgauge_telemetry::manifest::{write_json_atomic, RunManifest};
 use hotgauge_telemetry::progress::ProgressPrinter;
 use hotgauge_telemetry::TelemetryReport;
@@ -43,6 +51,10 @@ pub struct BinArgs {
     solver_threads: Option<usize>,
     /// `(jobs, realized pool width)` of the bin's sweep, when noted.
     sweep_shape: std::cell::Cell<Option<(usize, usize)>>,
+    store_dir: Option<String>,
+    delta_path: Option<String>,
+    /// Store counters accumulated across this bin's sweeps, when noted.
+    store_stats: std::cell::Cell<Option<StoreStats>>,
     _report: TelemetryReport,
 }
 
@@ -56,18 +68,22 @@ impl BinArgs {
         let mut threads = None;
         let mut batch = None;
         let mut solver_threads = None;
+        let mut store_dir = None;
+        let mut delta_path = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--help" | "-h" => {
                     println!(
-                        "usage: {tool} [--json PATH] [--threads N] [--batch K] [--solver-threads N] [--quiet]\n\
+                        "usage: {tool} [--json PATH] [--threads N] [--batch K] [--solver-threads N] [--store DIR [--delta PREV]] [--quiet]\n\
                          \x20 --json PATH        write the run manifest to PATH (`-` for stdout)\n\
                          \x20 --threads N        analysis threads per run (default: all hardware threads)\n\
                          \x20 --batch K          lockstep batch width for sweeps (default: {}; 1 disables)\n\
                          \x20 --solver-threads N shards for the direct solver's triangular sweeps\n\
                          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (0 = auto, default 1 = serial; bit-identical results)\n\
+                         \x20 --store DIR        serve unchanged runs from the result store at DIR\n\
+                         \x20 --delta PREV       with --store: only serve keys from PREV's index.json\n\
                          \x20 --quiet            suppress the human-readable tables",
                         hotgauge_core::DEFAULT_BATCH_WIDTH
                     );
@@ -132,6 +148,26 @@ impl BinArgs {
                         }
                     }
                 }
+                "--store" => {
+                    i += 1;
+                    match args.get(i) {
+                        Some(d) => store_dir = Some(d.clone()),
+                        None => {
+                            eprintln!("error: --store needs a directory");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--delta" => {
+                    i += 1;
+                    match args.get(i) {
+                        Some(p) => delta_path = Some(p.clone()),
+                        None => {
+                            eprintln!("error: --delta needs a previous index.json or store dir");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--quiet" => quiet = true,
                 other => {
                     eprintln!("error: unknown argument {other} (see {tool} --help)");
@@ -139,6 +175,10 @@ impl BinArgs {
                 }
             }
             i += 1;
+        }
+        if delta_path.is_some() && store_dir.is_none() {
+            eprintln!("error: --delta requires --store (see {tool} --help)");
+            std::process::exit(2);
         }
         let _report = TelemetryReport::new(tool).quiet(quiet);
         Self {
@@ -149,6 +189,9 @@ impl BinArgs {
             batch,
             solver_threads,
             sweep_shape: std::cell::Cell::new(None),
+            store_dir,
+            delta_path,
+            store_stats: std::cell::Cell::new(None),
             _report,
         }
     }
@@ -170,6 +213,46 @@ impl BinArgs {
     /// Whether stdout tables should be suppressed.
     pub fn quiet(&self) -> bool {
         self.quiet
+    }
+
+    /// The `--store` directory, if the flag was given.
+    pub fn store_dir(&self) -> Option<&str> {
+        self.store_dir.as_deref()
+    }
+
+    /// Opens the `--store` result store, exiting with status 2 if the
+    /// directory cannot be created/used; `None` when the flag was absent.
+    pub fn open_store(&self) -> Option<ResultStore> {
+        let dir = self.store_dir.as_deref()?;
+        match ResultStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("error: cannot open result store at {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Loads the `--delta` basis, exiting with status 2 on a missing or
+    /// corrupt index; `None` when the flag was absent.
+    pub fn delta_basis(&self) -> Option<DeltaBasis> {
+        let path = self.delta_path.as_deref()?;
+        match DeltaBasis::from_index_file(path) {
+            Ok(basis) => Some(basis),
+            Err(e) => {
+                eprintln!("error: cannot load delta basis from {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Accumulates the store counters of one sweep, so
+    /// [`Self::emit_manifest`] can record the session totals in the
+    /// manifest's `store` block.
+    pub fn note_store(&self, stats: StoreStats) {
+        let mut total = self.store_stats.get().unwrap_or_default();
+        total.merge(stats);
+        self.store_stats.set(Some(total));
     }
 
     /// The environment-selected fidelity preset with the `--threads` and
@@ -228,8 +311,17 @@ impl BinArgs {
         manifest = manifest
             .with_config("lint_policy_version", hotgauge_lint::POLICY_VERSION)
             .with_config("lint_rule_count", hotgauge_lint::RULE_COUNT);
+        if let Some(dir) = &self.store_dir {
+            manifest = manifest.with_config("store", dir);
+            if let Some(prev) = &self.delta_path {
+                manifest = manifest.with_config("store_delta", prev);
+            }
+        }
         manifest.set_results(results);
         manifest.capture_metrics();
+        if let Some(stats) = self.store_stats.get() {
+            manifest.store = Some(stats.to_manifest());
+        }
         if path == "-" {
             println!(
                 "{}",

@@ -1,3 +1,4 @@
 //! Benchmark harness for the HotGauge reproduction (see the `bin/` targets).
 
 pub mod cli;
+pub mod resident;

@@ -285,16 +285,19 @@ pub fn tuh_sweep(
     tuh_sweep_with(fid, node, warmup, benchmarks, cores, None)
 }
 
-/// [`tuh_sweep`] with a per-run completion callback for sweep liveness.
-pub fn tuh_sweep_with(
+/// The TUH sweep's job grid: every benchmark on every core at one
+/// node/warm-up combination, stop-at-first-hotspot, in benchmark-major
+/// core-minor order. Exposed separately from [`tuh_sweep_with`] so callers
+/// can route the same grid through an alternative executor (e.g. the
+/// result-store sweep) and still fold with [`fig11_fold`].
+pub fn tuh_grid(
     fid: &Fidelity,
     node: TechNode,
     warmup: Warmup,
     benchmarks: &[&str],
     cores: &[usize],
-    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
-) -> Vec<RunResult> {
-    let cfgs: Vec<SimConfig> = benchmarks
+) -> Vec<SimConfig> {
+    benchmarks
         .iter()
         .flat_map(|&b| cores.iter().map(move |&c| (b, c)).collect::<Vec<_>>())
         .map(|(b, c)| {
@@ -304,7 +307,19 @@ pub fn tuh_sweep_with(
             cfg.stop_at_first_hotspot = true;
             cfg
         })
-        .collect();
+        .collect()
+}
+
+/// [`tuh_sweep`] with a per-run completion callback for sweep liveness.
+pub fn tuh_sweep_with(
+    fid: &Fidelity,
+    node: TechNode,
+    warmup: Warmup,
+    benchmarks: &[&str],
+    cores: &[usize],
+    on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
+) -> Vec<RunResult> {
+    let cfgs = tuh_grid(fid, node, warmup, benchmarks, cores);
     run_many_batched_with(cfgs, fid.threads, fid.batch, on_done)
 }
 
@@ -359,6 +374,16 @@ pub fn fig11_tuh_per_benchmark_with(
     on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
 ) -> Vec<(String, Vec<Option<f64>>)> {
     let results = tuh_sweep_with(fid, TechNode::N7, warmup, benchmarks, cores, on_done);
+    fig11_fold(&results, benchmarks, cores)
+}
+
+/// Folds the results of a [`tuh_grid`] sweep (benchmark-major, core-minor)
+/// into Fig. 11 rows: per-benchmark TUH samples across cores.
+pub fn fig11_fold(
+    results: &[RunResult],
+    benchmarks: &[&str],
+    cores: &[usize],
+) -> Vec<(String, Vec<Option<f64>>)> {
     benchmarks
         .iter()
         .enumerate()
@@ -571,6 +596,21 @@ pub fn sec5b_ic_scaling_with(
     horizon_s: f64,
     on_done: Option<&(dyn Fn(SweepProgress) + Sync)>,
 ) -> Vec<IcScalingRow> {
+    let cfgs = sec5b_grid(fid, benchmarks, factors, horizon_s);
+    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, on_done);
+    sec5b_fold(&results, benchmarks, factors)
+}
+
+/// The §V-B job grid: per benchmark, one 14 nm baseline run followed by one
+/// 7 nm run per IC area factor (stride `1 + factors.len()`). Exposed so
+/// callers can route the grid through an alternative executor and fold with
+/// [`sec5b_fold`].
+pub fn sec5b_grid(
+    fid: &Fidelity,
+    benchmarks: &[&str],
+    factors: &[f64],
+    horizon_s: f64,
+) -> Vec<SimConfig> {
     let mut cfgs = Vec::new();
     for &b in benchmarks {
         let mut c = fid.apply(SimConfig::new(TechNode::N14, b));
@@ -583,7 +623,17 @@ pub fn sec5b_ic_scaling_with(
             cfgs.push(c);
         }
     }
-    let results = run_many_batched_with(cfgs, fid.threads, fid.batch, on_done);
+    cfgs
+}
+
+/// Folds the results of a [`sec5b_grid`] sweep into [`IcScalingRow`]s:
+/// per benchmark, the 14 nm RMS target, the (factor, 7 nm RMS) sweep, and
+/// the interpolated factor meeting the target.
+pub fn sec5b_fold(
+    results: &[RunResult],
+    benchmarks: &[&str],
+    factors: &[f64],
+) -> Vec<IcScalingRow> {
     let stride = 1 + factors.len();
     benchmarks
         .iter()

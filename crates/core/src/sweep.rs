@@ -269,6 +269,16 @@ pub fn pool_workers(threads: usize, jobs: usize) -> usize {
     resolved_threads(threads).min(hw).min(jobs)
 }
 
+/// Whether a sweep at `threads` applies the serial-forcing rule to each
+/// run's `AnalysisConfig` (see [`run_many_batched_with`]): true when the
+/// requested budget resolves to more than one worker. Exposed so result
+/// caches can key on the *effective* per-run config — the one a fresh
+/// sweep would record into its [`RunResult`]s — without re-implementing
+/// the `--threads 0` hardware resolution.
+pub fn sweep_serial_forced(threads: usize) -> bool {
+    resolved_threads(threads) > 1
+}
+
 /// `--threads` semantics: `0` means one worker per hardware thread.
 fn resolved_threads(threads: usize) -> usize {
     if threads == 0 {

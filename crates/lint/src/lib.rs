@@ -107,6 +107,7 @@ const LIB_CRATES: &[&str] = &[
     "perf",
     "thermal",
     "core",
+    "store",
     "perfgate",
     "lint",
 ];

@@ -210,6 +210,22 @@ pub fn extract_metrics(m: &RunManifest) -> Vec<Metric> {
             });
         }
     }
+    if let Some(store) = &m.store {
+        // Result-store health as diffable, lower-is-better counters: a
+        // delta sweep that re-simulates more than before shows up as a
+        // `store.misses` / `store.miss_rate` regression under
+        // `--gate-counter store.`.
+        out.push(Metric {
+            id: "store.misses".to_owned(),
+            kind: MetricKind::Counter,
+            value: store.misses as f64,
+        });
+        out.push(Metric {
+            id: "store.miss_rate".to_owned(),
+            kind: MetricKind::Counter,
+            value: 1.0 - store.hit_rate,
+        });
+    }
     if let Some(fields) = m.results.as_map() {
         for (key, value) in fields {
             if !key.starts_with("gate_") {
@@ -552,7 +568,8 @@ struct CliArgs {
 const USAGE: &str = "usage: hotgauge-perfgate <baseline.json> <candidate.json> \
 [--time-tol-pct P] [--alloc-tol-pct P] [--time-floor-ms MS] [--gate-counters] \
 [--gate-counter PREFIX]... [--gate-span-p99 SPAN=PCT]... \
-[--override METRIC=PCT] [--slowdown FACTOR] [--json PATH] [--quiet]";
+[--override METRIC=PCT] [--slowdown FACTOR] [--json PATH] [--quiet]
+       hotgauge-perfgate --check-store MIN_HIT_RATE <manifest.json>";
 
 fn parse_args(args: &[String]) -> Result<CliArgs, GateError> {
     let mut positional: Vec<PathBuf> = Vec::new();
@@ -640,12 +657,68 @@ fn parse_f64(s: &str, flag: &str) -> Result<f64, GateError> {
         .map_err(|_| GateError::Usage(format!("{flag} expects a number, got `{s}`")))
 }
 
+/// Checks a manifest's result-store hit rate against a minimum.
+///
+/// Returns the achieved hit rate on pass, or a diagnostic on failure
+/// (missing store block, or a rate below `min`). Used by the CLI's
+/// `--check-store` mode; pure so CI assertions are testable in-process.
+pub fn check_store(m: &RunManifest, min: f64) -> Result<f64, String> {
+    let Some(store) = &m.store else {
+        return Err("manifest has no store block (was the run started with --store?)".to_string());
+    };
+    if store.hit_rate + f64::EPSILON < min {
+        return Err(format!(
+            "store hit rate {:.4} below required {:.4} ({} hits / {} misses, {} quarantined)",
+            store.hit_rate, min, store.hits, store.misses, store.quarantined
+        ));
+    }
+    Ok(store.hit_rate)
+}
+
+/// The `--check-store MIN_HIT_RATE MANIFEST` mode: 0 = pass, 1 = hit rate
+/// below the minimum, 2 = usage/IO error.
+fn run_check_store(args: &[String]) -> i32 {
+    let [min_text, path] = args else {
+        eprintln!("--check-store expects MIN_HIT_RATE and one manifest path\n{USAGE}");
+        return 2;
+    };
+    let min = match min_text.parse::<f64>() {
+        Ok(v) if (0.0..=1.0).contains(&v) => v,
+        _ => {
+            eprintln!("--check-store expects a hit rate in 0.0..=1.0, got `{min_text}`");
+            return 2;
+        }
+    };
+    let manifest = match load_manifest(Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    match check_store(&manifest, min) {
+        Ok(rate) => {
+            println!("store check OK: hit rate {rate:.4} >= {min:.4}");
+            0
+        }
+        Err(msg) => {
+            eprintln!("store check FAILED: {msg}");
+            1
+        }
+    }
+}
+
 /// Runs the gate end to end and returns the process exit code:
 /// 0 = pass, 1 = regression, 2 = usage/IO error.
 ///
 /// `args` excludes the binary name. Shared by the standalone
 /// `hotgauge-perfgate` binary and the `hotgauge gate` subcommand.
 pub fn run_cli(args: &[String]) -> i32 {
+    // `--check-store` is its own mode, not a diff: intercept before the
+    // two-manifest argument parser.
+    if args.first().map(String::as_str) == Some("--check-store") {
+        return run_check_store(&args[1..]);
+    }
     let parsed = match parse_args(args) {
         Ok(p) => p,
         Err(e) => {
@@ -724,6 +797,7 @@ mod tests {
                 ),
             ]),
             metrics: None,
+            store: None,
         };
         m.metrics = Some(RunMetrics {
             stages: vec![StageMetrics {
@@ -1160,5 +1234,90 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"regressions\""));
         assert!(json.contains("\"Regression\""));
+    }
+
+    fn manifest_with_store(hits: u64, misses: u64) -> RunManifest {
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            1.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let mut m = manifest_with(2.0, 0.03, 10_000);
+        m.store = Some(hotgauge_telemetry::manifest::StoreManifest {
+            hits,
+            misses,
+            writes: misses,
+            quarantined: 0,
+            hit_rate,
+        });
+        m
+    }
+
+    #[test]
+    fn store_block_extracts_lower_is_better_metrics() {
+        let m = manifest_with_store(6, 2);
+        let metrics = extract_metrics(&m);
+        let misses = metrics.iter().find(|x| x.id == "store.misses").unwrap();
+        assert_eq!(misses.kind, MetricKind::Counter);
+        assert_eq!(misses.value, 2.0);
+        let miss_rate = metrics.iter().find(|x| x.id == "store.miss_rate").unwrap();
+        assert!((miss_rate.value - 0.25).abs() < 1e-12);
+        // No store block → no store metrics.
+        let plain = manifest_with(2.0, 0.03, 10_000);
+        assert!(!extract_metrics(&plain)
+            .iter()
+            .any(|x| x.id.starts_with("store.")));
+    }
+
+    #[test]
+    fn store_miss_regression_gates_under_counter_prefix() {
+        let base = manifest_with_store(8, 0);
+        let cand = manifest_with_store(4, 4);
+        let cfg = GateConfig {
+            gate_counter_prefixes: vec!["store.".to_string()],
+            ..GateConfig::default()
+        };
+        let report = compare(&base, &cand, &cfg);
+        assert!(!report.ok(), "a hit-rate collapse must fail the gate");
+        // Without the prefix the store metrics stay informational.
+        let report = compare(&base, &cand, &GateConfig::default());
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn check_store_thresholds() {
+        let m = manifest_with_store(9, 1);
+        assert!(check_store(&m, 0.9).is_ok());
+        let rate = check_store(&m, 0.5).unwrap();
+        assert!((rate - 0.9).abs() < 1e-12);
+        assert!(check_store(&m, 0.95).is_err());
+        let plain = manifest_with(2.0, 0.03, 10_000);
+        assert!(check_store(&plain, 0.0).is_err(), "no store block fails");
+        // A full-hit manifest passes the strictest check.
+        let all_hits = manifest_with_store(5, 0);
+        assert!(check_store(&all_hits, 1.0).is_ok());
+    }
+
+    #[test]
+    fn check_store_cli_mode() {
+        let dir = std::env::temp_dir().join(format!("hotgauge-checkstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        hotgauge_telemetry::manifest::write_json_atomic(&good, &manifest_with_store(5, 0)).unwrap();
+        let bad = dir.join("bad.json");
+        hotgauge_telemetry::manifest::write_json_atomic(&bad, &manifest_with_store(1, 3)).unwrap();
+        let cli = |rate: &str, path: &std::path::Path| {
+            run_cli(&[
+                "--check-store".to_string(),
+                rate.to_string(),
+                path.display().to_string(),
+            ])
+        };
+        assert_eq!(cli("1.0", &good), 0);
+        assert_eq!(cli("0.5", &bad), 1);
+        assert_eq!(cli("2.0", &good), 2, "rate above 1.0 is a usage error");
+        assert_eq!(cli("1.0", &dir.join("missing.json")), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,65 @@
+//! The schema-versioned on-disk snapshot wrapping one run result.
+
+use hotgauge_core::pipeline::RunResult;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::key::ContentKey;
+
+/// Version stamped into every stored object; bump on breaking changes to
+/// the snapshot layout *or* to any serialized type inside [`RunResult`].
+/// A mismatched version is treated like corruption: quarantine and
+/// re-simulate, never deserialize across versions.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// One persisted run: the object behind `objects/<key>.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredRun {
+    /// Snapshot schema version ([`STORE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The content address this object was stored under; re-verified
+    /// against both the file name and the result's recomputed key on read.
+    pub key: ContentKey,
+    /// The simulation output, bit-preserved through JSON.
+    pub result: RunResult,
+}
+
+/// The serialized form of a [`StoredRun`] without cloning the result:
+/// field names and order must match the derive on [`StoredRun`] (the
+/// roundtrip test in `tests/store_roundtrip.rs` pins the equivalence).
+pub fn stored_value(key: &ContentKey, result: &RunResult) -> Value {
+    Value::Map(vec![
+        (
+            "schema_version".to_owned(),
+            Value::U64(u64::from(STORE_SCHEMA_VERSION)),
+        ),
+        ("key".to_owned(), key.to_value()),
+        ("result".to_owned(), serde_json::to_value(result)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotgauge_core::pipeline::{run_sim, SimConfig};
+    use hotgauge_floorplan::tech::TechNode;
+
+    #[test]
+    fn stored_value_matches_derived_serialization() {
+        let mut cfg = SimConfig::new(TechNode::N7, "hmmer");
+        cfg.cell_um = 420.0;
+        cfg.sample_instrs = 6_000;
+        cfg.max_time_s = 3e-4;
+        let result = run_sim(cfg);
+        let key = crate::key::run_key(&result.config);
+        let direct = stored_value(&key, &result);
+        let derived = StoredRun {
+            schema_version: STORE_SCHEMA_VERSION,
+            key,
+            result,
+        };
+        assert_eq!(
+            serde_json::to_string(&direct).unwrap(),
+            serde_json::to_string(&derived).unwrap()
+        );
+    }
+}

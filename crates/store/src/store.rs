@@ -1,0 +1,437 @@
+//! On-disk result store: content-addressed objects plus an atomic index.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/index.json            # StoreIndex: key → sweep coordinates
+//! <root>/objects/<key>.json    # StoredRun snapshots, one per key
+//! <root>/quarantine/<key>.json # objects that failed read verification
+//! ```
+//!
+//! Durability protocol: every write (object and index) goes through
+//! temp-file-plus-rename ([`hotgauge_telemetry::manifest::write_json_atomic`]),
+//! so a crash mid-write leaves either the old object or a stray temp file —
+//! never a torn object at the addressed path. Reads still assume nothing:
+//! a snapshot is served only if it parses, carries the current
+//! [`STORE_SCHEMA_VERSION`], its embedded key matches the address, *and*
+//! the key recomputed from the embedded result's config matches too.
+//! Anything else is moved to `quarantine/` and counted as a miss, so the
+//! sweep re-simulates it — corruption can cost time, never correctness.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hotgauge_core::pipeline::RunResult;
+use hotgauge_telemetry::counter;
+use hotgauge_telemetry::manifest::{write_json_atomic, StoreManifest};
+use serde::{Deserialize, Serialize};
+
+use crate::key::{run_key, ContentKey};
+use crate::snapshot::{stored_value, StoredRun, STORE_SCHEMA_VERSION};
+use crate::StoreError;
+
+/// Index file name under the store root.
+pub const INDEX_FILE: &str = "index.json";
+/// Directory of content-addressed snapshot objects.
+pub const OBJECTS_DIR: &str = "objects";
+/// Directory where failed-verification objects are moved.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// One index row: a stored key plus the human-readable sweep coordinates
+/// it came from (for inspection and delta tooling; the key alone is
+/// authoritative).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The content key of the stored object.
+    pub key: ContentKey,
+    /// Benchmark name of the run.
+    pub benchmark: String,
+    /// Technology node label (e.g. `"7nm"`).
+    pub node: String,
+    /// Core the workload was pinned to.
+    pub target_core: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+/// The serialized form of `index.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreIndex {
+    /// Snapshot schema version the objects were written under.
+    pub schema_version: u32,
+    /// All stored keys, sorted by key hex.
+    pub entries: Vec<IndexEntry>,
+}
+
+/// Lookup/persist counters for one store session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that fell through to simulation (includes quarantines and
+    /// delta-ineligible keys).
+    pub misses: u64,
+    /// Fresh results persisted.
+    pub writes: u64,
+    /// Objects that failed read verification and were quarantined.
+    pub quarantined: u64,
+}
+
+impl StoreStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from disk; `1.0` when nothing was looked
+    /// up (an empty sweep is vacuously all-hit).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Accumulates another session's counters into this one.
+    pub fn merge(&mut self, other: StoreStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writes += other.writes;
+        self.quarantined += other.quarantined;
+    }
+
+    /// The counters accumulated since `before` was captured.
+    pub fn delta_since(&self, before: StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            writes: self.writes - before.writes,
+            quarantined: self.quarantined - before.quarantined,
+        }
+    }
+
+    /// The manifest block mirroring these counters.
+    pub fn to_manifest(&self) -> StoreManifest {
+        StoreManifest {
+            hits: self.hits,
+            misses: self.misses,
+            writes: self.writes,
+            quarantined: self.quarantined,
+            hit_rate: self.hit_rate(),
+        }
+    }
+}
+
+/// A content-addressed store of run snapshots rooted at one directory.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    entries: BTreeMap<ContentKey, IndexEntry>,
+    stats: StoreStats,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store at `root`. An unreadable or
+    /// malformed existing index is treated as empty — the objects are still
+    /// on disk and get re-verified object-by-object on lookup, so the worst
+    /// case is re-simulation, not wrong results.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        for dir in [
+            root.clone(),
+            root.join(OBJECTS_DIR),
+            root.join(QUARANTINE_DIR),
+        ] {
+            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        }
+        let index_path = root.join(INDEX_FILE);
+        let mut entries = BTreeMap::new();
+        if let Ok(text) = fs::read_to_string(&index_path) {
+            if let Ok(index) = serde_json::from_str::<StoreIndex>(&text) {
+                if index.schema_version == STORE_SCHEMA_VERSION {
+                    for entry in index.entries {
+                        entries.insert(entry.key.clone(), entry);
+                    }
+                }
+            }
+        }
+        Ok(ResultStore {
+            root,
+            entries,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path of the object addressed by `key`.
+    pub fn object_path(&self, key: &ContentKey) -> PathBuf {
+        self.root.join(OBJECTS_DIR).join(format!("{key}.json"))
+    }
+
+    /// Whether the index lists `key` (cheap; does not touch the object).
+    pub fn contains(&self, key: &ContentKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The keys currently indexed, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &ContentKey> {
+        self.entries.keys()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, returning the stored result only if the snapshot
+    /// passes full verification (parse, schema version, address match,
+    /// recomputed content key). Failures quarantine the object and count
+    /// as a miss.
+    pub fn get(&mut self, key: &ContentKey) -> Option<RunResult> {
+        let path = self.object_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.note_miss();
+                return None;
+            }
+        };
+        let verified = serde_json::from_str::<StoredRun>(&text)
+            .ok()
+            .filter(|stored| stored.schema_version == STORE_SCHEMA_VERSION)
+            .filter(|stored| stored.key == *key)
+            .filter(|stored| run_key(&stored.result.config) == *key);
+        match verified {
+            Some(stored) => {
+                self.stats.hits += 1;
+                counter!("store.hits", 1);
+                Some(stored.result)
+            }
+            None => {
+                self.quarantine(key, &path);
+                self.note_miss();
+                None
+            }
+        }
+    }
+
+    /// Records a lookup that bypassed the store (e.g. a delta-ineligible
+    /// key), keeping hit-rate accounting honest.
+    pub fn record_miss(&mut self) {
+        self.note_miss();
+    }
+
+    /// Persists `result` under `key` (atomic write) and indexes it.
+    pub fn put(&mut self, key: &ContentKey, result: &RunResult) -> Result<(), StoreError> {
+        let path = self.object_path(key);
+        write_json_atomic(&path, &stored_value(key, result))
+            .map_err(|e| StoreError::io(&path, e))?;
+        self.entries.insert(
+            key.clone(),
+            IndexEntry {
+                key: key.clone(),
+                benchmark: result.config.benchmark.clone(),
+                node: result.config.node.label().to_owned(),
+                target_core: result.config.target_core,
+                seed: result.config.seed,
+            },
+        );
+        self.stats.writes += 1;
+        counter!("store.writes", 1);
+        Ok(())
+    }
+
+    /// Atomically rewrites `index.json` from the in-memory entry map.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let index = StoreIndex {
+            schema_version: STORE_SCHEMA_VERSION,
+            entries: self.entries.values().cloned().collect(),
+        };
+        let path = self.root.join(INDEX_FILE);
+        write_json_atomic(&path, &index).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// The counters accumulated since [`ResultStore::open`].
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn note_miss(&mut self) {
+        self.stats.misses += 1;
+        counter!("store.misses", 1);
+    }
+
+    fn quarantine(&mut self, key: &ContentKey, path: &Path) {
+        let dest = self.root.join(QUARANTINE_DIR).join(format!("{key}.json"));
+        // Best-effort: if the rename fails the object stays where it is and
+        // keeps failing verification, which is safe (it is never served).
+        let _ = fs::rename(path, &dest);
+        self.entries.remove(key);
+        self.stats.quarantined += 1;
+        counter!("store.quarantined", 1);
+    }
+}
+
+/// The key set of a previous sweep, used by delta mode: only keys in the
+/// basis may be served from the store; everything else re-simulates even
+/// if some other sweep happens to have stored it.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBasis {
+    keys: BTreeSet<ContentKey>,
+}
+
+impl DeltaBasis {
+    /// Loads a basis from a previous sweep's `index.json` (or a directory
+    /// containing one). Unlike a store's own index, a delta basis must
+    /// parse: silently treating a corrupt basis as empty would turn delta
+    /// mode into a full re-simulation without telling the caller.
+    pub fn from_index_file(path: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let mut path = path.into();
+        if path.is_dir() {
+            path = path.join(INDEX_FILE);
+        }
+        let text = fs::read_to_string(&path).map_err(|e| StoreError::io(&path, e))?;
+        let index = serde_json::from_str::<StoreIndex>(&text).map_err(|e| StoreError::Parse {
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        if index.schema_version != STORE_SCHEMA_VERSION {
+            return Err(StoreError::Parse {
+                path,
+                detail: format!(
+                    "basis schema version {} does not match current {}",
+                    index.schema_version, STORE_SCHEMA_VERSION
+                ),
+            });
+        }
+        Ok(DeltaBasis {
+            keys: index.entries.into_iter().map(|e| e.key).collect(),
+        })
+    }
+
+    /// A basis over an explicit key set.
+    pub fn from_keys(keys: impl IntoIterator<Item = ContentKey>) -> Self {
+        DeltaBasis {
+            keys: keys.into_iter().collect(),
+        }
+    }
+
+    /// Whether `key` was part of the previous sweep.
+    pub fn contains(&self, key: &ContentKey) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Number of keys in the basis.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hotgauge-store-{tag}-{}-{:p}",
+            std::process::id(),
+            &tag
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stats_hit_rate_and_merge() {
+        let mut a = StoreStats {
+            hits: 3,
+            misses: 1,
+            writes: 1,
+            quarantined: 0,
+        };
+        assert_eq!(a.lookups(), 4);
+        assert!((a.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(StoreStats::default().hit_rate(), 1.0);
+        let b = StoreStats {
+            hits: 1,
+            misses: 3,
+            writes: 3,
+            quarantined: 2,
+        };
+        a.merge(b);
+        assert_eq!(
+            a,
+            StoreStats {
+                hits: 4,
+                misses: 4,
+                writes: 4,
+                quarantined: 2
+            }
+        );
+        let manifest = a.to_manifest();
+        assert_eq!(manifest.hits, 4);
+        assert!((manifest.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_on_missing_root_creates_layout() {
+        let root = scratch_dir("layout");
+        let store = ResultStore::open(&root).unwrap();
+        assert!(store.is_empty());
+        assert!(root.join(OBJECTS_DIR).is_dir());
+        assert!(root.join(QUARANTINE_DIR).is_dir());
+        store.flush().unwrap();
+        assert!(root.join(INDEX_FILE).is_file());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_index_opens_empty() {
+        let root = scratch_dir("badindex");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(INDEX_FILE), "{ not json").unwrap();
+        let store = ResultStore::open(&root).unwrap();
+        assert!(store.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn delta_basis_rejects_corrupt_index() {
+        let root = scratch_dir("badbasis");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(INDEX_FILE), "{ not json").unwrap();
+        assert!(matches!(
+            DeltaBasis::from_index_file(&root),
+            Err(StoreError::Parse { .. })
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_object_counts_as_miss() {
+        let root = scratch_dir("miss");
+        let mut store = ResultStore::open(&root).unwrap();
+        let key = crate::key::key_of_value(&serde::Value::Null);
+        assert!(store.get(&key).is_none());
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().hits, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -17,6 +17,11 @@
 //!   the `telemetry.dropped` config field. The new stage fields are
 //!   `Option`s so **v1 documents still deserialize** — absent fields come
 //!   back as `None`. Readers (the perf gate) accept both versions.
+//! * **v3** — adds the optional `store` block ([`StoreManifest`]: result
+//!   store hit/miss/write/quarantine counters and hit rate) emitted by
+//!   binaries running with `--store`. As an `Option` field, **v1 and v2
+//!   documents still deserialize** with `store: None`, and readers accept
+//!   all three versions.
 
 use crate::{ConfigMap, Snapshot};
 use serde::{Deserialize, Serialize};
@@ -24,7 +29,7 @@ use std::io;
 use std::path::Path;
 
 /// Version stamped into every manifest; bump on breaking schema changes.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Top-level document written by the CLI and experiment binaries.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +46,8 @@ pub struct RunManifest {
     pub results: serde_json::Value,
     /// Aggregated timing/counter statistics; `None` without telemetry.
     pub metrics: Option<RunMetrics>,
+    /// Result-store counters; `None` when the run used no store (v3).
+    pub store: Option<StoreManifest>,
 }
 
 impl RunManifest {
@@ -53,6 +60,7 @@ impl RunManifest {
             config: ConfigMap::new(),
             results: serde_json::Value::Null,
             metrics: None,
+            store: None,
         }
     }
 
@@ -179,6 +187,26 @@ pub struct StageMetrics {
     pub share: f64,
 }
 
+/// Result-store session counters (schema-v3 addition, emitted by binaries
+/// running with `--store`). The counters cover exactly one manifest's runs;
+/// `hit_rate` is `hits / (hits + misses)`, or `1.0` when nothing was
+/// looked up. The perf gate exposes `misses` and `1 - hit_rate` as
+/// lower-is-better metrics and checks `--check-store` thresholds against
+/// `hit_rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreManifest {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that fell through to simulation.
+    pub misses: u64,
+    /// Fresh results persisted.
+    pub writes: u64,
+    /// Objects that failed verification and were quarantined.
+    pub quarantined: u64,
+    /// `hits / (hits + misses)`; `1.0` when there were no lookups.
+    pub hit_rate: f64,
+}
+
 /// Statistics for one domain counter (iterations, instruction counts, ...).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CounterMetrics {
@@ -228,6 +256,7 @@ mod tests {
             config: ConfigMap::new(),
             results: serde_json::Value::Null,
             metrics: None,
+            store: None,
         };
         m = m.with_config("node", "7nm").with_config("benchmark", "gcc");
         m.set_results(&vec![1u64, 2, 3]);
@@ -271,7 +300,7 @@ mod tests {
         let b = serde_json::to_string(&m.clone()).unwrap();
         assert_eq!(a, b);
         // schema_version leads, and sorted config keys follow declaration order.
-        assert!(a.starts_with("{\"schema_version\":2,\"tool\":\"hotgauge\""));
+        assert!(a.starts_with("{\"schema_version\":3,\"tool\":\"hotgauge\""));
         let bench = a.find("\"benchmark\":\"gcc\"").unwrap();
         let node = a.find("\"node\":\"7nm\"").unwrap();
         assert!(bench < node, "config keys must be sorted");
@@ -339,6 +368,44 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    /// A schema-v2 document (percentiles and allocs, but no `store` block,
+    /// as emitted by pre-store binaries) must still deserialize, with the
+    /// v3 addition defaulting to `None`.
+    #[test]
+    fn v2_manifest_still_parses_with_store_defaulting() {
+        let mut v2 = sample_manifest();
+        v2.schema_version = 2;
+        // Strip the store field entirely, as a v2 writer would.
+        let serde_json::Value::Map(entries) = serde_json::to_value(&v2) else {
+            panic!("manifest serializes to a map");
+        };
+        let stripped: Vec<_> = entries.into_iter().filter(|(k, _)| k != "store").collect();
+        let json = serde_json::to_string(&serde_json::Value::Map(stripped)).unwrap();
+        assert!(!json.contains("\"store\""));
+        let m: RunManifest = serde_json::from_str(&json).expect("v2 parses under v3 schema");
+        assert_eq!(m.schema_version, 2);
+        assert_eq!(m.store, None);
+        assert_eq!(m, v2);
+    }
+
+    /// A v3 document with a populated store block round-trips exactly.
+    #[test]
+    fn v3_store_block_round_trips() {
+        let mut m = sample_manifest();
+        m.store = Some(StoreManifest {
+            hits: 7,
+            misses: 1,
+            writes: 1,
+            quarantined: 0,
+            hit_rate: 0.875,
+        });
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        assert!(json.contains("\"hit_rate\""));
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.store.unwrap().hits, 7);
+        assert_eq!(back, m);
     }
 
     /// A v2 document with all new fields present round-trips exactly.

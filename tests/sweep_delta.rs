@@ -1,0 +1,290 @@
+//! Differential delta-sweep suite for the store-fronted executor.
+//!
+//! The contract under test (`hotgauge_store::run_many_stored_with`): a
+//! sweep over a warm store serves every unchanged run from disk and the
+//! served results are **bit-identical** to a storeless sweep; delta mode
+//! re-simulates *exactly* the keys outside the basis (asserted through the
+//! store's hit/miss/write counters) and never serves a key the basis does
+//! not contain, even when the store happens to hold it; and a torn
+//! snapshot is detected, quarantined, and re-simulated, leaving the final
+//! results bit-identical to a from-scratch run.
+//!
+//! All tests share one process-wide gate: the telemetry recorder is global,
+//! so the counter-mirror check must not interleave with other store
+//! traffic in this binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use hotgauge_core::pipeline::{RunResult, SimConfig};
+use hotgauge_core::run_many_batched_with;
+use hotgauge_floorplan::tech::TechNode;
+use hotgauge_store::{run_many_stored_with, sweep_key, DeltaBasis, ResultStore, RunSource};
+use hotgauge_thermal::warmup::Warmup;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const THREADS: usize = 2;
+const BATCH: usize = 4;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hotgauge-delta-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The sweep grid every test runs: two benchmarks × two seeds at the fast
+/// fidelity the sweep-equivalence suite uses, in a fixed order
+/// `[hmmer/0, hmmer/1, gcc/0, gcc/1]` the subset assertions index into.
+fn grid() -> Vec<SimConfig> {
+    let mut cfgs = Vec::new();
+    for (b, core) in [("hmmer", 0usize), ("gcc", 2)] {
+        for seed in [0u64, 1] {
+            let mut c = SimConfig::new(TechNode::N7, b);
+            c.cell_um = 300.0;
+            c.border_mm = 1.0;
+            c.substeps = 1;
+            c.sample_instrs = 8_000;
+            c.max_time_s = 5e-4;
+            c.warmup = Warmup::Cold;
+            c.target_core = core;
+            c.seed = seed;
+            cfgs.push(c);
+        }
+    }
+    cfgs
+}
+
+/// Full bit-level equality of two runs, config included (`SimConfig` has no
+/// `PartialEq`; its canonical JSON form is compared instead).
+fn assert_same_run(a: &RunResult, b: &RunResult) {
+    assert_eq!(
+        serde_json::to_string(&a.config).unwrap(),
+        serde_json::to_string(&b.config).unwrap()
+    );
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.tuh_s, b.tuh_s);
+    assert_eq!(a.census, b.census);
+    assert_eq!(a.delta_hist, b.delta_hist);
+    assert_eq!(a.total_instructions, b.total_instructions);
+    assert_eq!(a.final_frame, b.final_frame);
+    assert_eq!(a.sev_series, b.sev_series);
+}
+
+/// The headline differential: a fresh store misses (and persists) every
+/// run; a second pass through a *reopened* store — all the next process
+/// would see is the on-disk state — serves every run, bit-identical to the
+/// storeless executor.
+#[test]
+fn warm_store_serves_every_run_bit_identically() {
+    let _g = lock();
+    let cfgs = grid();
+    let want = run_many_batched_with(cfgs.clone(), THREADS, BATCH, None);
+
+    let root = scratch("warm");
+    let mut store = ResultStore::open(&root).unwrap();
+    let pass1 = run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, None, None).unwrap();
+    let s1 = pass1.stats;
+    assert_eq!(
+        (s1.hits, s1.misses, s1.writes, s1.quarantined),
+        (0, 4, 4, 0)
+    );
+    assert!(pass1.sources.iter().all(|&s| s == RunSource::Simulated));
+    for (g, w) in pass1.results.iter().zip(&want) {
+        assert_same_run(g, w);
+    }
+    drop(store);
+
+    let mut store = ResultStore::open(&root).unwrap();
+    assert_eq!(store.len(), 4, "flushed index must list every run");
+    let pass2 = run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, None, None).unwrap();
+    let s2 = pass2.stats;
+    assert_eq!(
+        (s2.hits, s2.misses, s2.writes, s2.quarantined),
+        (4, 0, 0, 0)
+    );
+    assert!(pass2.sources.iter().all(|&s| s == RunSource::Store));
+    for (g, w) in pass2.results.iter().zip(&want) {
+        assert_same_run(g, w);
+    }
+    // Keys are stable across the two store sessions and match the
+    // effective-config keys the sweep layer derives.
+    assert_eq!(pass1.keys, pass2.keys);
+    for (key, cfg) in pass1.keys.iter().zip(&cfgs) {
+        assert_eq!(key, &sweep_key(cfg, THREADS));
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Delta mode re-simulates exactly the mutated subset: after mutating a
+/// strict subset of the grid, a delta sweep against the previous index
+/// serves the unchanged runs and re-simulates the mutated ones — counted
+/// exactly by hits/misses/writes — and the merged results are bit-identical
+/// to a from-scratch sweep of the mutated grid.
+#[test]
+fn delta_resimulates_exactly_the_mutated_subset() {
+    let _g = lock();
+    let cfgs = grid();
+    let root = scratch("subset");
+    let mut store = ResultStore::open(&root).unwrap();
+    run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, None, None).unwrap();
+    drop(store);
+
+    let basis = DeltaBasis::from_index_file(&root).unwrap();
+    assert_eq!(basis.len(), 4);
+
+    // Mutate runs 1 and 3 (one per benchmark); 0 and 2 stay unchanged.
+    let mut mutated = cfgs.clone();
+    mutated[1].seed += 10;
+    mutated[3].seed += 10;
+    let want = run_many_batched_with(mutated.clone(), THREADS, BATCH, None);
+
+    let mut store = ResultStore::open(&root).unwrap();
+    let outcome = run_many_stored_with(
+        mutated.clone(),
+        THREADS,
+        BATCH,
+        &mut store,
+        Some(&basis),
+        None,
+    )
+    .unwrap();
+    let s = outcome.stats;
+    assert_eq!((s.hits, s.misses, s.writes, s.quarantined), (2, 2, 2, 0));
+    assert_eq!(
+        outcome.sources,
+        vec![
+            RunSource::Store,
+            RunSource::Simulated,
+            RunSource::Store,
+            RunSource::Simulated,
+        ]
+    );
+    for (g, w) in outcome.results.iter().zip(&want) {
+        assert_same_run(g, w);
+    }
+    // The mutated keys left the basis (that is *why* they re-simulated).
+    assert!(basis.contains(&outcome.keys[0]) && basis.contains(&outcome.keys[2]));
+    assert!(!basis.contains(&outcome.keys[1]) && !basis.contains(&outcome.keys[3]));
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Delta mode never serves a key outside the basis even when the store
+/// holds a perfectly valid snapshot for it: those runs re-simulate (and
+/// re-persist), keeping "what the previous sweep covered" authoritative.
+#[test]
+fn delta_ignores_stored_keys_outside_the_basis() {
+    let _g = lock();
+    let cfgs = grid();
+    let root = scratch("outside");
+    let mut store = ResultStore::open(&root).unwrap();
+    let full = run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, None, None).unwrap();
+
+    // A basis covering only the first two keys, though the store has all 4.
+    let basis = DeltaBasis::from_keys(full.keys[..2].iter().cloned());
+    let outcome =
+        run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, Some(&basis), None).unwrap();
+    let s = outcome.stats;
+    assert_eq!((s.hits, s.misses, s.writes, s.quarantined), (2, 2, 2, 0));
+    assert_eq!(
+        outcome.sources,
+        vec![
+            RunSource::Store,
+            RunSource::Store,
+            RunSource::Simulated,
+            RunSource::Simulated,
+        ]
+    );
+    for (g, w) in outcome.results.iter().zip(&full.results) {
+        assert_same_run(g, w);
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Crash safety: a torn (truncated) snapshot is detected on read, moved to
+/// quarantine, re-simulated, and re-persisted — and the sweep's results
+/// stay bit-identical to the first pass throughout.
+#[test]
+fn torn_snapshot_is_quarantined_and_resimulated() {
+    let _g = lock();
+    let cfgs = grid();
+    let root = scratch("torn");
+    let mut store = ResultStore::open(&root).unwrap();
+    let pass1 = run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, None, None).unwrap();
+
+    // Tear run 2's snapshot in half, as a crash mid-write (without the
+    // atomic rename protocol) would have.
+    let victim = pass1.keys[2].clone();
+    let path = store.object_path(&victim);
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    drop(store);
+
+    let mut store = ResultStore::open(&root).unwrap();
+    let pass2 = run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, None, None).unwrap();
+    let s = pass2.stats;
+    assert_eq!((s.hits, s.misses, s.writes, s.quarantined), (3, 1, 1, 1));
+    assert_eq!(
+        pass2.sources,
+        vec![
+            RunSource::Store,
+            RunSource::Store,
+            RunSource::Simulated,
+            RunSource::Store,
+        ]
+    );
+    for (g, w) in pass2.results.iter().zip(&pass1.results) {
+        assert_same_run(g, w);
+    }
+    assert!(
+        root.join("quarantine")
+            .join(format!("{victim}.json"))
+            .exists(),
+        "the torn object must land in quarantine/"
+    );
+
+    // The re-persisted snapshot verifies: a third session serves it again.
+    drop(store);
+    let mut store = ResultStore::open(&root).unwrap();
+    let healed = store
+        .get(&victim)
+        .expect("re-persisted snapshot must serve");
+    assert_same_run(&healed, &pass1.results[2]);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The `store.*` telemetry counters mirror the session's `StoreStats`
+/// exactly across a miss pass and a hit pass.
+// hotgauge-lint: allow(L002, "this test reads the recorder's snapshot API directly, which only exists under the feature; the facade macros cannot gate a whole #[test] fn")
+#[cfg(feature = "telemetry")]
+#[test]
+fn store_counters_mirror_session_stats() {
+    let _g = lock();
+    let cfgs: Vec<SimConfig> = grid().into_iter().take(2).collect();
+    let root = scratch("counters");
+    let before = hotgauge_telemetry::snapshot();
+    let mut store = ResultStore::open(&root).unwrap();
+    run_many_stored_with(cfgs.clone(), THREADS, BATCH, &mut store, None, None).unwrap();
+    run_many_stored_with(cfgs, THREADS, BATCH, &mut store, None, None).unwrap();
+    let after = hotgauge_telemetry::snapshot();
+
+    let total = |snap: &hotgauge_telemetry::Snapshot, label: &str| {
+        snap.counter(label).map_or(0.0, |c| c.total)
+    };
+    let delta = |label: &str| total(&after, label) - total(&before, label);
+    let stats = store.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.writes, stats.quarantined),
+        (2, 2, 2, 0)
+    );
+    assert_eq!(delta("store.hits"), stats.hits as f64);
+    assert_eq!(delta("store.misses"), stats.misses as f64);
+    assert_eq!(delta("store.writes"), stats.writes as f64);
+    assert_eq!(delta("store.quarantined"), 0.0);
+    let _ = fs::remove_dir_all(&root);
+}

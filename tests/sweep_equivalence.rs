@@ -15,15 +15,24 @@
 //! so the counter-invariant checks must not interleave with other sweeps in
 //! this binary.
 
+use std::fs;
+use std::io::Cursor;
+use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
 
 use proptest::prelude::*;
 
 use hotgauge_core::analysis::AnalysisConfig;
+use hotgauge_core::experiments::Fidelity;
 use hotgauge_core::pipeline::{run_many, run_sim, RunResult, SimConfig};
 use hotgauge_core::{run_many_batched_with, run_sim_in, SweepArena};
 use hotgauge_floorplan::tech::TechNode;
+use hotgauge_store::{
+    run_many_keyed_with, run_many_stored_with, serve, DeltaBasis, ResultStore, RunSource,
+    ServeOptions, SweepRow, ROW_SCHEMA_VERSION,
+};
 use hotgauge_thermal::warmup::Warmup;
+use serde::Value;
 
 static GATE: Mutex<()> = Mutex::new(());
 
@@ -183,6 +192,155 @@ proptest! {
             assert_same_run(&dirty, &fresh);
         }
     }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hotgauge-eq-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    // Each case runs up to five sweeps over the same batch; keep it low.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    // The store dimension of the equivalence contract: keyed-storeless,
+    // fresh-store, warm-store, delta-with-full-basis, and
+    // delta-with-empty-basis sweeps are all bit-identical to the plain
+    // pooled executor on proptest-generated heterogeneous batches.
+    #[test]
+    fn store_and_delta_dimensions_never_change_results(
+        entropy in prop::collection::vec(0u64..u64::MAX, 2..4),
+    ) {
+        let _g = lock();
+        let cfgs: Vec<SimConfig> = entropy.iter().copied().map(cfg_from_entropy).collect();
+        let n = cfgs.len();
+        let want = run_many_batched_with(cfgs.clone(), 2, 8, None);
+        let root = scratch(&format!("dims-{:x}", entropy[0]));
+        let mut store = ResultStore::open(&root).unwrap();
+
+        // Storeless-but-keyed (the `hotgauge sweep` path without --store).
+        let keyed = run_many_keyed_with(cfgs.clone(), 2, 8, None);
+        prop_assert_eq!(keyed.stats.lookups(), 0);
+        for (g, w) in keyed.results.iter().zip(&want) {
+            assert_same_run(g, w);
+        }
+
+        // Fresh store: everything simulates, then persists.
+        let pass1 = run_many_stored_with(cfgs.clone(), 2, 8, &mut store, None, None).unwrap();
+        prop_assert!(pass1.sources.iter().all(|&s| s == RunSource::Simulated));
+        prop_assert_eq!(&pass1.keys, &keyed.keys);
+        for (g, w) in pass1.results.iter().zip(&want) {
+            assert_same_run(g, w);
+        }
+
+        // Warm store: everything serves from disk.
+        let pass2 = run_many_stored_with(cfgs.clone(), 2, 8, &mut store, None, None).unwrap();
+        prop_assert!(pass2.sources.iter().all(|&s| s == RunSource::Store));
+        for (g, w) in pass2.results.iter().zip(&want) {
+            assert_same_run(g, w);
+        }
+
+        // Delta, full basis from the flushed index: still all served.
+        let basis = DeltaBasis::from_index_file(&root).unwrap();
+        let pass3 =
+            run_many_stored_with(cfgs.clone(), 2, 8, &mut store, Some(&basis), None).unwrap();
+        prop_assert!(pass3.sources.iter().all(|&s| s == RunSource::Store));
+        for (g, w) in pass3.results.iter().zip(&want) {
+            assert_same_run(g, w);
+        }
+
+        // Delta, empty basis: everything re-simulates, still identical.
+        let empty = DeltaBasis::from_keys(std::iter::empty());
+        let pass4 =
+            run_many_stored_with(cfgs.clone(), 2, 8, &mut store, Some(&empty), None).unwrap();
+        prop_assert!(pass4.sources.iter().all(|&s| s == RunSource::Simulated));
+        prop_assert_eq!(pass4.stats.misses, n as u64);
+        for (g, w) in pass4.results.iter().zip(&want) {
+            assert_same_run(g, w);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+/// The NDJSON serve loop: every output line — row or error — is
+/// independently parseable and schema-tagged, batches flush on blank
+/// lines, malformed lines reject without killing the session, and a warm
+/// replay returns rows identical to the fresh pass except for provenance.
+#[test]
+fn serve_streams_schema_tagged_ndjson_rows() {
+    let _g = lock();
+    let fid = Fidelity {
+        cell_um: 350.0,
+        border_mm: 1.0,
+        substeps: 1,
+        sample_instrs: 5_000,
+        max_time_s: 5e-4,
+        threads: 2,
+        batch: 8,
+        solver_threads: 2,
+    };
+    let opts = ServeOptions::from_fidelity(fid);
+    let root = scratch("serve");
+    let mut store = ResultStore::open(&root).unwrap();
+
+    let input = concat!(
+        "{\"benchmark\":\"hmmer\"}\n",
+        "{\"benchmark\":\"gcc\",\"seed\":3}\n",
+        "\n",
+        "not json\n",
+        "{\"benchmark\":\"povray\",\"core\":1}\n",
+    );
+    let mut out = Vec::new();
+    let summary = serve(Cursor::new(input), &mut out, &mut store, &opts, None).unwrap();
+    assert_eq!((summary.batches, summary.rows, summary.rejected), (2, 3, 1));
+
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(lines.len(), 4, "2 rows + 1 error line + 1 row");
+    for line in &lines {
+        let v: Value = serde_json::from_str(line).expect("every line parses on its own");
+        let Value::Map(entries) = v else {
+            panic!("every line is a JSON object");
+        };
+        let tag = entries
+            .iter()
+            .find(|(k, _)| k == "schema_version")
+            .map(|(_, v)| v.clone());
+        assert_eq!(tag, Some(Value::U64(u64::from(ROW_SCHEMA_VERSION))));
+    }
+    // Lines 0-1: the first batch, in request order. Line 2: the rejected
+    // raw line's error. Line 3: the second batch.
+    let rows: Vec<SweepRow> = [lines[0], lines[1], lines[3]]
+        .iter()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(rows[0].benchmark, "hmmer");
+    assert_eq!((rows[0].seq, rows[0].total), (1, 2));
+    assert_eq!(rows[1].benchmark, "gcc");
+    assert_eq!((rows[1].seq, rows[1].seed), (2, 3));
+    assert_eq!(rows[2].benchmark, "povray");
+    assert_eq!((rows[2].seq, rows[2].total, rows[2].target_core), (1, 1, 1));
+    assert!(rows.iter().all(|r| r.source == "sim"));
+    assert!(lines[2].contains("\"error\""));
+
+    // Warm replay of the first batch: identical rows, store provenance.
+    let mut out2 = Vec::new();
+    let replay = "{\"benchmark\":\"hmmer\"}\n{\"benchmark\":\"gcc\",\"seed\":3}\n";
+    let summary2 = serve(Cursor::new(replay), &mut out2, &mut store, &opts, None).unwrap();
+    assert_eq!((summary2.rows, summary2.stats.hits), (2, 2));
+    let replayed: Vec<SweepRow> = std::str::from_utf8(&out2)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(replayed.len(), 2);
+    for (fresh, warm) in rows[..2].iter().zip(&replayed) {
+        assert_eq!(warm.source, "store");
+        let mut warm_as_sim = warm.clone();
+        warm_as_sim.source = "sim".to_owned();
+        assert_eq!(&warm_as_sim, fresh, "served row differs from fresh row");
+    }
+    let _ = fs::remove_dir_all(&root);
 }
 
 /// Results come back in input order regardless of which worker ran what,
